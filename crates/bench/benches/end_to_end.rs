@@ -1,0 +1,40 @@
+//! Criterion benchmarks for the end-to-end simulator: one full smoke-test run and one
+//! physics step on the 80-server cluster (the inner loop of every evaluation figure).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cluster_sim::experiment::ExperimentConfig;
+use cluster_sim::simulator::ClusterSimulator;
+use dc_sim::engine::{Datacenter, StepInput};
+use dc_sim::topology::LayoutConfig;
+use simkit::units::Celsius;
+use std::hint::black_box;
+use tapas::policy::Policy;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let dc = Datacenter::new(LayoutConfig::real_cluster_two_rows().build(), 42);
+    let input = StepInput::uniform_load(dc.layout(), Celsius::new(28.0), 0.8);
+    c.bench_function("physics_step_80_servers", |b| {
+        b.iter(|| dc.evaluate(black_box(&input)))
+    });
+
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.bench_function("smoke_run_baseline", |b| {
+        b.iter(|| ClusterSimulator::new(ExperimentConfig::small_smoke_test()).run())
+    });
+    group.bench_function("smoke_run_tapas", |b| {
+        b.iter(|| {
+            let mut config = ExperimentConfig::small_smoke_test();
+            config.policy = Policy::Tapas;
+            ClusterSimulator::new(config).run()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_end_to_end
+}
+criterion_main!(benches);

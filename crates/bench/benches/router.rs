@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks for the request router: one routing decision across a
+//! 100-instance endpoint, Baseline vs TAPAS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dc_sim::engine::Datacenter;
+use dc_sim::ids::ServerId;
+use dc_sim::topology::LayoutConfig;
+use llm_sim::config::InstanceConfig;
+use llm_sim::hardware::GpuHardware;
+use llm_sim::request::{CustomerId, InferenceRequest, RequestId};
+use simkit::time::SimTime;
+use simkit::units::{Celsius, CubicFeetPerMinute, Kilowatts};
+use std::hint::black_box;
+use tapas::profiles::ProfileStore;
+use tapas::routing::{
+    BaselineRouter, InstanceSnapshot, RequestRouterPolicy, RoutingContext, TapasRouter,
+};
+use workload::vm::VmId;
+
+fn bench_router(c: &mut Criterion) {
+    let dc = Datacenter::new(LayoutConfig::production_datacenter().build(), 42);
+    let profiles = ProfileStore::offline_profiling(&dc, &GpuHardware::a100());
+    let instances: Vec<InstanceSnapshot> = (0..100)
+        .map(|i| InstanceSnapshot {
+            vm: VmId(i),
+            server: ServerId::new((i * 7) as usize % dc.layout().server_count()),
+            outstanding_requests: (i % 9) as usize,
+            utilization: (i % 10) as f64 / 10.0,
+            recent_customers: vec![CustomerId(i % 13)],
+            config: InstanceConfig::default_70b(),
+            in_transition: false,
+        })
+        .collect();
+    let context = RoutingContext {
+        outside_temp: Celsius::new(30.0),
+        dc_load: 0.7,
+        row_power: profiles
+            .budgets
+            .row_power
+            .iter()
+            .map(|(&r, &b)| (r, b * 0.8))
+            .collect(),
+        aisle_airflow: profiles
+            .budgets
+            .aisle_airflow
+            .iter()
+            .map(|(&a, &b)| (a, CubicFeetPerMinute::new(b.value() * 0.8)))
+            .collect(),
+    };
+    let _ = Kilowatts::ZERO;
+    let request = InferenceRequest {
+        id: RequestId(1),
+        customer: CustomerId(5),
+        arrival: SimTime::ZERO,
+        prompt_tokens: 512,
+        output_tokens: 200,
+    };
+
+    c.bench_function("routing_baseline_100_instances", |b| {
+        b.iter(|| BaselineRouter.route(black_box(&request), &instances, &profiles, &context))
+    });
+    c.bench_function("routing_tapas_100_instances", |b| {
+        b.iter(|| {
+            TapasRouter::default().route(black_box(&request), &instances, &profiles, &context)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_router
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks for the thermal models: these are the functions the TAPAS
+//! router and configurator evaluate on every decision, so they must be cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dc_sim::engine::Datacenter;
+use dc_sim::ids::{GpuId, ServerId};
+use dc_sim::topology::LayoutConfig;
+use simkit::units::{Celsius, Watts};
+use std::hint::black_box;
+
+fn bench_thermal_model(c: &mut Criterion) {
+    let dc = Datacenter::new(LayoutConfig::real_cluster_two_rows().build(), 42);
+    let server = ServerId::new(17);
+    let gpu = GpuId::new(server, 3);
+
+    c.bench_function("inlet_temperature_eval", |b| {
+        b.iter(|| {
+            dc.inlet_model().inlet_temp(
+                black_box(server),
+                black_box(Celsius::new(27.0)),
+                black_box(0.7),
+                0.0,
+            )
+        })
+    });
+
+    c.bench_function("gpu_temperature_eval", |b| {
+        b.iter(|| {
+            dc.gpu_model().temperatures(
+                black_box(gpu),
+                black_box(Celsius::new(24.0)),
+                black_box(Watts::new(350.0)),
+                0.6,
+            )
+        })
+    });
+
+    c.bench_function("gpu_power_budget_inverse", |b| {
+        b.iter(|| {
+            dc.gpu_model().power_for_temp_limit(
+                black_box(server),
+                black_box(Celsius::new(26.0)),
+                black_box(Celsius::new(82.0)),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_thermal_model
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Fig. 20 — ablation: normalized maximum temperature and peak power for every policy
+//! (Baseline, Place, Route, Config, pairwise combinations, TAPAS) across IaaS/SaaS mixes.
+//!
+//! The paper reports that at the 50/50 mix each individual mechanism cuts temperature and
+//! power by up to ≈12 %, pairwise combinations do better, and full TAPAS achieves the largest
+//! reductions (≈17 % temperature, ≈23 % power); with an all-SaaS mix the reductions grow to
+//! ≈23 % / ≈28 %, while an all-IaaS mix limits TAPAS to its placement mechanism.
+
+use cluster_sim::experiment::ExperimentConfig;
+use cluster_sim::simulator::ClusterSimulator;
+use serde::Serialize;
+use tapas::policy::Policy;
+use tapas_bench::{full_scale_requested, header, write_json};
+
+#[derive(Serialize)]
+struct AblationCell {
+    policy: String,
+    saas_fraction: f64,
+    normalized_max_temp: f64,
+    normalized_peak_power: f64,
+    mean_quality: f64,
+    slo_attainment: f64,
+}
+
+fn main() {
+    let full = full_scale_requested();
+    header("Figure 20: policy ablation across SaaS/IaaS mixes (normalized to provisioning)");
+    let mixes = [1.0, 0.75, 0.5, 0.25, 0.0];
+    let mut cells = Vec::new();
+
+    println!(
+        "{:<14} {:>6} {:>12} {:>12} {:>9} {:>9}",
+        "policy", "saas%", "norm.temp", "norm.power", "quality", "slo"
+    );
+    for &mix in &mixes {
+        for policy in Policy::ALL {
+            let base = if full {
+                ExperimentConfig::production_week(policy)
+            } else {
+                ExperimentConfig::medium(policy)
+            };
+            let report = ClusterSimulator::new(base.with_saas_fraction(mix)).run();
+            let cell = AblationCell {
+                policy: policy.label().to_string(),
+                saas_fraction: mix,
+                normalized_max_temp: report.normalized_peak_temperature(),
+                normalized_peak_power: report.normalized_peak_power(),
+                mean_quality: report.mean_quality(),
+                slo_attainment: report.slo_attainment(),
+            };
+            println!(
+                "{:<14} {:>6.0} {:>12.3} {:>12.3} {:>9.3} {:>9.3}",
+                cell.policy,
+                mix * 100.0,
+                cell.normalized_max_temp,
+                cell.normalized_peak_power,
+                cell.mean_quality,
+                cell.slo_attainment
+            );
+            cells.push(cell);
+        }
+        println!();
+    }
+
+    // Headline comparison at the 50/50 mix.
+    let at = |policy: &str, mix: f64| {
+        cells
+            .iter()
+            .find(|c| c.policy == policy && (c.saas_fraction - mix).abs() < 1e-9)
+            .expect("cell present")
+    };
+    let baseline = at("Baseline", 0.5);
+    let tapas = at("TAPAS", 0.5);
+    println!(
+        "50/50 mix: TAPAS vs Baseline — temperature {:.1} % (paper ≈ −17 %), power {:.1} % (paper ≈ −23 %)",
+        (tapas.normalized_max_temp / baseline.normalized_max_temp - 1.0) * 100.0,
+        (tapas.normalized_peak_power / baseline.normalized_peak_power - 1.0) * 100.0
+    );
+
+    write_json("fig20_ablation", &cells);
+}

@@ -1,0 +1,127 @@
+//! # tapas-bench — harnesses that regenerate the paper's tables and figures
+//!
+//! Every table and figure of the TAPAS evaluation (and the characterization figures its
+//! insights are built on) has a binary in `src/bin/` that regenerates the corresponding data
+//! series and prints it in a readable tabular form, plus machine-readable JSON under
+//! `results/` (created next to the workspace root when writable).
+//!
+//! Binaries accept an optional `--full` flag: by default they run a *quick* configuration
+//! (smaller cluster / shorter horizon) sized so the whole suite completes in minutes on a
+//! laptop; `--full` switches to the paper-scale configuration (≈1000 servers, one week).
+//!
+//! The Criterion benches in `benches/` measure the controller overheads (allocator, router,
+//! configurator, thermal/power model evaluation) rather than end-to-end experiments.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Returns `true` when the binary was invoked with `--full` (paper-scale run).
+#[must_use]
+pub fn full_scale_requested() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+/// Prints a section header so the console output of a harness reads like the paper's figure.
+pub fn header(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+/// Prints one labelled row of `(x, y)` pairs as a compact series.
+pub fn print_series(label: &str, points: &[(f64, f64)]) {
+    print!("{label:<28}");
+    for (x, y) in points {
+        print!(" ({x:.1}, {y:.3})");
+    }
+    println!();
+}
+
+/// Prints a two-column table.
+pub fn print_table(title: &str, rows: &[(String, String)]) {
+    println!("\n{title}");
+    for (k, v) in rows {
+        println!("  {k:<44} {v}");
+    }
+}
+
+/// Where JSON results are written (`<workspace>/results/`). Falls back to the current
+/// directory if the workspace root cannot be located.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    // Walk up until a Cargo.toml containing [workspace] is found.
+    let mut probe = dir.clone();
+    for _ in 0..5 {
+        let manifest = probe.join("Cargo.toml");
+        if let Ok(contents) = std::fs::read_to_string(&manifest) {
+            if contents.contains("[workspace]") {
+                dir = probe.clone();
+                break;
+            }
+        }
+        if !probe.pop() {
+            break;
+        }
+    }
+    dir.join("results")
+}
+
+/// Serializes `value` to `results/<name>.json`. Failures are reported but not fatal, so the
+/// harnesses still work on read-only checkouts.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = results_dir();
+    if let Err(err) = std::fs::create_dir_all(&dir) {
+        eprintln!("note: could not create {}: {err}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(err) = std::fs::write(&path, json) {
+                eprintln!("note: could not write {}: {err}", path.display());
+            } else {
+                println!("[results written to {}]", path.display());
+            }
+        }
+        Err(err) => eprintln!("note: could not serialize {name}: {err}"),
+    }
+}
+
+/// Relative change `(new − old) / old`, in percent.
+#[must_use]
+pub fn percent_change(old: f64, new: f64) -> f64 {
+    if old.abs() < f64::EPSILON {
+        0.0
+    } else {
+        (new - old) / old * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_change_basics() {
+        assert!((percent_change(100.0, 80.0) + 20.0).abs() < 1e-12);
+        assert!((percent_change(50.0, 75.0) - 50.0).abs() < 1e-12);
+        assert_eq!(percent_change(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn results_dir_ends_with_results() {
+        let dir = results_dir();
+        assert!(dir.ends_with("results"));
+    }
+
+    #[test]
+    fn printing_helpers_do_not_panic() {
+        header("test");
+        print_series("series", &[(1.0, 2.0), (3.0, 4.0)]);
+        print_table("table", &[("k".to_string(), "v".to_string())]);
+    }
+}

@@ -1,0 +1,112 @@
+//! The failure-management comparison of Table 2.
+//!
+//! §5.4 injects a power emergency (capacity reduced to 75 %) and a thermal emergency
+//! (capacity reduced to 90 %) during a 5-minute peak-load period and compares the Baseline's
+//! uniform frequency capping against TAPAS's selective response (routing away + SaaS
+//! reconfiguration). The reported numbers are the performance impact on IaaS and SaaS and
+//! the quality impact on SaaS.
+
+use llm_sim::config::InstanceConfig;
+use serde::{Deserialize, Serialize};
+use tapas::emergency::{EmergencyKind, EmergencyResponder};
+use tapas::profiles::ProfileStore;
+
+/// One cell group of Table 2: the impact of one policy during one emergency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EmergencyImpact {
+    /// Performance impact on IaaS workloads (percent, negative = slower).
+    pub iaas_perf_pct: f64,
+    /// Performance impact on SaaS workloads (percent, negative = slower).
+    pub saas_perf_pct: f64,
+    /// Quality impact on IaaS workloads (always zero — IaaS results are never altered).
+    pub iaas_quality_pct: f64,
+    /// Quality impact on SaaS workloads (percent, negative = lower quality).
+    pub saas_quality_pct: f64,
+}
+
+/// The full Table 2: Baseline vs TAPAS under power and thermal emergencies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EmergencyComparison {
+    /// Baseline during the power emergency (75 % capacity).
+    pub power_baseline: EmergencyImpact,
+    /// TAPAS during the power emergency.
+    pub power_tapas: EmergencyImpact,
+    /// Baseline during the thermal emergency (90 % capacity).
+    pub thermal_baseline: EmergencyImpact,
+    /// TAPAS during the thermal emergency.
+    pub thermal_tapas: EmergencyImpact,
+}
+
+/// Runs the Table 2 scenario: a 50/50 IaaS/SaaS peak-load cluster hit by each emergency.
+#[must_use]
+pub fn run_table2(profiles: &ProfileStore, saas_fraction: f64) -> EmergencyComparison {
+    let responder = EmergencyResponder::new(0.85);
+    let current = InstanceConfig::default_70b();
+
+    let impact_from_baseline = |kind, capacity| {
+        let plan = responder.baseline_response(kind, capacity);
+        EmergencyImpact {
+            iaas_perf_pct: plan.iaas_perf_impact_pct(),
+            saas_perf_pct: plan.saas_perf_impact_pct(),
+            iaas_quality_pct: 0.0,
+            saas_quality_pct: plan.saas_quality_impact_pct(),
+        }
+    };
+    let impact_from_tapas = |kind, capacity| {
+        let plan = responder.tapas_response(kind, capacity, saas_fraction, &current, profiles);
+        EmergencyImpact {
+            iaas_perf_pct: plan.iaas_perf_impact_pct(),
+            saas_perf_pct: plan.saas_perf_impact_pct(),
+            iaas_quality_pct: 0.0,
+            saas_quality_pct: plan.saas_quality_impact_pct(),
+        }
+    };
+
+    EmergencyComparison {
+        power_baseline: impact_from_baseline(EmergencyKind::Power, 0.75),
+        power_tapas: impact_from_tapas(EmergencyKind::Power, 0.75),
+        thermal_baseline: impact_from_baseline(EmergencyKind::Thermal, 0.9),
+        thermal_tapas: impact_from_tapas(EmergencyKind::Thermal, 0.9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_sim::engine::Datacenter;
+    use dc_sim::topology::LayoutConfig;
+    use llm_sim::hardware::GpuHardware;
+
+    fn profiles() -> ProfileStore {
+        let dc = Datacenter::new(LayoutConfig::small_test_cluster().build(), 42);
+        ProfileStore::offline_profiling(&dc, &GpuHardware::a100())
+    }
+
+    #[test]
+    fn table2_shape_matches_the_paper() {
+        let table = run_table2(&profiles(), 0.5);
+
+        // Baseline: both IaaS and SaaS lose performance, quality untouched.
+        assert!(table.power_baseline.iaas_perf_pct < -15.0);
+        assert!(table.power_baseline.saas_perf_pct < -10.0);
+        assert_eq!(table.power_baseline.saas_quality_pct, 0.0);
+        assert!(table.thermal_baseline.iaas_perf_pct < 0.0);
+        assert!(
+            table.thermal_baseline.iaas_perf_pct > table.power_baseline.iaas_perf_pct,
+            "the milder thermal emergency should hurt less than the power emergency"
+        );
+
+        // TAPAS: IaaS completely unaffected; SaaS trades a bounded amount of quality.
+        assert_eq!(table.power_tapas.iaas_perf_pct, 0.0);
+        assert_eq!(table.thermal_tapas.iaas_perf_pct, 0.0);
+        assert!(table.power_tapas.saas_quality_pct <= 0.0);
+        assert!(table.power_tapas.saas_quality_pct >= -20.0);
+        assert!(
+            table.thermal_tapas.saas_quality_pct >= table.power_tapas.saas_quality_pct,
+            "thermal emergency should cost no more quality than the power emergency"
+        );
+        // IaaS quality is never touched by either policy.
+        assert_eq!(table.power_tapas.iaas_quality_pct, 0.0);
+        assert_eq!(table.power_baseline.iaas_quality_pct, 0.0);
+    }
+}

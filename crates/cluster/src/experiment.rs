@@ -1,0 +1,176 @@
+//! Experiment configuration.
+
+use dc_sim::failures::FailureSchedule;
+use dc_sim::topology::LayoutConfig;
+use dc_sim::weather::Climate;
+use serde::{Deserialize, Serialize};
+use simkit::time::{SimDuration, SimTime};
+use tapas::policy::Policy;
+
+/// Everything that defines one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Physical layout of the datacenter.
+    pub layout: LayoutConfig,
+    /// Scheduling policy under test.
+    pub policy: Policy,
+    /// Fraction of VMs that are SaaS (the rest are IaaS).
+    pub saas_fraction: f64,
+    /// Regional climate for the outside-temperature model.
+    pub climate: Climate,
+    /// Simulated duration.
+    pub duration: SimTime,
+    /// Step length.
+    pub step: SimDuration,
+    /// Number of SaaS endpoints.
+    pub endpoint_count: usize,
+    /// Peak request rate per SaaS VM (requests per minute at the top of the diurnal cycle).
+    pub requests_per_vm_per_minute: f64,
+    /// Fraction of servers occupied at time zero.
+    pub initial_occupancy: f64,
+    /// Infrastructure failures to inject.
+    pub failures: FailureSchedule,
+    /// Random seed (drives weather, arrivals, request shapes and per-entity offsets).
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// A tiny configuration for unit tests and doctests: 8 servers, 2 simulated hours at
+    /// 5-minute steps.
+    #[must_use]
+    pub fn small_smoke_test() -> Self {
+        Self {
+            layout: LayoutConfig::small_test_cluster(),
+            policy: Policy::Baseline,
+            saas_fraction: 0.5,
+            climate: Climate::temperate(),
+            duration: SimTime::from_hours(2),
+            step: SimDuration::from_minutes(5),
+            endpoint_count: 2,
+            requests_per_vm_per_minute: 12.0,
+            initial_occupancy: 0.9,
+            failures: FailureSchedule::none(),
+            seed: 42,
+        }
+    }
+
+    /// The real-cluster experiment of Fig. 18: two rows of 80 A100 servers, one hour at
+    /// 1-minute resolution, 50/50 IaaS/SaaS.
+    #[must_use]
+    pub fn real_cluster_hour(policy: Policy) -> Self {
+        Self {
+            layout: LayoutConfig::real_cluster_two_rows(),
+            policy,
+            saas_fraction: 0.5,
+            climate: Climate::hot(),
+            duration: SimTime::from_hours(1),
+            step: SimDuration::from_minutes(1),
+            endpoint_count: 4,
+            requests_per_vm_per_minute: 170.0,
+            initial_occupancy: 0.95,
+            failures: FailureSchedule::none(),
+            seed: 7,
+        }
+    }
+
+    /// The large-scale week-long simulation of Fig. 19/20: ~1000 servers, one week at
+    /// 5-minute resolution.
+    #[must_use]
+    pub fn production_week(policy: Policy) -> Self {
+        Self {
+            layout: LayoutConfig::production_datacenter(),
+            policy,
+            saas_fraction: 0.5,
+            climate: Climate::hot(),
+            duration: SimTime::from_days(7),
+            step: SimDuration::from_minutes(5),
+            endpoint_count: 10,
+            requests_per_vm_per_minute: 170.0,
+            initial_occupancy: 0.92,
+            failures: FailureSchedule::none(),
+            seed: 11,
+        }
+    }
+
+    /// A medium configuration (one aisle pair, two days) used by integration tests and the
+    /// ablation bench when the full week would be too slow.
+    #[must_use]
+    pub fn medium(policy: Policy) -> Self {
+        Self {
+            layout: LayoutConfig::real_cluster_two_rows(),
+            policy,
+            saas_fraction: 0.5,
+            climate: Climate::hot(),
+            duration: SimTime::from_days(2),
+            step: SimDuration::from_minutes(10),
+            endpoint_count: 4,
+            requests_per_vm_per_minute: 170.0,
+            initial_occupancy: 0.92,
+            failures: FailureSchedule::none(),
+            seed: 13,
+        }
+    }
+
+    /// Sets the IaaS/SaaS mix (Fig. 20's sensitivity axis).
+    #[must_use]
+    pub fn with_saas_fraction(mut self, fraction: f64) -> Self {
+        self.saas_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Adds extra servers beyond the provisioned budgets to model oversubscription (Fig. 21):
+    /// the budgets stay fixed while `extra_fraction` more racks are installed per row.
+    #[must_use]
+    pub fn with_oversubscription(mut self, extra_fraction: f64) -> Self {
+        let base = self.layout.racks_per_row as f64;
+        let extra = (base * extra_fraction).round() as usize;
+        // Keep the budgets at the original provisioning by shrinking the provisioning
+        // fractions in proportion to the added racks.
+        let scale = base / (base + extra as f64);
+        self.layout.racks_per_row += extra;
+        self.layout.row_power_provisioning *= scale;
+        self.layout.aisle_airflow_provisioning *= scale;
+        self
+    }
+
+    /// Total number of servers in the configured layout.
+    #[must_use]
+    pub fn server_count(&self) -> usize {
+        self.layout.server_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_scale() {
+        assert_eq!(ExperimentConfig::small_smoke_test().server_count(), 8);
+        assert_eq!(ExperimentConfig::real_cluster_hour(Policy::Tapas).server_count(), 80);
+        assert_eq!(ExperimentConfig::production_week(Policy::Tapas).server_count(), 1040);
+        assert_eq!(ExperimentConfig::medium(Policy::Baseline).policy, Policy::Baseline);
+    }
+
+    #[test]
+    fn saas_fraction_is_clamped() {
+        let config = ExperimentConfig::small_smoke_test().with_saas_fraction(1.4);
+        assert_eq!(config.saas_fraction, 1.0);
+        let config = ExperimentConfig::small_smoke_test().with_saas_fraction(-0.2);
+        assert_eq!(config.saas_fraction, 0.0);
+    }
+
+    #[test]
+    fn oversubscription_adds_racks_but_keeps_budgets() {
+        let base = ExperimentConfig::real_cluster_hour(Policy::Baseline);
+        let over = base.clone().with_oversubscription(0.4);
+        assert!(over.server_count() > base.server_count());
+        // Budgets stay roughly the same: provisioning fraction × racks is constant.
+        let base_budget = base.layout.racks_per_row as f64 * base.layout.row_power_provisioning;
+        let over_budget = over.layout.racks_per_row as f64 * over.layout.row_power_provisioning;
+        assert!((base_budget - over_budget).abs() < 1e-9);
+        // Zero oversubscription changes nothing.
+        let same = base.clone().with_oversubscription(0.0);
+        assert_eq!(same.server_count(), base.server_count());
+    }
+}

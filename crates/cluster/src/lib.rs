@@ -1,0 +1,43 @@
+//! # cluster-sim — end-to-end cluster simulator for the TAPAS reproduction
+//!
+//! This crate wires the substrates together into the discrete-time simulator the paper uses
+//! for its evaluation (§5.1): the datacenter physics engine (`dc-sim`), the LLM profiles and
+//! engine (`llm-sim`), the workload generators (`workload`) and the TAPAS policies (`tapas`).
+//!
+//! * [`experiment`] — experiment configuration: cluster size, policy, IaaS/SaaS mix,
+//!   oversubscription level, climate, failure schedule, duration and step.
+//! * [`simulator`] — the step loop: VM arrivals/retirements and placement, endpoint request
+//!   routing, instance configuration, IaaS load replay, physics evaluation, throttling/capping
+//!   bookkeeping and weekly profile refinement.
+//! * [`metrics`] — per-run report: time series of maximum GPU temperature and peak row power,
+//!   event counts, capped-time fractions, SLO attainment and average result quality.
+//! * [`placement_study`] — the random-placement study of Fig. 11.
+//! * [`oversubscription`] — the oversubscription sweep of Fig. 21.
+//! * [`emergency`] — the failure-management comparison of Table 2.
+//!
+//! # Example
+//!
+//! ```
+//! use cluster_sim::experiment::ExperimentConfig;
+//! use cluster_sim::simulator::ClusterSimulator;
+//! use tapas::policy::Policy;
+//!
+//! let mut config = ExperimentConfig::small_smoke_test();
+//! config.policy = Policy::Tapas;
+//! let report = ClusterSimulator::new(config).run();
+//! assert!(report.max_gpu_temp.peak().unwrap() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod emergency;
+pub mod experiment;
+pub mod metrics;
+pub mod oversubscription;
+pub mod placement_study;
+pub mod simulator;
+
+pub use experiment::ExperimentConfig;
+pub use metrics::RunReport;
+pub use simulator::ClusterSimulator;

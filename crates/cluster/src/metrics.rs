@@ -1,0 +1,226 @@
+//! Per-run metrics report.
+
+use serde::{Deserialize, Serialize};
+use simkit::events::{EventKind, EventLog};
+use simkit::series::TimeSeries;
+use simkit::stats::Summary;
+use simkit::time::{SimDuration, SimTime};
+
+/// Everything a simulation run records.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// The policy label the run used.
+    pub policy: String,
+    /// Simulated horizon.
+    pub horizon: SimTime,
+    /// Step length.
+    pub step: SimDuration,
+    /// Maximum GPU temperature per step (°C).
+    pub max_gpu_temp: TimeSeries,
+    /// Peak row power per step (kW).
+    pub peak_row_power: TimeSeries,
+    /// Total datacenter power per step (kW).
+    pub datacenter_power: TimeSeries,
+    /// Mean SaaS instance utilization per step.
+    pub saas_utilization: TimeSeries,
+    /// Provisioned row power budget (kW) of the most-loaded row, for normalization.
+    pub row_power_budget_kw: f64,
+    /// GPU throttle temperature (°C), for normalization.
+    pub gpu_throttle_temp_c: f64,
+    /// Events recorded during the run (throttling, capping, reconfigurations, …).
+    pub events: EventLog,
+    /// Per-request latency factors observed (latency relative to the unloaded latency).
+    pub latency_factors: Vec<f64>,
+    /// Per-request result quality observed.
+    pub request_quality: Vec<f64>,
+    /// Total requests served.
+    pub requests_served: u64,
+    /// Requests that violated their latency SLO.
+    pub slo_violations: u64,
+}
+
+impl RunReport {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new(policy: &str, horizon: SimTime, step: SimDuration) -> Self {
+        Self {
+            policy: policy.to_string(),
+            horizon,
+            step,
+            max_gpu_temp: TimeSeries::new("max GPU temperature (°C)"),
+            peak_row_power: TimeSeries::new("peak row power (kW)"),
+            datacenter_power: TimeSeries::new("datacenter power (kW)"),
+            saas_utilization: TimeSeries::new("mean SaaS utilization"),
+            row_power_budget_kw: 0.0,
+            gpu_throttle_temp_c: 85.0,
+            events: EventLog::new(),
+            latency_factors: Vec::new(),
+            request_quality: Vec::new(),
+            requests_served: 0,
+            slo_violations: 0,
+        }
+    }
+
+    /// Peak of the maximum-GPU-temperature series over the whole run.
+    #[must_use]
+    pub fn peak_temperature_c(&self) -> f64 {
+        self.max_gpu_temp.peak().unwrap_or(0.0)
+    }
+
+    /// Peak of the peak-row-power series over the whole run.
+    #[must_use]
+    pub fn peak_row_power_kw(&self) -> f64 {
+        self.peak_row_power.peak().unwrap_or(0.0)
+    }
+
+    /// Peak row power normalized by the row budget.
+    #[must_use]
+    pub fn normalized_peak_power(&self) -> f64 {
+        if self.row_power_budget_kw > 0.0 {
+            self.peak_row_power_kw() / self.row_power_budget_kw
+        } else {
+            0.0
+        }
+    }
+
+    /// Peak temperature normalized by the GPU throttle temperature.
+    #[must_use]
+    pub fn normalized_peak_temperature(&self) -> f64 {
+        if self.gpu_throttle_temp_c > 0.0 {
+            self.peak_temperature_c() / self.gpu_throttle_temp_c
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of steps during which at least one GPU was thermally throttled.
+    #[must_use]
+    pub fn thermal_capped_time_fraction(&self) -> f64 {
+        self.events
+            .fraction_of_time(EventKind::ThermalThrottle, self.horizon, self.step)
+    }
+
+    /// Fraction of steps during which at least one power-hierarchy level was capped.
+    #[must_use]
+    pub fn power_capped_time_fraction(&self) -> f64 {
+        self.events.fraction_of_time(EventKind::PowerCap, self.horizon, self.step)
+    }
+
+    /// P99 of the observed latency factors (1.0 = unloaded latency; the SLO is 5.0).
+    #[must_use]
+    pub fn p99_latency_factor(&self) -> f64 {
+        simkit::stats::percentile(&self.latency_factors, 99.0).unwrap_or(1.0)
+    }
+
+    /// Fraction of requests that met the latency SLO.
+    #[must_use]
+    pub fn slo_attainment(&self) -> f64 {
+        if self.requests_served == 0 {
+            1.0
+        } else {
+            1.0 - self.slo_violations as f64 / self.requests_served as f64
+        }
+    }
+
+    /// Mean result quality across requests (1.0 when every request hit the full-size model).
+    #[must_use]
+    pub fn mean_quality(&self) -> f64 {
+        simkit::stats::mean(&self.request_quality).unwrap_or(1.0)
+    }
+
+    /// Summary of the maximum-temperature series.
+    ///
+    /// # Panics
+    /// Panics if the run recorded no steps.
+    #[must_use]
+    pub fn temperature_summary(&self) -> Summary {
+        self.max_gpu_temp.summary()
+    }
+
+    /// One-line textual summary used by the bench harnesses.
+    #[must_use]
+    pub fn one_liner(&self) -> String {
+        format!(
+            "{:<14} peak_temp={:6.1}C peak_row_power={:7.1}kW norm_power={:5.3} thermal_capped={:6.3}% power_capped={:6.3}% p99_latency={:5.2}x quality={:5.3}",
+            self.policy,
+            self.peak_temperature_c(),
+            self.peak_row_power_kw(),
+            self.normalized_peak_power(),
+            self.thermal_capped_time_fraction() * 100.0,
+            self.power_capped_time_fraction() * 100.0,
+            self.p99_latency_factor(),
+            self.mean_quality(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::events::Event;
+
+    fn report_with_data() -> RunReport {
+        let mut report = RunReport::new(
+            "TAPAS",
+            SimTime::from_minutes(20),
+            SimDuration::from_minutes(5),
+        );
+        report.row_power_budget_kw = 200.0;
+        for i in 0..4u64 {
+            let t = SimTime::from_minutes(i * 5);
+            report.max_gpu_temp.push(t, 60.0 + i as f64);
+            report.peak_row_power.push(t, 150.0 + i as f64 * 10.0);
+            report.datacenter_power.push(t, 400.0);
+            report.saas_utilization.push(t, 0.5);
+        }
+        report.events.record(Event {
+            time: SimTime::from_minutes(5),
+            kind: EventKind::ThermalThrottle,
+            entity: "server-1".into(),
+            magnitude: 2.0,
+            detail: String::new(),
+        });
+        report.latency_factors = vec![1.0, 1.2, 2.0, 8.0];
+        report.request_quality = vec![1.0, 1.0, 0.72, 1.0];
+        report.requests_served = 4;
+        report.slo_violations = 1;
+        report
+    }
+
+    #[test]
+    fn aggregates_are_consistent() {
+        let report = report_with_data();
+        assert_eq!(report.peak_temperature_c(), 63.0);
+        assert_eq!(report.peak_row_power_kw(), 180.0);
+        assert!((report.normalized_peak_power() - 0.9).abs() < 1e-12);
+        assert!((report.normalized_peak_temperature() - 63.0 / 85.0).abs() < 1e-12);
+        assert!((report.thermal_capped_time_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(report.power_capped_time_fraction(), 0.0);
+        assert!((report.slo_attainment() - 0.75).abs() < 1e-12);
+        assert!((report.mean_quality() - 0.93).abs() < 1e-12);
+        assert!(report.p99_latency_factor() > 7.0);
+        assert_eq!(report.temperature_summary().count, 4);
+        let line = report.one_liner();
+        assert!(line.contains("TAPAS"));
+        assert!(line.contains("peak_temp"));
+    }
+
+    #[test]
+    fn empty_report_defaults() {
+        let report = RunReport::new("Baseline", SimTime::from_hours(1), SimDuration::from_minutes(5));
+        assert_eq!(report.peak_temperature_c(), 0.0);
+        assert_eq!(report.normalized_peak_power(), 0.0);
+        assert_eq!(report.slo_attainment(), 1.0);
+        assert_eq!(report.mean_quality(), 1.0);
+        assert_eq!(report.p99_latency_factor(), 1.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let report = report_with_data();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.policy, report.policy);
+        assert_eq!(back.requests_served, report.requests_served);
+    }
+}

@@ -1,0 +1,717 @@
+//! The discrete-time cluster simulation loop.
+//!
+//! One step (1–10 simulated minutes) performs, in order: VM retirements and placements,
+//! endpoint request routing, instance reconfiguration, IaaS load replay, datacenter physics
+//! evaluation (temperatures, powers, airflow, capping), metric recording, and carry-over of
+//! throttling/capping effects into the next step — the same control structure the paper's
+//! simulator uses (§5.1).
+
+use crate::experiment::ExperimentConfig;
+use crate::metrics::RunReport;
+use dc_sim::engine::{Datacenter, ServerActivity, StepInput};
+use dc_sim::ids::{AisleId, RowId};
+use dc_sim::weather::WeatherModel;
+use llm_sim::config::InstanceConfig;
+use llm_sim::hardware::GpuHardware;
+use llm_sim::request::{CustomerId, InferenceRequest, RequestId};
+use simkit::events::EventKind;
+use simkit::rng::SimRng;
+use simkit::time::{SimClock, SimTime};
+use simkit::units::{Celsius, CubicFeetPerMinute, Kilowatts, Watts};
+use std::collections::{BTreeMap, VecDeque};
+use tapas::configurator::{InstanceConfigurator, InstanceLimits};
+use tapas::placement::{BaselinePlacement, PlacementRequest, TapasPlacement, VmPlacementPolicy};
+use tapas::profiles::ProfileStore;
+use tapas::routing::{
+    BaselineRouter, InstanceSnapshot, RequestRouterPolicy, RoutingContext, TapasRouter,
+};
+use tapas::state::ClusterState;
+use workload::arrivals::{ArrivalConfig, VmArrivalGenerator};
+use workload::diurnal::DiurnalPattern;
+use workload::endpoints::{EndpointCatalog, EndpointId};
+use workload::iaas::IaasLoadModel;
+use workload::vm::{Vm, VmId, VmKind};
+
+/// Mean tokens processed per request (prompt + output) used to convert request rates into
+/// token throughput demands.
+const MEAN_TOKENS_PER_REQUEST: f64 = 712.0;
+/// Latency factor assigned to requests on an overloaded instance.
+const OVERLOAD_LATENCY_FACTOR: f64 = 12.0;
+/// The SLO expressed as a latency factor over the unloaded latency.
+const SLO_LATENCY_FACTOR: f64 = 5.0;
+
+/// Runtime state of one SaaS instance.
+#[derive(Debug, Clone)]
+struct InstanceRuntime {
+    endpoint: EndpointId,
+    config: InstanceConfig,
+    utilization: f64,
+    outstanding: usize,
+    recent_customers: VecDeque<CustomerId>,
+    transition_until: Option<SimTime>,
+}
+
+/// The end-to-end cluster simulator.
+#[derive(Debug)]
+pub struct ClusterSimulator {
+    config: ExperimentConfig,
+    dc: Datacenter,
+    profiles: ProfileStore,
+    state: ClusterState,
+    weather: WeatherModel,
+    catalog: EndpointCatalog,
+    iaas_model: IaasLoadModel,
+    endpoint_patterns: BTreeMap<EndpointId, DiurnalPattern>,
+    pending: VecDeque<Vm>,
+    instances: BTreeMap<VmId, InstanceRuntime>,
+    carryover_freq: Vec<f64>,
+    prev_row_power: BTreeMap<RowId, Kilowatts>,
+    prev_aisle_airflow: BTreeMap<AisleId, CubicFeetPerMinute>,
+    prev_dc_load: f64,
+    row_history: BTreeMap<RowId, Vec<(SimTime, f64)>>,
+    last_refinement: SimTime,
+    rng: SimRng,
+    next_request_id: u64,
+    report: RunReport,
+}
+
+impl ClusterSimulator {
+    /// Builds a simulator for an experiment configuration.
+    #[must_use]
+    pub fn new(config: ExperimentConfig) -> Self {
+        let layout = config.layout.build();
+        let dc = Datacenter::new(layout, config.seed);
+        let profiles = ProfileStore::offline_profiling(&dc, &GpuHardware::a100());
+        let state = ClusterState::new(dc.layout().server_count());
+        let weather = WeatherModel::new(config.climate, config.seed);
+
+        let saas_target =
+            (config.server_count() as f64 * config.initial_occupancy * config.saas_fraction)
+                .round() as usize;
+        let catalog = EndpointCatalog::evaluation(
+            config.endpoint_count.max(1),
+            config.requests_per_vm_per_minute,
+            config.seed,
+        )
+        .scaled_to_total_vms(saas_target.max(config.endpoint_count.max(1)));
+
+        let mut arrival_config = ArrivalConfig::evaluation_week(config.server_count());
+        arrival_config.saas_fraction = config.saas_fraction;
+        arrival_config.initial_population =
+            (config.server_count() as f64 * config.initial_occupancy).round() as usize;
+        arrival_config.horizon = config.duration;
+        let mut generator = VmArrivalGenerator::new(arrival_config, config.seed);
+        let pending: VecDeque<Vm> = generator.generate(&catalog).into();
+
+        let iaas_model = IaasLoadModel::new(12, config.seed);
+        let mut pattern_rng = SimRng::seed_from(config.seed).derive("endpoint-patterns");
+        let endpoint_patterns = catalog
+            .endpoints()
+            .iter()
+            .map(|e| {
+                (
+                    e.id,
+                    DiurnalPattern::interactive(config.seed ^ e.id.0)
+                        .with_peak_hour(pattern_rng.uniform(10.0, 20.0)),
+                )
+            })
+            .collect();
+
+        let mut report = RunReport::new(config.policy.label(), config.duration, config.step);
+        report.row_power_budget_kw = dc
+            .layout()
+            .rows()
+            .iter()
+            .map(|r| r.power_budget.value())
+            .fold(0.0, f64::max);
+        report.gpu_throttle_temp_c = dc.layout().servers()[0].spec.gpu_throttle_temp_c;
+
+        let server_count = dc.layout().server_count();
+        Self {
+            rng: SimRng::seed_from(config.seed).derive("cluster-sim"),
+            dc,
+            profiles,
+            state,
+            weather,
+            catalog,
+            iaas_model,
+            endpoint_patterns,
+            pending,
+            instances: BTreeMap::new(),
+            carryover_freq: vec![1.0; server_count],
+            prev_row_power: BTreeMap::new(),
+            prev_aisle_airflow: BTreeMap::new(),
+            prev_dc_load: 0.5,
+            row_history: BTreeMap::new(),
+            last_refinement: SimTime::ZERO,
+            next_request_id: 0,
+            report,
+            config,
+        }
+    }
+
+    /// The profile store (exposed for tests and examples).
+    #[must_use]
+    pub fn profiles(&self) -> &ProfileStore {
+        &self.profiles
+    }
+
+    /// The datacenter under simulation.
+    #[must_use]
+    pub fn datacenter(&self) -> &Datacenter {
+        &self.dc
+    }
+
+    /// Runs the whole experiment and returns the report.
+    #[must_use]
+    pub fn run(mut self) -> RunReport {
+        let mut clock = SimClock::new(self.config.step, self.config.duration);
+        loop {
+            let now = clock.now();
+            self.step(now);
+            if clock.tick().is_none() {
+                break;
+            }
+        }
+        self.report
+    }
+
+    /// Predicted peak mean-GPU load for a VM (from the customer's or endpoint's history).
+    fn predicted_peak_load(&self, vm: &Vm) -> f64 {
+        match vm.kind {
+            VmKind::Iaas { customer } => self.iaas_model.predicted_peak(customer),
+            VmKind::Saas { .. } => 0.9,
+        }
+    }
+
+    fn place_pending_vms(&mut self, now: SimTime) {
+        let baseline = BaselinePlacement;
+        let tapas = TapasPlacement::default();
+        while let Some(front) = self.pending.front() {
+            if front.arrival > now {
+                break;
+            }
+            let vm = self.pending.pop_front().expect("front checked");
+            if vm.departure() <= now {
+                continue;
+            }
+            let request = PlacementRequest { vm, predicted_peak_load: self.predicted_peak_load(&vm) };
+            let layout = self.dc.layout();
+            let chosen = if self.config.policy.placement_enabled() {
+                tapas.place(&request, &self.state, layout, &self.profiles)
+            } else {
+                baseline.place(&request, &self.state, layout, &self.profiles)
+            };
+            match chosen {
+                Some(server) => {
+                    let config = match vm.kind {
+                        VmKind::Saas { endpoint } => {
+                            let default = self
+                                .catalog
+                                .get(endpoint)
+                                .map(|e| e.default_config)
+                                .unwrap_or_else(InstanceConfig::default_70b);
+                            self.instances.insert(
+                                vm.id,
+                                InstanceRuntime {
+                                    endpoint,
+                                    config: default,
+                                    utilization: 0.0,
+                                    outstanding: 0,
+                                    recent_customers: VecDeque::new(),
+                                    transition_until: None,
+                                },
+                            );
+                            Some(default)
+                        }
+                        VmKind::Iaas { .. } => None,
+                    };
+                    self.state
+                        .place(vm, server, request.predicted_peak_load, config)
+                        .expect("chosen server is free");
+                    self.report.events.record_kind(
+                        now,
+                        EventKind::VmPlaced,
+                        vm.id.to_string(),
+                        0.0,
+                        format!("on {server}"),
+                    );
+                }
+                None => {
+                    self.report.events.record_kind(
+                        now,
+                        EventKind::VmRejected,
+                        vm.id.to_string(),
+                        0.0,
+                        "no feasible server",
+                    );
+                }
+            }
+        }
+    }
+
+    fn retire_vms(&mut self, now: SimTime) {
+        for retired in self.state.retire_expired(now) {
+            self.instances.remove(&retired.vm.id);
+            self.report.events.record_kind(
+                now,
+                EventKind::VmRetired,
+                retired.vm.id.to_string(),
+                0.0,
+                "",
+            );
+        }
+    }
+
+    /// Routes this step's requests for every endpoint, updating instance utilization and
+    /// recording latency/quality samples.
+    fn route_requests(&mut self, now: SimTime, outside: Celsius) {
+        let step_minutes = self.config.step.as_minutes() as f64;
+        let router_tapas = TapasRouter::default();
+        let router_baseline = BaselineRouter;
+        let context = RoutingContext {
+            outside_temp: outside,
+            dc_load: self.prev_dc_load,
+            row_power: self.prev_row_power.clone(),
+            aisle_airflow: self.prev_aisle_airflow.clone(),
+        };
+
+        // Reset per-step offered load.
+        let mut offered_requests: BTreeMap<VmId, f64> = BTreeMap::new();
+
+        let endpoint_ids: Vec<EndpointId> = self.catalog.endpoints().iter().map(|e| e.id).collect();
+        for endpoint_id in endpoint_ids {
+            let endpoint = self.catalog.get(endpoint_id).expect("known endpoint").clone();
+            let pattern = &self.endpoint_patterns[&endpoint_id];
+            let rate_per_minute = endpoint.peak_requests_per_minute * pattern.load_at(now);
+            let total_requests = rate_per_minute * step_minutes;
+            if total_requests <= 0.0 {
+                continue;
+            }
+
+            // Snapshots of this endpoint's instances.
+            let snapshots: Vec<InstanceSnapshot> = self
+                .instances
+                .iter()
+                .filter(|(_, runtime)| runtime.endpoint == endpoint_id)
+                .filter_map(|(&vm_id, runtime)| {
+                    self.state.server_of(vm_id).map(|server| InstanceSnapshot {
+                        vm: vm_id,
+                        server,
+                        outstanding_requests: runtime.outstanding,
+                        utilization: runtime.utilization,
+                        recent_customers: runtime.recent_customers.iter().copied().collect(),
+                        config: runtime.config,
+                        in_transition: runtime
+                            .transition_until
+                            .map(|until| until > now)
+                            .unwrap_or(false),
+                    })
+                })
+                .collect();
+            if snapshots.is_empty() {
+                continue;
+            }
+
+            // Route the step's load in quanta to keep routing cost bounded while still
+            // exercising the policy's ordering.
+            let quanta = (snapshots.len() * 2).clamp(1, 64);
+            let requests_per_quantum = total_requests / quanta as f64;
+            // Per-instance request capacity for this step, so live snapshots can track how
+            // much utilization each routed quantum adds.
+            let capacity_requests: BTreeMap<VmId, f64> = snapshots
+                .iter()
+                .map(|s| {
+                    let goodput = self
+                        .profiles
+                        .llm
+                        .profiles
+                        .iter()
+                        .find(|p| p.config == s.config)
+                        .map(|p| p.goodput_tokens_per_s)
+                        .unwrap_or(1000.0);
+                    (s.vm, (goodput * step_minutes * 60.0 / MEAN_TOKENS_PER_REQUEST).max(1.0))
+                })
+                .collect();
+            let mut live_snapshots = snapshots.clone();
+            for _ in 0..quanta {
+                let customer = CustomerId(self.rng.next_u64() % endpoint.customers.max(1));
+                let request = InferenceRequest {
+                    id: RequestId(self.next_request_id),
+                    customer,
+                    arrival: now,
+                    prompt_tokens: 512,
+                    output_tokens: 200,
+                };
+                self.next_request_id += 1;
+                let choice = if self.config.policy.routing_enabled() {
+                    router_tapas.route(&request, &live_snapshots, &self.profiles, &context)
+                } else {
+                    router_baseline.route(&request, &live_snapshots, &self.profiles, &context)
+                };
+                let Some(vm_id) = choice else { continue };
+                *offered_requests.entry(vm_id).or_insert(0.0) += requests_per_quantum;
+                // Update the live snapshot so subsequent quanta see the added load (both the
+                // outstanding count and the utilization the quantum will cause).
+                if let Some(snapshot) = live_snapshots.iter_mut().find(|s| s.vm == vm_id) {
+                    snapshot.outstanding_requests += requests_per_quantum.ceil() as usize;
+                    let capacity = capacity_requests.get(&vm_id).copied().unwrap_or(1.0);
+                    snapshot.utilization =
+                        (snapshot.utilization + requests_per_quantum / capacity).min(1.5);
+                    if !snapshot.recent_customers.contains(&customer) {
+                        snapshot.recent_customers.push(customer);
+                    }
+                }
+                if let Some(runtime) = self.instances.get_mut(&vm_id) {
+                    runtime.recent_customers.push_back(customer);
+                    while runtime.recent_customers.len() > 32 {
+                        runtime.recent_customers.pop_front();
+                    }
+                }
+            }
+        }
+
+        // Convert offered load to utilization and record latency/quality samples.
+        let step_seconds = step_minutes * 60.0;
+        for (&vm_id, runtime) in self.instances.iter_mut() {
+            let offered = offered_requests.get(&vm_id).copied().unwrap_or(0.0);
+            let offered_tokens_per_s = offered * MEAN_TOKENS_PER_REQUEST / step_seconds;
+            let goodput = self
+                .profiles
+                .llm
+                .profiles
+                .iter()
+                .find(|p| p.config == runtime.config)
+                .map(|p| p.goodput_tokens_per_s)
+                .unwrap_or(1.0)
+                .max(1.0);
+            let in_transition = runtime
+                .transition_until
+                .map(|until| until > now)
+                .unwrap_or(false);
+            let effective_goodput = if in_transition { goodput * 0.5 } else { goodput };
+            let utilization = (offered_tokens_per_s / effective_goodput).min(1.5);
+            runtime.utilization = utilization.min(1.0);
+            runtime.outstanding = offered.ceil() as usize;
+
+            if offered > 0.0 {
+                let latency_factor = if utilization >= 1.0 {
+                    OVERLOAD_LATENCY_FACTOR
+                } else {
+                    (1.0 / (1.0 - utilization)).min(OVERLOAD_LATENCY_FACTOR)
+                };
+                let quality = runtime.config.quality();
+                let requests = offered.round().max(1.0) as u64;
+                self.report.requests_served += requests;
+                if latency_factor > SLO_LATENCY_FACTOR {
+                    self.report.slo_violations += requests;
+                    self.report.events.record_kind(
+                        now,
+                        EventKind::SloViolation,
+                        vm_id.to_string(),
+                        latency_factor,
+                        "",
+                    );
+                }
+                self.report.latency_factors.push(latency_factor);
+                self.report.request_quality.push(quality);
+                if quality < 0.99 {
+                    self.report.events.record_kind(
+                        now,
+                        EventKind::QualityDegraded,
+                        vm_id.to_string(),
+                        quality,
+                        "",
+                    );
+                }
+            }
+        }
+    }
+
+    /// Reconfigures SaaS instances within their thermal/power headroom (§4.3).
+    fn reconfigure_instances(&mut self, now: SimTime, outside: Celsius) {
+        if !self.config.policy.config_enabled() {
+            return;
+        }
+        let configurator = InstanceConfigurator::new(0.9);
+        let layout = self.dc.layout().clone();
+
+        // Count SaaS instances per row to share row headroom.
+        let mut saas_per_row: BTreeMap<RowId, usize> = BTreeMap::new();
+        for (&vm_id, _) in self.instances.iter() {
+            if let Some(server) = self.state.server_of(vm_id) {
+                *saas_per_row.entry(layout.server(server).row).or_insert(0) += 1;
+            }
+        }
+
+        let vm_ids: Vec<VmId> = self.instances.keys().copied().collect();
+        for vm_id in vm_ids {
+            let Some(server) = self.state.server_of(vm_id) else { continue };
+            let runtime = self.instances.get(&vm_id).expect("known instance").clone();
+            let profile = self.profiles.server(server);
+            let row = layout.server(server).row;
+
+            // Thermal headroom -> per-GPU power budget.
+            let inlet = profile.predicted_inlet(outside, self.prev_dc_load);
+            let max_gpu_power =
+                profile.gpu_power_budget(inlet, self.profiles.thermal_headroom_target);
+
+            // Row power headroom -> per-instance server power budget.
+            let row_budget = self.profiles.budgets.row_power[&row];
+            let row_now = self
+                .prev_row_power
+                .get(&row)
+                .copied()
+                .unwrap_or(Kilowatts::ZERO);
+            let headroom = row_budget * 0.97 - row_now;
+            let share = headroom / saas_per_row.get(&row).copied().unwrap_or(1).max(1) as f64;
+            let current_power = profile.predicted_power(runtime.utilization);
+            let max_server_power =
+                Kilowatts::new((current_power + share).value().max(0.3));
+
+            let goodput = self
+                .profiles
+                .llm
+                .profiles
+                .iter()
+                .find(|p| p.config == runtime.config)
+                .map(|p| p.goodput_tokens_per_s)
+                .unwrap_or(1000.0);
+            let limits = InstanceLimits {
+                max_gpu_power: Watts::new(max_gpu_power.value().max(1.0)),
+                max_server_power,
+                demand_tokens_per_s: runtime.utilization * goodput,
+            };
+            let decision = configurator.select(&runtime.config, &limits, &self.profiles);
+            if decision.config != runtime.config {
+                let downtime = decision.cost.downtime_seconds();
+                let runtime_mut = self.instances.get_mut(&vm_id).expect("known instance");
+                runtime_mut.config = decision.config;
+                if downtime > 0.0 {
+                    runtime_mut.transition_until = Some(now + self.config.step);
+                }
+                self.state.set_config(vm_id, decision.config).expect("placed instance");
+                self.report.events.record_kind(
+                    now,
+                    EventKind::InstanceReconfigured,
+                    vm_id.to_string(),
+                    downtime,
+                    format!("-> {}", decision.config),
+                );
+            }
+        }
+    }
+
+    /// Builds the per-server activity for the physics engine.
+    fn build_activity(&self, now: SimTime) -> Vec<ServerActivity> {
+        let layout = self.dc.layout();
+        layout
+            .servers()
+            .iter()
+            .map(|server| {
+                let gpus = server.spec.gpus_per_server;
+                let carry = self.carryover_freq[server.id.index()];
+                match self.state.vm_on(server.id) {
+                    None => ServerActivity::idle(gpus),
+                    Some(placed) => match placed.vm.kind {
+                        VmKind::Iaas { .. } => {
+                            let load = self.iaas_model.load_at(&placed.vm, now);
+                            ServerActivity {
+                                gpu_utilization: vec![load; gpus],
+                                frequency_scale: vec![carry; gpus],
+                                memory_boundedness: 0.5,
+                            }
+                        }
+                        VmKind::Saas { .. } => {
+                            let Some(runtime) = self.instances.get(&placed.vm.id) else {
+                                return ServerActivity::idle(gpus);
+                            };
+                            let profile = self
+                                .profiles
+                                .llm
+                                .profiles
+                                .iter()
+                                .find(|p| p.config == runtime.config);
+                            let (sat_util, boundedness) = profile
+                                .map(|p| (p.decode.gpu_utilization, p.decode.memory_boundedness))
+                                .unwrap_or((0.6, 0.7));
+                            let active_gpus = runtime.config.parallelism.gpus().min(gpus);
+                            let util = (sat_util * runtime.utilization).clamp(0.0, 1.0);
+                            let freq = runtime.config.frequency.value() * carry;
+                            let mut gpu_utilization = vec![0.0; gpus];
+                            let mut frequency_scale = vec![1.0; gpus];
+                            for slot in 0..active_gpus {
+                                gpu_utilization[slot] = util;
+                                frequency_scale[slot] = freq;
+                            }
+                            ServerActivity {
+                                gpu_utilization,
+                                frequency_scale,
+                                memory_boundedness: boundedness,
+                            }
+                        }
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// One simulation step.
+    fn step(&mut self, now: SimTime) {
+        let outside = self.weather.outside_temp(now);
+        self.retire_vms(now);
+        self.place_pending_vms(now);
+        self.route_requests(now, outside);
+        self.reconfigure_instances(now, outside);
+
+        let activity = self.build_activity(now);
+        let failures = self.config.failures.state_at(now);
+        let input = StepInput { outside_temp: outside, activity, failures };
+        let outcome = self.dc.evaluate(&input);
+
+        // Record metrics.
+        self.report
+            .max_gpu_temp
+            .push(now, outcome.max_gpu_temp().value());
+        self.report
+            .peak_row_power
+            .push(now, outcome.peak_row_power().value());
+        self.report
+            .datacenter_power
+            .push(now, outcome.power.datacenter.draw.value());
+        let mean_saas_util = if self.instances.is_empty() {
+            0.0
+        } else {
+            self.instances.values().map(|r| r.utilization).sum::<f64>()
+                / self.instances.len() as f64
+        };
+        self.report.saas_utilization.push(now, mean_saas_util);
+
+        for throttle in &outcome.thermal_throttles {
+            self.report.events.record_kind(
+                now,
+                EventKind::ThermalThrottle,
+                throttle.gpu.to_string(),
+                throttle.temperature.value() - self.report.gpu_throttle_temp_c,
+                "",
+            );
+        }
+        for row in outcome.power.over_budget_rows() {
+            self.report.events.record_kind(
+                now,
+                EventKind::PowerCap,
+                row.to_string(),
+                outcome.power.rows[&row].utilization,
+                "",
+            );
+        }
+        for (aisle, assessment) in &outcome.aisle_airflow {
+            if assessment.is_violated() {
+                self.report.events.record_kind(
+                    now,
+                    EventKind::AirflowViolation,
+                    aisle.to_string(),
+                    assessment.utilization,
+                    "",
+                );
+            }
+        }
+
+        // Carry throttling and capping into the next step's effective frequency, and let
+        // unaffected servers recover.
+        let mut next_freq = vec![1.0f64; self.carryover_freq.len()];
+        for throttle in &outcome.thermal_throttles {
+            let idx = throttle.gpu.server.index();
+            next_freq[idx] = next_freq[idx].min(throttle.frequency_scale);
+        }
+        for directive in &outcome.power.capping {
+            let idx = directive.server.index();
+            next_freq[idx] = next_freq[idx].min(directive.power_fraction.cbrt());
+        }
+        self.carryover_freq = next_freq;
+
+        // Infrastructure state the router and configurator will see next step.
+        self.prev_row_power = outcome.row_power();
+        self.prev_aisle_airflow = outcome
+            .aisle_airflow
+            .iter()
+            .map(|(&aisle, assessment)| (aisle, assessment.demand))
+            .collect();
+        self.prev_dc_load = outcome.datacenter_load;
+
+        // Weekly refinement of the row power templates (§4.5).
+        for (row, power) in outcome.row_power() {
+            self.row_history
+                .entry(row)
+                .or_default()
+                .push((now, power.value()));
+        }
+        if (now - self.last_refinement).as_days() >= 7.0 {
+            self.profiles.refine_row_templates(&self.row_history);
+            self.row_history.clear();
+            self.last_refinement = now;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::ExperimentConfig;
+    use tapas::policy::Policy;
+
+    #[test]
+    fn smoke_test_runs_and_records_metrics() {
+        let report = ClusterSimulator::new(ExperimentConfig::small_smoke_test()).run();
+        assert_eq!(report.max_gpu_temp.len(), 24 + 1);
+        assert!(report.peak_temperature_c() > 20.0);
+        assert!(report.peak_row_power_kw() > 0.0);
+        assert!(report.events.count(EventKind::VmPlaced) > 0);
+        assert!(report.requests_served > 0);
+        assert!(report.mean_quality() > 0.5);
+    }
+
+    #[test]
+    fn tapas_policy_runs_on_small_cluster() {
+        let mut config = ExperimentConfig::small_smoke_test();
+        config.policy = Policy::Tapas;
+        let report = ClusterSimulator::new(config).run();
+        assert_eq!(report.policy, "TAPAS");
+        assert!(report.peak_temperature_c() > 20.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = ClusterSimulator::new(ExperimentConfig::small_smoke_test()).run();
+        let b = ClusterSimulator::new(ExperimentConfig::small_smoke_test()).run();
+        assert_eq!(a.max_gpu_temp.values(), b.max_gpu_temp.values());
+        assert_eq!(a.peak_row_power.values(), b.peak_row_power.values());
+        assert_eq!(a.requests_served, b.requests_served);
+    }
+
+    #[test]
+    fn different_policies_produce_different_trajectories() {
+        let baseline = ClusterSimulator::new(ExperimentConfig::small_smoke_test()).run();
+        let mut config = ExperimentConfig::small_smoke_test();
+        config.policy = Policy::Tapas;
+        let tapas = ClusterSimulator::new(config).run();
+        assert_ne!(baseline.policy, tapas.policy);
+        // The trajectories should not be identical (placement and routing differ).
+        assert!(
+            baseline.peak_row_power.values() != tapas.peak_row_power.values()
+                || baseline.max_gpu_temp.values() != tapas.max_gpu_temp.values()
+        );
+    }
+
+    #[test]
+    fn failure_schedule_is_honoured() {
+        let mut config = ExperimentConfig::small_smoke_test();
+        config.failures = dc_sim::failures::FailureSchedule::none()
+            .with_power_emergency(SimTime::from_minutes(30), SimTime::from_minutes(90));
+        let report = ClusterSimulator::new(config).run();
+        // During the emergency the reduced capacity should trigger capping on a loaded
+        // cluster, or at least be recorded as events if load is high enough; the run must in
+        // any case complete and keep recording.
+        assert_eq!(report.max_gpu_temp.len(), 25);
+    }
+}

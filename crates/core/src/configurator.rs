@@ -1,0 +1,316 @@
+//! The per-VM instance configurator (§4.3, §4.5 "Instance Configurator").
+//!
+//! For every SaaS instance, TAPAS periodically computes the maximum allowable per-GPU power
+//! (from the GPU temperature headroom via the fitted Eq. 2), server power (from the row power
+//! headroom) and airflow, then selects the configuration that maximizes goodput within those
+//! limits while honouring the endpoint's quality SLO. Changes that affect quality (model size
+//! or quantization) are a last resort: the configurator first tries frequency and batch-size
+//! changes (which apply online), then parallelism, and only then model downgrades — and it
+//! reports the reload downtime so the router can steer requests away during the transition.
+
+use crate::profiles::ProfileStore;
+use llm_sim::config::{InstanceConfig, ReconfigurationCost};
+use llm_sim::profile::ConfigProfile;
+use serde::{Deserialize, Serialize};
+use simkit::units::{Kilowatts, Watts};
+
+/// The budgets the configurator must keep one instance within.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstanceLimits {
+    /// Maximum per-GPU power (derived from the GPU temperature headroom).
+    pub max_gpu_power: Watts,
+    /// Maximum server power for the slice the instance occupies (derived from the row power
+    /// headroom).
+    pub max_server_power: Kilowatts,
+    /// Minimum goodput the instance should retain if possible (tokens/s of offered load).
+    pub demand_tokens_per_s: f64,
+}
+
+impl InstanceLimits {
+    /// Unconstrained limits (normal operation with ample headroom).
+    #[must_use]
+    pub fn unconstrained(demand_tokens_per_s: f64) -> Self {
+        Self {
+            max_gpu_power: Watts::new(f64::MAX),
+            max_server_power: Kilowatts::new(f64::MAX),
+            demand_tokens_per_s,
+        }
+    }
+}
+
+/// The configurator's decision for one instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfigDecision {
+    /// The configuration to run.
+    pub config: InstanceConfig,
+    /// The profiled behaviour of that configuration.
+    pub profile: ConfigProfile,
+    /// Cost of switching from the current configuration.
+    pub cost: ReconfigurationCost,
+    /// Whether the decision had to accept quality below the SLO to satisfy the limits.
+    pub quality_degraded: bool,
+}
+
+/// The TAPAS instance configurator.
+#[derive(Debug, Clone)]
+pub struct InstanceConfigurator {
+    /// Quality SLO in `[0, 1]`; configurations below it are last-resort only.
+    pub quality_slo: f64,
+}
+
+impl InstanceConfigurator {
+    /// Creates a configurator with the endpoint's quality SLO.
+    #[must_use]
+    pub fn new(quality_slo: f64) -> Self {
+        Self { quality_slo: quality_slo.clamp(0.0, 1.0) }
+    }
+
+    /// Returns `true` if a profile fits the limits.
+    fn fits(profile: &ConfigProfile, limits: &InstanceLimits) -> bool {
+        let hottest_gpu = profile
+            .prefill
+            .gpu_power
+            .value()
+            .max(profile.decode.gpu_power.value());
+        let server = profile
+            .prefill
+            .server_power
+            .value()
+            .max(profile.decode.server_power.value());
+        hottest_gpu <= limits.max_gpu_power.value() && server <= limits.max_server_power.value()
+    }
+
+    /// Selects the configuration for one instance.
+    ///
+    /// The candidate set is every profiled configuration that fits the limits. Within it the
+    /// configurator prefers, in order: (1) meeting the quality SLO, (2) meeting the offered
+    /// demand, (3) cheaper reconfiguration (no change, then online changes, then model
+    /// reloads — the paper's "last resort" rule), (4) higher goodput, (5) lower power. If
+    /// nothing fits the limits, the lowest-power configuration is returned (the closest the instance can get to compliance; the failure manager will
+    /// shed the remaining excess elsewhere).
+    #[must_use]
+    pub fn select(
+        &self,
+        current: &InstanceConfig,
+        limits: &InstanceLimits,
+        profiles: &ProfileStore,
+    ) -> ConfigDecision {
+        let all = &profiles.llm.profiles;
+        let fitting: Vec<&ConfigProfile> =
+            all.iter().filter(|p| Self::fits(p, limits)).collect();
+
+        let pick = |candidates: &[&ConfigProfile]| -> Option<ConfigProfile> {
+            candidates
+                .iter()
+                .max_by(|a, b| {
+                    let meets_demand_a = a.goodput_tokens_per_s >= limits.demand_tokens_per_s;
+                    let meets_demand_b = b.goodput_tokens_per_s >= limits.demand_tokens_per_s;
+                    let cost_rank = |p: &ConfigProfile| match current.reconfiguration_cost(&p.config) {
+                        ReconfigurationCost::None => 2,
+                        ReconfigurationCost::Online => 1,
+                        ReconfigurationCost::Reload { .. } => 0,
+                    };
+                    meets_demand_a
+                        .cmp(&meets_demand_b)
+                        .then(cost_rank(a).cmp(&cost_rank(b)))
+                        .then(
+                            a.goodput_tokens_per_s
+                                .partial_cmp(&b.goodput_tokens_per_s)
+                                .expect("finite goodput"),
+                        )
+                        .then(
+                            b.blended_server_power(0.7)
+                                .value()
+                                .partial_cmp(&a.blended_server_power(0.7).value())
+                                .expect("finite power"),
+                        )
+                })
+                .map(|p| **p)
+        };
+
+        // First try within the quality SLO.
+        let within_quality: Vec<&ConfigProfile> = fitting
+            .iter()
+            .copied()
+            .filter(|p| p.quality >= self.quality_slo)
+            .collect();
+        if let Some(profile) = pick(&within_quality) {
+            return ConfigDecision {
+                config: profile.config,
+                cost: current.reconfiguration_cost(&profile.config),
+                quality_degraded: false,
+                profile,
+            };
+        }
+        // Quality SLO cannot be met within the limits: degrade quality (last resort).
+        if let Some(profile) = pick(&fitting) {
+            return ConfigDecision {
+                config: profile.config,
+                cost: current.reconfiguration_cost(&profile.config),
+                quality_degraded: true,
+                profile,
+            };
+        }
+        // Nothing fits at all: run the lowest-power configuration available.
+        let coolest = all
+            .iter()
+            .min_by(|a, b| {
+                a.blended_server_power(0.7)
+                    .value()
+                    .partial_cmp(&b.blended_server_power(0.7).value())
+                    .expect("finite power")
+            })
+            .copied()
+            .expect("profile sweep is never empty");
+        ConfigDecision {
+            config: coolest.config,
+            cost: current.reconfiguration_cost(&coolest.config),
+            quality_degraded: coolest.quality < self.quality_slo,
+            profile: coolest,
+        }
+    }
+
+    /// Convenience: the decision under no thermal/power pressure. Used by the baseline (which
+    /// never reconfigures) and at instance start-up.
+    #[must_use]
+    pub fn unconstrained(&self, current: &InstanceConfig, demand: f64, profiles: &ProfileStore) -> ConfigDecision {
+        self.select(current, &InstanceLimits::unconstrained(demand), profiles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_sim::engine::Datacenter;
+    use dc_sim::topology::LayoutConfig;
+    use llm_sim::hardware::GpuHardware;
+    use llm_sim::model::ModelSize;
+
+    fn profiles() -> ProfileStore {
+        let dc = Datacenter::new(LayoutConfig::small_test_cluster().build(), 42);
+        ProfileStore::offline_profiling(&dc, &GpuHardware::a100())
+    }
+
+    #[test]
+    fn unconstrained_selection_keeps_quality_and_high_goodput() {
+        let profiles = profiles();
+        let configurator = InstanceConfigurator::new(0.9);
+        let current = InstanceConfig::default_70b();
+        let decision = configurator.unconstrained(&current, 500.0, &profiles);
+        assert!(!decision.quality_degraded);
+        assert!(decision.profile.quality >= 0.9);
+        assert!(decision.profile.goodput_tokens_per_s >= 500.0);
+        assert_eq!(decision.config.variant.size, ModelSize::Llama2_70B);
+    }
+
+    #[test]
+    fn tight_gpu_power_budget_forces_a_cooler_configuration() {
+        let profiles = profiles();
+        let configurator = InstanceConfigurator::new(0.9);
+        let current = InstanceConfig::default_70b();
+        let unconstrained = configurator.unconstrained(&current, 100.0, &profiles);
+        let limits = InstanceLimits {
+            max_gpu_power: Watts::new(220.0),
+            max_server_power: Kilowatts::new(f64::MAX),
+            demand_tokens_per_s: 100.0,
+        };
+        let constrained = configurator.select(&current, &limits, &profiles);
+        let hottest = constrained
+            .profile
+            .prefill
+            .gpu_power
+            .value()
+            .max(constrained.profile.decode.gpu_power.value());
+        assert!(hottest <= 220.0);
+        assert!(
+            constrained.profile.goodput_tokens_per_s <= unconstrained.profile.goodput_tokens_per_s
+        );
+        // Quality stays within the SLO if at all possible.
+        assert!(constrained.profile.quality >= 0.9 || constrained.quality_degraded);
+    }
+
+    #[test]
+    fn severe_limits_degrade_quality_as_last_resort() {
+        let profiles = profiles();
+        let configurator = InstanceConfigurator::new(0.99);
+        let current = InstanceConfig::default_70b();
+        // A server power budget so low that no full-quality 70B FP16 configuration fits.
+        let limits = InstanceLimits {
+            max_gpu_power: Watts::new(400.0),
+            max_server_power: Kilowatts::new(1.0),
+            demand_tokens_per_s: 10.0,
+        };
+        let decision = configurator.select(&current, &limits, &profiles);
+        assert!(decision.quality_degraded);
+        assert!(decision.profile.quality < 0.99);
+        assert!(
+            decision
+                .profile
+                .prefill
+                .server_power
+                .value()
+                .max(decision.profile.decode.server_power.value())
+                <= 1.0
+        );
+    }
+
+    #[test]
+    fn impossible_limits_fall_back_to_lowest_power() {
+        let profiles = profiles();
+        let configurator = InstanceConfigurator::new(0.9);
+        let current = InstanceConfig::default_70b();
+        let limits = InstanceLimits {
+            max_gpu_power: Watts::new(1.0),
+            max_server_power: Kilowatts::new(0.001),
+            demand_tokens_per_s: 10.0,
+        };
+        let decision = configurator.select(&current, &limits, &profiles);
+        // The fallback is the lowest-power profile in the sweep.
+        let min_power = profiles
+            .llm
+            .profiles
+            .iter()
+            .map(|p| p.blended_server_power(0.7).value())
+            .fold(f64::MAX, f64::min);
+        assert!((decision.profile.blended_server_power(0.7).value() - min_power).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mild_pressure_prefers_online_changes_over_model_reloads() {
+        let profiles = profiles();
+        let configurator = InstanceConfigurator::new(0.9);
+        let current = InstanceConfig::default_70b();
+        // A modest per-GPU power cut that a frequency/batch change can absorb.
+        let unconstrained = configurator.unconstrained(&current, 100.0, &profiles);
+        let hottest_now = unconstrained
+            .profile
+            .prefill
+            .gpu_power
+            .value()
+            .max(unconstrained.profile.decode.gpu_power.value());
+        let limits = InstanceLimits {
+            max_gpu_power: Watts::new(hottest_now * 0.9),
+            max_server_power: Kilowatts::new(f64::MAX),
+            demand_tokens_per_s: 50.0,
+        };
+        let decision = configurator.select(&current, &limits, &profiles);
+        assert!(!decision.quality_degraded);
+        assert!(
+            !decision.cost.requires_reload() || decision.config.variant == current.variant,
+            "a mild cut should not force a model reload: {:?}",
+            decision.cost
+        );
+    }
+
+    #[test]
+    fn no_change_has_zero_cost() {
+        let profiles = profiles();
+        let configurator = InstanceConfigurator::new(0.9);
+        let current = InstanceConfig::default_70b();
+        let decision = configurator.unconstrained(&current, 100.0, &profiles);
+        if decision.config == current {
+            assert_eq!(decision.cost, ReconfigurationCost::None);
+        }
+        assert_eq!(InstanceConfigurator::new(2.0).quality_slo, 1.0);
+    }
+}

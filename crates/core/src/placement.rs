@@ -1,0 +1,460 @@
+//! VM placement policies (§4.1, §4.5 "VM Allocator").
+//!
+//! The allocator is rule-based, in the spirit of Protean: a *validator* rule filters out
+//! servers whose aisle or row would exceed its airflow or power provisioning if the new VM's
+//! predicted peak load landed there (Eq. 3/4 with predicted values); a first *preference* rule
+//! steers IaaS VMs toward cooler servers and SaaS VMs toward warmer servers (classified into
+//! cold/medium/warm terciles of predicted peak GPU temperature); a second preference rule
+//! keeps the IaaS/SaaS mix of each row balanced so the SaaS flexibility is spread across the
+//! power/airflow domains. The Baseline allocator is thermal- and power-oblivious: it packs
+//! VMs onto the lowest-numbered free server.
+
+use crate::profiles::ProfileStore;
+use crate::state::ClusterState;
+use dc_sim::ids::ServerId;
+use dc_sim::topology::Layout;
+use serde::{Deserialize, Serialize};
+use simkit::units::{Celsius, CubicFeetPerMinute, Kilowatts};
+use std::collections::BTreeMap;
+use workload::vm::{Vm, VmKind};
+
+/// A placement request for one VM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacementRequest {
+    /// The VM to place.
+    pub vm: Vm,
+    /// Predicted peak mean-GPU load of the VM in `[0, 1]` (from the owning customer's or
+    /// endpoint's history; 1.0 when no history exists, §4.1).
+    pub predicted_peak_load: f64,
+}
+
+/// Design conditions the allocator plans for.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignConditions {
+    /// Outside temperature assumed when estimating peak GPU temperatures (a hot-day design
+    /// point).
+    pub design_outside_temp: Celsius,
+    /// Datacenter load fraction assumed for inlet estimation.
+    pub design_dc_load: f64,
+}
+
+impl Default for DesignConditions {
+    fn default() -> Self {
+        Self { design_outside_temp: Celsius::new(32.0), design_dc_load: 0.8 }
+    }
+}
+
+/// A VM placement policy.
+pub trait VmPlacementPolicy {
+    /// Chooses a server for the VM, or `None` if no feasible server exists.
+    fn place(
+        &self,
+        request: &PlacementRequest,
+        state: &ClusterState,
+        layout: &Layout,
+        profiles: &ProfileStore,
+    ) -> Option<ServerId>;
+
+    /// Short policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The thermal- and power-oblivious baseline: first free server in id order (a packing
+/// placement that concentrates load, as conventional allocators optimized for fragmentation
+/// do).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BaselinePlacement;
+
+impl VmPlacementPolicy for BaselinePlacement {
+    fn place(
+        &self,
+        _request: &PlacementRequest,
+        state: &ClusterState,
+        _layout: &Layout,
+        _profiles: &ProfileStore,
+    ) -> Option<ServerId> {
+        state.free_servers().into_iter().next()
+    }
+
+    fn name(&self) -> &'static str {
+        "baseline-placement"
+    }
+}
+
+/// Tuning parameters of the TAPAS placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TapasPlacementConfig {
+    /// Design conditions used for temperature estimation.
+    pub design: DesignConditions,
+    /// Fraction of the row power budget the validator allows predicted peaks to reach.
+    pub power_safety_fraction: f64,
+    /// Fraction of the aisle airflow provisioning the validator allows predicted peaks to
+    /// reach.
+    pub airflow_safety_fraction: f64,
+    /// Weight of the thermal preference when scoring candidates.
+    pub thermal_weight: f64,
+    /// Weight of the IaaS/SaaS balance preference when scoring candidates.
+    pub balance_weight: f64,
+}
+
+impl Default for TapasPlacementConfig {
+    fn default() -> Self {
+        Self {
+            design: DesignConditions::default(),
+            power_safety_fraction: 0.97,
+            airflow_safety_fraction: 0.97,
+            thermal_weight: 1.0,
+            balance_weight: 0.5,
+        }
+    }
+}
+
+/// The TAPAS thermal- and power-aware placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TapasPlacement {
+    /// Tuning parameters.
+    pub config: TapasPlacementConfig,
+}
+
+impl Default for TapasPlacement {
+    fn default() -> Self {
+        Self { config: TapasPlacementConfig::default() }
+    }
+}
+
+impl TapasPlacement {
+    /// Predicted peak power added to a row if a VM with `peak_load` runs on `server`.
+    fn marginal_power(profiles: &ProfileStore, server: ServerId, peak_load: f64) -> Kilowatts {
+        profiles.server(server).predicted_power(peak_load)
+    }
+
+    /// Predicted peak airflow added to an aisle if a VM with `peak_load` runs on `server`.
+    fn marginal_airflow(
+        profiles: &ProfileStore,
+        server: ServerId,
+        peak_load: f64,
+    ) -> CubicFeetPerMinute {
+        profiles.server(server).predicted_airflow(peak_load)
+    }
+
+    /// Current predicted peak power per row from already-placed VMs (idle power for empty
+    /// servers).
+    fn predicted_row_power(
+        state: &ClusterState,
+        layout: &Layout,
+        profiles: &ProfileStore,
+    ) -> BTreeMap<dc_sim::ids::RowId, Kilowatts> {
+        layout
+            .rows()
+            .iter()
+            .map(|row| {
+                let total: Kilowatts = row
+                    .servers
+                    .iter()
+                    .map(|&s| match state.vm_on(s) {
+                        Some(placed) => {
+                            profiles.server(s).predicted_power(placed.predicted_peak_load)
+                        }
+                        None => profiles.server(s).spec.idle_power,
+                    })
+                    .sum();
+                (row.id, total)
+            })
+            .collect()
+    }
+
+    /// Current predicted peak airflow per aisle from already-placed VMs.
+    fn predicted_aisle_airflow(
+        state: &ClusterState,
+        layout: &Layout,
+        profiles: &ProfileStore,
+    ) -> BTreeMap<dc_sim::ids::AisleId, CubicFeetPerMinute> {
+        layout
+            .aisles()
+            .iter()
+            .map(|aisle| {
+                let total: CubicFeetPerMinute = aisle
+                    .servers
+                    .iter()
+                    .map(|&s| match state.vm_on(s) {
+                        Some(placed) => {
+                            profiles.server(s).predicted_airflow(placed.predicted_peak_load)
+                        }
+                        None => profiles.server(s).spec.idle_airflow,
+                    })
+                    .sum();
+                (aisle.id, total)
+            })
+            .collect()
+    }
+
+    /// Classifies every server's thermal tendency: the predicted worst-GPU temperature at the
+    /// design conditions and the VM's predicted load. Returns the temperature per server.
+    fn thermal_estimate(
+        &self,
+        profiles: &ProfileStore,
+        server: ServerId,
+        peak_load: f64,
+    ) -> Celsius {
+        let profile = profiles.server(server);
+        let inlet = profile
+            .predicted_inlet(self.config.design.design_outside_temp, self.config.design.design_dc_load);
+        // Per-GPU power at the predicted load (static floor plus dynamic part), capped at the
+        // GPU's TDP — the same shape the profiling observed.
+        let gpu_max = profile.spec.gpu_max_power.to_watts().value();
+        let gpu_share = (gpu_max * (0.15 + 0.85 * peak_load)).min(gpu_max);
+        profile.predicted_worst_gpu_temp(inlet, simkit::units::Watts::new(gpu_share))
+    }
+}
+
+impl VmPlacementPolicy for TapasPlacement {
+    fn place(
+        &self,
+        request: &PlacementRequest,
+        state: &ClusterState,
+        layout: &Layout,
+        profiles: &ProfileStore,
+    ) -> Option<ServerId> {
+        let free = state.free_servers();
+        if free.is_empty() {
+            return None;
+        }
+        let peak_load = request.predicted_peak_load.clamp(0.0, 1.0);
+        let row_power = Self::predicted_row_power(state, layout, profiles);
+        let aisle_airflow = Self::predicted_aisle_airflow(state, layout, profiles);
+
+        // Validator rule: filter servers whose row power or aisle airflow would exceed the
+        // (safety-scaled) provisioning if the VM peaked there.
+        let mut candidates: Vec<ServerId> = free
+            .iter()
+            .copied()
+            .filter(|&s| {
+                let server = layout.server(s);
+                let row_budget = profiles.budgets.row_power[&server.row]
+                    * self.config.power_safety_fraction;
+                let aisle_budget = profiles.budgets.aisle_airflow[&server.aisle]
+                    * self.config.airflow_safety_fraction;
+                let new_row_power = row_power[&server.row]
+                    - profiles.server(s).spec.idle_power
+                    + Self::marginal_power(profiles, s, peak_load);
+                let new_aisle_airflow = aisle_airflow[&server.aisle]
+                    - profiles.server(s).spec.idle_airflow
+                    + Self::marginal_airflow(profiles, s, peak_load);
+                new_row_power.value() <= row_budget.value()
+                    && new_aisle_airflow.value() <= aisle_budget.value()
+            })
+            .collect();
+        if candidates.is_empty() {
+            // Fall back to the least-bad row rather than rejecting outright: pick the free
+            // server whose row has the most power headroom.
+            candidates = free.clone();
+        }
+
+        // Thermal terciles over the *whole* fleet (so the classification is stable): estimate
+        // each candidate's peak temperature and rank.
+        let mut temps: Vec<(ServerId, f64)> = candidates
+            .iter()
+            .map(|&s| (s, self.thermal_estimate(profiles, s, peak_load).value()))
+            .collect();
+        temps.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite temperatures"));
+        let n = temps.len();
+        let tercile_of = |rank: usize| -> usize {
+            if n <= 1 {
+                1
+            } else if rank * 3 < n {
+                0 // cold
+            } else if rank * 3 < 2 * n {
+                1 // medium
+            } else {
+                2 // warm
+            }
+        };
+        let is_saas = matches!(request.vm.kind, VmKind::Saas { .. });
+        let throttle_limit = profiles.thermal_headroom_target.value();
+
+        let mut best: Option<(ServerId, f64)> = None;
+        for (rank, &(server, temp)) in temps.iter().enumerate() {
+            // SaaS VMs must never be placed somewhere that already predicts a violation.
+            if is_saas && temp > throttle_limit {
+                continue;
+            }
+            let tercile = tercile_of(rank);
+            // Preference 1: IaaS prefers cold (tercile 0), SaaS prefers warm (tercile 2).
+            let thermal_score = if is_saas {
+                tercile as f64 / 2.0
+            } else {
+                1.0 - tercile as f64 / 2.0
+            };
+            // Preference 2: improve the IaaS/SaaS balance of the row.
+            let row = layout.server(server).row;
+            let (iaas, saas) = state.row_mix(layout, row);
+            let balance_score = {
+                let (new_iaas, new_saas) =
+                    if is_saas { (iaas, saas + 1) } else { (iaas + 1, saas) };
+                let total = (new_iaas + new_saas) as f64;
+                1.0 - ((new_iaas as f64 - new_saas as f64).abs() / total)
+            };
+            let score = self.config.thermal_weight * thermal_score
+                + self.config.balance_weight * balance_score;
+            match best {
+                Some((_, best_score)) if best_score >= score => {}
+                _ => best = Some((server, score)),
+            }
+        }
+        best.map(|(s, _)| s).or_else(|| {
+            // Every candidate predicted a thermal violation for a SaaS VM: pick the coolest.
+            temps.first().map(|&(s, _)| s)
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "tapas-placement"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_sim::engine::Datacenter;
+    use dc_sim::topology::LayoutConfig;
+    use llm_sim::hardware::GpuHardware;
+    use simkit::time::{SimDuration, SimTime};
+    use workload::endpoints::EndpointId;
+    use workload::vm::{IaasCustomerId, VmId};
+
+    fn setup() -> (Layout, ProfileStore) {
+        let layout = LayoutConfig::real_cluster_two_rows().build();
+        let dc = Datacenter::new(layout.clone(), 42);
+        let profiles = ProfileStore::offline_profiling(&dc, &GpuHardware::a100());
+        (layout, profiles)
+    }
+
+    fn vm(id: u64, saas: bool) -> Vm {
+        Vm {
+            id: VmId(id),
+            kind: if saas {
+                VmKind::Saas { endpoint: EndpointId(0) }
+            } else {
+                VmKind::Iaas { customer: IaasCustomerId(0) }
+            },
+            arrival: SimTime::ZERO,
+            lifetime: SimDuration::from_days(14),
+        }
+    }
+
+    fn request(id: u64, saas: bool, load: f64) -> PlacementRequest {
+        PlacementRequest { vm: vm(id, saas), predicted_peak_load: load }
+    }
+
+    #[test]
+    fn baseline_packs_lowest_free_server() {
+        let (layout, profiles) = setup();
+        let mut state = ClusterState::new(layout.server_count());
+        let policy = BaselinePlacement;
+        assert_eq!(policy.name(), "baseline-placement");
+        let first = policy.place(&request(1, false, 1.0), &state, &layout, &profiles).unwrap();
+        assert_eq!(first, ServerId::new(0));
+        state.place(vm(1, false), first, 1.0, None).unwrap();
+        let second = policy.place(&request(2, true, 1.0), &state, &layout, &profiles).unwrap();
+        assert_eq!(second, ServerId::new(1));
+    }
+
+    #[test]
+    fn tapas_places_iaas_cooler_than_saas() {
+        let (layout, profiles) = setup();
+        let state = ClusterState::new(layout.server_count());
+        let policy = TapasPlacement::default();
+        assert_eq!(policy.name(), "tapas-placement");
+        let iaas_server = policy.place(&request(1, false, 0.9), &state, &layout, &profiles).unwrap();
+        let saas_server = policy.place(&request(2, true, 0.9), &state, &layout, &profiles).unwrap();
+        let temp_of = |s: ServerId| policy.thermal_estimate(&profiles, s, 0.9).value();
+        assert!(
+            temp_of(iaas_server) < temp_of(saas_server),
+            "IaaS should land on a cooler server than SaaS ({} vs {})",
+            temp_of(iaas_server),
+            temp_of(saas_server)
+        );
+    }
+
+    #[test]
+    fn tapas_respects_row_power_validator() {
+        let (layout, profiles) = setup();
+        let mut state = ClusterState::new(layout.server_count());
+        let policy = TapasPlacement::default();
+        // Fill row 0 with peak-load VMs until its predicted power approaches the budget.
+        let row0_servers = layout.rows()[0].servers.clone();
+        for (i, &server) in row0_servers.iter().enumerate().take(30) {
+            state.place(vm(100 + i as u64, false), server, 1.0, None).unwrap();
+        }
+        // The next peak-load VM must not land in row 0 (its predicted peak would exceed the
+        // 85 %-provisioned budget), even though row 0 still has free servers.
+        let chosen = policy.place(&request(1, false, 1.0), &state, &layout, &profiles).unwrap();
+        let chosen_row = layout.server(chosen).row;
+        assert_eq!(chosen_row.index(), 1, "validator should steer the VM to the other row");
+    }
+
+    #[test]
+    fn tapas_balances_iaas_and_saas_across_rows() {
+        let (layout, profiles) = setup();
+        let mut state = ClusterState::new(layout.server_count());
+        let policy = TapasPlacement::default();
+        // Place an alternating stream and check that neither row ends up one-sided.
+        for i in 0..40u64 {
+            let saas = i % 2 == 0;
+            let req = request(i, saas, 0.7);
+            let server = policy.place(&req, &state, &layout, &profiles).unwrap();
+            state.place(vm(i, saas), server, 0.7, None).unwrap();
+        }
+        for row in layout.rows() {
+            let (iaas, saas) = state.row_mix(&layout, row.id);
+            let total = iaas + saas;
+            if total >= 8 {
+                let imbalance = (iaas as f64 - saas as f64).abs() / total as f64;
+                assert!(imbalance < 0.6, "row {} too one-sided: {iaas} IaaS vs {saas} SaaS", row.id);
+            }
+        }
+    }
+
+    #[test]
+    fn full_cluster_returns_none_for_baseline_and_fallback_for_tapas() {
+        let (layout, profiles) = setup();
+        let mut state = ClusterState::new(layout.server_count());
+        for i in 0..layout.server_count() {
+            state
+                .place(vm(i as u64, false), ServerId::new(i), 0.5, None)
+                .unwrap();
+        }
+        assert!(BaselinePlacement
+            .place(&request(999, false, 0.5), &state, &layout, &profiles)
+            .is_none());
+        assert!(TapasPlacement::default()
+            .place(&request(999, false, 0.5), &state, &layout, &profiles)
+            .is_none());
+    }
+
+    #[test]
+    fn predicted_peaks_never_exceed_budget_under_tapas_when_feasible() {
+        let (layout, profiles) = setup();
+        let mut state = ClusterState::new(layout.server_count());
+        let policy = TapasPlacement::default();
+        // Place a realistic mixed stream at moderate predicted load and verify the invariant.
+        for i in 0..60u64 {
+            let saas = i % 2 == 0;
+            let req = request(i, saas, 0.8);
+            if let Some(server) = policy.place(&req, &state, &layout, &profiles) {
+                state.place(vm(i, saas), server, 0.8, None).unwrap();
+            }
+        }
+        let row_power = TapasPlacement::predicted_row_power(&state, &layout, &profiles);
+        for row in layout.rows() {
+            let budget = profiles.budgets.row_power[&row.id];
+            assert!(
+                row_power[&row.id].value() <= budget.value() * 1.001,
+                "row {} predicted peak {} exceeds budget {}",
+                row.id,
+                row_power[&row.id],
+                budget
+            );
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! The TAPAS profile store (§4.5, "Profiles").
+//!
+//! During the initial deployment of a datacenter the operator runs benchmarks and validation
+//! tests; TAPAS uses that window for *offline profiling*: it learns, per server, (1) the
+//! inlet-temperature response to outside temperature and datacenter load, (2) the GPU
+//! temperature response to inlet temperature and GPU power, (3) the fan airflow curve and
+//! (4) the power-load curve. When a new LLM is onboarded it also profiles every instance
+//! configuration (the sweep of `llm-sim::profile`). During regular operation the predictions
+//! of row and VM power are refined weekly from observed telemetry using percentile templates.
+//!
+//! The store deliberately contains *fitted* models (via `simkit::regression`), not references
+//! to the ground-truth simulator models: the controllers only ever see what real profiling
+//! could have measured.
+
+use dc_sim::engine::Datacenter;
+use dc_sim::ids::{AisleId, GpuId, RowId, ServerId};
+use dc_sim::topology::ServerSpec;
+use llm_sim::hardware::GpuHardware;
+use llm_sim::model::ModelSize;
+use llm_sim::pareto::ParetoFrontier;
+use llm_sim::profile::ConfigProfile;
+use serde::{Deserialize, Serialize};
+use simkit::regression::{LinearModel, PiecewisePolynomial, Polynomial};
+use simkit::units::{Celsius, CubicFeetPerMinute, Kilowatts, Watts};
+use std::collections::BTreeMap;
+use workload::prediction::PowerTemplate;
+
+/// Per-server fitted thermal and power models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerProfile {
+    /// The server this profile describes.
+    pub server: ServerId,
+    /// Its row (for power budgeting).
+    pub row: RowId,
+    /// Its aisle (for airflow budgeting).
+    pub aisle: AisleId,
+    /// Hardware specification (public knowledge from the SKU).
+    pub spec: ServerSpec,
+    /// Fitted inlet temperature vs outside temperature at a reference (50 %) datacenter load.
+    pub inlet_vs_outside: PiecewisePolynomial,
+    /// Additional inlet °C per unit of datacenter load (0→1).
+    pub inlet_load_sensitivity_c: f64,
+    /// Fitted worst-GPU temperature vs `[inlet °C, per-GPU power W]` (Eq. 2).
+    pub worst_gpu_temp: LinearModel,
+    /// Fitted server power (kW) vs mean GPU load.
+    pub power_curve: Polynomial,
+}
+
+impl ServerProfile {
+    /// Predicted inlet temperature at an outside temperature and datacenter load.
+    #[must_use]
+    pub fn predicted_inlet(&self, outside: Celsius, dc_load: f64) -> Celsius {
+        let at_reference = self.inlet_vs_outside.evaluate(outside.value());
+        let load_delta = (dc_load.clamp(0.0, 1.0) - 0.5) * self.inlet_load_sensitivity_c;
+        Celsius::new(at_reference + load_delta)
+    }
+
+    /// Predicted temperature of the hottest GPU at a given inlet temperature and per-GPU
+    /// power.
+    #[must_use]
+    pub fn predicted_worst_gpu_temp(&self, inlet: Celsius, gpu_power: Watts) -> Celsius {
+        Celsius::new(self.worst_gpu_temp.predict(&[inlet.value(), gpu_power.value()]))
+    }
+
+    /// The per-GPU power budget that keeps the hottest GPU at or below `limit` for a given
+    /// inlet temperature (the inverse of the fitted Eq. 2).
+    #[must_use]
+    pub fn gpu_power_budget(&self, inlet: Celsius, limit: Celsius) -> Watts {
+        let coeffs = self.worst_gpu_temp.coefficients();
+        let power_coeff = coeffs.get(1).copied().unwrap_or(0.1).max(1e-6);
+        let base = self.worst_gpu_temp.intercept() + coeffs[0] * inlet.value();
+        Watts::new(((limit.value() - base) / power_coeff).max(0.0))
+    }
+
+    /// Predicted server power at a mean GPU load in `[0, 1]`.
+    #[must_use]
+    pub fn predicted_power(&self, load: f64) -> Kilowatts {
+        let load = load.clamp(0.0, 1.0);
+        Kilowatts::new(
+            self.power_curve
+                .evaluate(load)
+                .clamp(0.0, self.spec.max_power.value()),
+        )
+    }
+
+    /// Predicted server airflow at a mean GPU load (linear between the SKU's idle and maximum
+    /// airflow).
+    #[must_use]
+    pub fn predicted_airflow(&self, load: f64) -> CubicFeetPerMinute {
+        let load = load.clamp(0.0, 1.0);
+        self.spec.idle_airflow + (self.spec.max_airflow - self.spec.idle_airflow) * load
+    }
+}
+
+/// LLM configuration profiles and the Pareto frontiers derived from them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LlmProfiles {
+    /// Every profiled configuration that fits the hardware.
+    pub profiles: Vec<ConfigProfile>,
+    /// The overall Pareto frontier.
+    pub frontier: ParetoFrontier,
+    /// Per-model-size frontiers (Fig. 16 keeps them separate because quality differs).
+    pub frontier_by_model: BTreeMap<ModelSize, ParetoFrontier>,
+}
+
+impl LlmProfiles {
+    /// Profiles every configuration on the given GPU generation.
+    #[must_use]
+    pub fn profile(gpu: &GpuHardware) -> Self {
+        let profiles = ConfigProfile::sweep(gpu);
+        let frontier = ParetoFrontier::compute(&profiles);
+        let frontier_by_model = ModelSize::ALL
+            .into_iter()
+            .map(|size| (size, ParetoFrontier::for_model(&profiles, size)))
+            .collect();
+        Self { profiles, frontier, frontier_by_model }
+    }
+}
+
+/// Budgets of the rows and aisles (public provisioning data).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InfrastructureBudgets {
+    /// Row power budgets.
+    pub row_power: BTreeMap<RowId, Kilowatts>,
+    /// Aisle airflow provisioning.
+    pub aisle_airflow: BTreeMap<AisleId, CubicFeetPerMinute>,
+    /// Servers per row.
+    pub row_servers: BTreeMap<RowId, Vec<ServerId>>,
+    /// Servers per aisle.
+    pub aisle_servers: BTreeMap<AisleId, Vec<ServerId>>,
+}
+
+/// The complete profile store TAPAS consults at run time.
+#[derive(Debug, Clone)]
+pub struct ProfileStore {
+    /// Per-server fitted models, indexed by `ServerId::index`.
+    pub servers: Vec<ServerProfile>,
+    /// LLM configuration profiles and frontiers.
+    pub llm: LlmProfiles,
+    /// Row/aisle budgets.
+    pub budgets: InfrastructureBudgets,
+    /// Weekly-refined row power templates (absent until the first refinement).
+    pub row_templates: BTreeMap<RowId, PowerTemplate>,
+    /// GPU throttle limit minus a safety margin; the controllers aim to stay below this.
+    pub thermal_headroom_target: Celsius,
+}
+
+impl ProfileStore {
+    /// Runs offline profiling against a datacenter and a GPU generation.
+    ///
+    /// The profiling probes the datacenter's response at a grid of outside temperatures, loads
+    /// and per-GPU powers — exactly what an operator does with benchmarks during initial
+    /// deployment — and fits the regression models of Eq. (1)–(4) to the observations.
+    #[must_use]
+    pub fn offline_profiling(dc: &Datacenter, gpu: &GpuHardware) -> Self {
+        let layout = dc.layout();
+        let mut servers = Vec::with_capacity(layout.server_count());
+        for server in layout.servers() {
+            // Eq. 1: inlet vs outside at 50 % datacenter load.
+            let inlet_samples: Vec<(f64, f64)> = (-10..=45)
+                .map(|t| {
+                    let outside = Celsius::new(f64::from(t));
+                    (
+                        f64::from(t),
+                        dc.inlet_model().inlet_temp(server.id, outside, 0.5, 0.0).value(),
+                    )
+                })
+                .collect();
+            let inlet_vs_outside =
+                PiecewisePolynomial::fit(&inlet_samples, &[-10.0, 15.0, 25.0, 45.0], 1)
+                    .expect("inlet profiling fit");
+            let low = dc
+                .inlet_model()
+                .inlet_temp(server.id, Celsius::new(22.0), 0.0, 0.0)
+                .value();
+            let high = dc
+                .inlet_model()
+                .inlet_temp(server.id, Celsius::new(22.0), 1.0, 0.0)
+                .value();
+            let inlet_load_sensitivity_c = high - low;
+
+            // Eq. 2: worst-GPU temperature vs inlet and per-GPU power.
+            let mut gpu_samples = Vec::new();
+            for inlet in [16.0, 20.0, 24.0, 28.0, 32.0, 36.0] {
+                for power in [60.0, 150.0, 250.0, 350.0, 450.0, 600.0] {
+                    let worst = (0..server.spec.gpus_per_server)
+                        .map(|slot| {
+                            dc.gpu_model()
+                                .temperatures(
+                                    GpuId::new(server.id, slot),
+                                    Celsius::new(inlet),
+                                    Watts::new(power),
+                                    0.5,
+                                )
+                                .gpu
+                                .value()
+                        })
+                        .fold(f64::MIN, f64::max);
+                    gpu_samples.push((vec![inlet, power], worst));
+                }
+            }
+            let worst_gpu_temp = LinearModel::fit(&gpu_samples).expect("gpu profiling fit");
+
+            // Eq. 4: server power vs load.
+            let power_samples: Vec<(f64, f64)> = (0..=10)
+                .map(|i| {
+                    let load = f64::from(i) / 10.0;
+                    (load, dc.power_model().server_power(&server.spec, load).value())
+                })
+                .collect();
+            let power_curve = Polynomial::fit(&power_samples, 2).expect("power profiling fit");
+
+            servers.push(ServerProfile {
+                server: server.id,
+                row: server.row,
+                aisle: server.aisle,
+                spec: server.spec,
+                inlet_vs_outside,
+                inlet_load_sensitivity_c,
+                worst_gpu_temp,
+                power_curve,
+            });
+        }
+
+        let budgets = InfrastructureBudgets {
+            row_power: layout.rows().iter().map(|r| (r.id, r.power_budget)).collect(),
+            aisle_airflow: layout
+                .aisles()
+                .iter()
+                .map(|a| (a.id, a.airflow_provisioned))
+                .collect(),
+            row_servers: layout
+                .rows()
+                .iter()
+                .map(|r| (r.id, r.servers.clone()))
+                .collect(),
+            aisle_servers: layout
+                .aisles()
+                .iter()
+                .map(|a| (a.id, a.servers.clone()))
+                .collect(),
+        };
+
+        Self {
+            servers,
+            llm: LlmProfiles::profile(gpu),
+            budgets,
+            row_templates: BTreeMap::new(),
+            thermal_headroom_target: Celsius::new(
+                layout.servers()[0].spec.gpu_throttle_temp_c - 3.0,
+            ),
+        }
+    }
+
+    /// The profile of a server.
+    ///
+    /// # Panics
+    /// Panics if the server id is out of range.
+    #[must_use]
+    pub fn server(&self, id: ServerId) -> &ServerProfile {
+        &self.servers[id.index()]
+    }
+
+    /// Number of profiled servers.
+    #[must_use]
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// The weekly refinement step (§4.5): fits a conservative P99 template per row from the
+    /// previous week's observed row power.
+    pub fn refine_row_templates(
+        &mut self,
+        history: &BTreeMap<RowId, Vec<(simkit::time::SimTime, f64)>>,
+    ) {
+        for (&row, samples) in history {
+            if !samples.is_empty() {
+                self.row_templates.insert(
+                    row,
+                    PowerTemplate::fit(workload::prediction::TemplateKind::P99, samples),
+                );
+            }
+        }
+    }
+
+    /// Predicted peak power of a row: the refined template's weekly peak when available,
+    /// otherwise the provisioned budget (the conservative assumption of §4.1).
+    #[must_use]
+    pub fn predicted_row_peak(&self, row: RowId) -> Kilowatts {
+        match self.row_templates.get(&row) {
+            Some(template) => Kilowatts::new(template.predicted_peak()),
+            None => self.budgets.row_power.get(&row).copied().unwrap_or(Kilowatts::ZERO),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_sim::topology::LayoutConfig;
+    use simkit::time::SimTime;
+
+    fn store() -> (Datacenter, ProfileStore) {
+        let dc = Datacenter::new(LayoutConfig::small_test_cluster().build(), 42);
+        let store = ProfileStore::offline_profiling(&dc, &GpuHardware::a100());
+        (dc, store)
+    }
+
+    #[test]
+    fn profiling_covers_every_server() {
+        let (dc, store) = store();
+        assert_eq!(store.server_count(), dc.layout().server_count());
+        assert_eq!(store.budgets.row_power.len(), dc.layout().rows().len());
+        assert_eq!(store.budgets.aisle_airflow.len(), dc.layout().aisles().len());
+        assert!(!store.llm.profiles.is_empty());
+        assert!(!store.llm.frontier.is_empty());
+        assert_eq!(store.llm.frontier_by_model.len(), 3);
+        assert!((store.thermal_headroom_target.value() - 82.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fitted_inlet_model_tracks_ground_truth() {
+        let (dc, store) = store();
+        for server in dc.layout().servers() {
+            let profile = store.server(server.id);
+            for outside in [0.0, 10.0, 18.0, 22.0, 30.0, 40.0] {
+                let truth = dc
+                    .inlet_model()
+                    .inlet_temp(server.id, Celsius::new(outside), 0.5, 0.0)
+                    .value();
+                let predicted = profile.predicted_inlet(Celsius::new(outside), 0.5).value();
+                assert!(
+                    (truth - predicted).abs() < 0.5,
+                    "inlet prediction off by {} at {outside} °C",
+                    (truth - predicted).abs()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fitted_gpu_model_has_sub_degree_error() {
+        // The paper reports < 1 °C MAE for the fitted Eq. (2); our fit against the generative
+        // model should do at least as well on the worst GPU.
+        let (dc, store) = store();
+        let server = dc.layout().servers()[0].id;
+        let profile = store.server(server);
+        for inlet in [18.0, 25.0, 33.0] {
+            for power in [100.0, 300.0, 500.0] {
+                let truth = (0..8)
+                    .map(|slot| {
+                        dc.gpu_model()
+                            .temperatures(
+                                GpuId::new(server, slot),
+                                Celsius::new(inlet),
+                                Watts::new(power),
+                                0.5,
+                            )
+                            .gpu
+                            .value()
+                    })
+                    .fold(f64::MIN, f64::max);
+                let predicted = profile
+                    .predicted_worst_gpu_temp(Celsius::new(inlet), Watts::new(power))
+                    .value();
+                assert!((truth - predicted).abs() < 1.0, "error {}", (truth - predicted).abs());
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_power_budget_inverts_the_fit() {
+        let (_, store) = store();
+        let profile = &store.servers[0];
+        let inlet = Celsius::new(26.0);
+        let limit = Celsius::new(82.0);
+        let budget = profile.gpu_power_budget(inlet, limit);
+        assert!(budget.value() > 0.0);
+        let temp_at_budget = profile.predicted_worst_gpu_temp(inlet, budget);
+        assert!((temp_at_budget.value() - 82.0).abs() < 0.5);
+        // An already-too-hot inlet yields a zero budget.
+        let impossible = profile.gpu_power_budget(Celsius::new(95.0), Celsius::new(80.0));
+        assert_eq!(impossible.value(), 0.0);
+    }
+
+    #[test]
+    fn power_curve_matches_endpoints_and_is_monotone() {
+        let (dc, store) = store();
+        let spec = dc.layout().servers()[0].spec;
+        let profile = &store.servers[0];
+        assert!((profile.predicted_power(0.0).value() - spec.idle_power.value()).abs() < 0.1);
+        assert!((profile.predicted_power(1.0).value() - spec.max_power.value()).abs() < 0.1);
+        let mut last = 0.0;
+        for i in 0..=10 {
+            let p = profile.predicted_power(f64::from(i) / 10.0).value();
+            assert!(p >= last - 1e-9);
+            last = p;
+        }
+        assert_eq!(profile.predicted_airflow(0.0), spec.idle_airflow);
+        assert_eq!(profile.predicted_airflow(1.0), spec.max_airflow);
+    }
+
+    #[test]
+    fn row_peak_prediction_prefers_refined_templates() {
+        let (_, mut store) = store();
+        let row = RowId::new(0);
+        let budget = store.budgets.row_power[&row];
+        assert_eq!(store.predicted_row_peak(row), budget);
+        // Refine with a history peaking at half the budget.
+        let history: Vec<(SimTime, f64)> = (0..7 * 24)
+            .map(|h| (SimTime::from_hours(h), budget.value() * 0.5))
+            .collect();
+        let mut all = BTreeMap::new();
+        all.insert(row, history);
+        store.refine_row_templates(&all);
+        let refined = store.predicted_row_peak(row);
+        assert!((refined.value() - budget.value() * 0.5).abs() < 1e-6);
+        // Rows without history keep the conservative budget.
+        assert_eq!(store.predicted_row_peak(RowId::new(1)), store.budgets.row_power[&RowId::new(1)]);
+    }
+}

@@ -1,0 +1,415 @@
+//! LLM inference request routing (§4.2, §4.5 "Load Balancer").
+//!
+//! Each SaaS endpoint routes its requests across its VM instances. The baseline router is the
+//! conventional latency-oriented policy: send the request to the instance with the fewest
+//! outstanding requests. The TAPAS router first *filters out* instances with a high risk of
+//! violating one of the three operational limits — aisle airflow, row power, or server GPU
+//! temperature — using the profiled models and the current (cached, periodically refreshed)
+//! infrastructure state, and then applies the state-of-the-art ordering: (1) KV-cache
+//! affinity (prefer an instance that recently served the same customer), (2) energy
+//! concentration (prefer busier instances below a utilization knee so idle instances can stay
+//! quiet), (3) spread for performance.
+
+use crate::profiles::ProfileStore;
+use dc_sim::ids::{AisleId, RowId, ServerId};
+use llm_sim::config::InstanceConfig;
+use llm_sim::request::{CustomerId, InferenceRequest};
+use serde::{Deserialize, Serialize};
+use simkit::units::{Celsius, CubicFeetPerMinute, Kilowatts};
+use std::collections::BTreeMap;
+use workload::vm::VmId;
+
+/// A snapshot of one SaaS instance the router can send requests to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceSnapshot {
+    /// The VM running the instance.
+    pub vm: VmId,
+    /// The server hosting it.
+    pub server: ServerId,
+    /// Requests currently queued or running on the instance.
+    pub outstanding_requests: usize,
+    /// Current mean GPU utilization of the instance in `[0, 1]`.
+    pub utilization: f64,
+    /// Customers whose KV cache is likely still resident (recently served).
+    pub recent_customers: Vec<CustomerId>,
+    /// The instance's current configuration.
+    pub config: InstanceConfig,
+    /// Whether the instance is currently unavailable (e.g. reloading after a
+    /// reconfiguration, §4.3).
+    pub in_transition: bool,
+}
+
+/// The infrastructure state the router consults (recomputed every few minutes, §4.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutingContext {
+    /// Current outside temperature.
+    pub outside_temp: Celsius,
+    /// Current normalized datacenter load.
+    pub dc_load: f64,
+    /// Current power draw per row.
+    pub row_power: BTreeMap<RowId, Kilowatts>,
+    /// Current airflow demand per aisle.
+    pub aisle_airflow: BTreeMap<AisleId, CubicFeetPerMinute>,
+}
+
+/// A request routing policy.
+pub trait RequestRouterPolicy {
+    /// Picks the instance to serve `request`, or `None` if `instances` is empty.
+    fn route(
+        &self,
+        request: &InferenceRequest,
+        instances: &[InstanceSnapshot],
+        profiles: &ProfileStore,
+        context: &RoutingContext,
+    ) -> Option<VmId>;
+
+    /// Short policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The conventional baseline: least outstanding requests, ignoring thermal/power state.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineRouter;
+
+impl RequestRouterPolicy for BaselineRouter {
+    fn route(
+        &self,
+        _request: &InferenceRequest,
+        instances: &[InstanceSnapshot],
+        _profiles: &ProfileStore,
+        _context: &RoutingContext,
+    ) -> Option<VmId> {
+        instances
+            .iter()
+            .filter(|i| !i.in_transition)
+            .min_by_key(|i| (i.outstanding_requests, i.vm.0))
+            .or_else(|| instances.iter().min_by_key(|i| (i.outstanding_requests, i.vm.0)))
+            .map(|i| i.vm)
+    }
+
+    fn name(&self) -> &'static str {
+        "baseline-router"
+    }
+}
+
+/// Tuning parameters of the TAPAS router.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TapasRouterConfig {
+    /// Fraction of the row budget above which a row is considered at risk.
+    pub row_power_risk_fraction: f64,
+    /// Fraction of the aisle airflow provisioning above which an aisle is considered at risk.
+    pub aisle_airflow_risk_fraction: f64,
+    /// Safety margin (°C) below the throttle temperature at which a server is considered at
+    /// risk.
+    pub thermal_margin_c: f64,
+    /// Utilization knee for the energy-concentration preference: instances below the knee are
+    /// filled up before idle instances are woken.
+    pub concentration_knee: f64,
+    /// Additional utilization a routed request is assumed to add (used in risk estimates).
+    pub marginal_utilization: f64,
+}
+
+impl Default for TapasRouterConfig {
+    fn default() -> Self {
+        Self {
+            row_power_risk_fraction: 0.95,
+            aisle_airflow_risk_fraction: 0.95,
+            thermal_margin_c: 3.0,
+            concentration_knee: 0.7,
+            marginal_utilization: 0.05,
+        }
+    }
+}
+
+/// The TAPAS thermal- and power-aware request router.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TapasRouter {
+    /// Tuning parameters.
+    pub config: TapasRouterConfig,
+}
+
+impl Default for TapasRouter {
+    fn default() -> Self {
+        Self { config: TapasRouterConfig::default() }
+    }
+}
+
+impl TapasRouter {
+    /// Returns `true` if routing another request to this instance risks violating one of the
+    /// three operational limits.
+    fn is_risky(
+        &self,
+        instance: &InstanceSnapshot,
+        profiles: &ProfileStore,
+        context: &RoutingContext,
+    ) -> bool {
+        let profile = profiles.server(instance.server);
+
+        // Server-level thermal risk (Eq. 2 with the current inlet estimate).
+        let inlet = profile.predicted_inlet(context.outside_temp, context.dc_load);
+        let next_util = (instance.utilization + self.config.marginal_utilization).clamp(0.0, 1.0);
+        let gpu_max = profile.spec.gpu_max_power.to_watts().value();
+        let gpu_power = simkit::units::Watts::new(gpu_max * (0.15 + 0.85 * next_util));
+        let predicted_temp = profile.predicted_worst_gpu_temp(inlet, gpu_power);
+        let limit = profile.spec.gpu_throttle_temp_c - self.config.thermal_margin_c;
+        if predicted_temp.value() > limit {
+            return true;
+        }
+
+        // Row-level power risk (Eq. 4).
+        let row_budget = profiles.budgets.row_power[&profile.row];
+        let row_now = context
+            .row_power
+            .get(&profile.row)
+            .copied()
+            .unwrap_or(Kilowatts::ZERO);
+        let marginal_power = profile.predicted_power(next_util)
+            - profile.predicted_power(instance.utilization.clamp(0.0, 1.0));
+        if (row_now + marginal_power).value()
+            > row_budget.value() * self.config.row_power_risk_fraction
+        {
+            return true;
+        }
+
+        // Aisle-level airflow risk (Eq. 3).
+        let aisle_budget = profiles.budgets.aisle_airflow[&profile.aisle];
+        let aisle_now = context
+            .aisle_airflow
+            .get(&profile.aisle)
+            .copied()
+            .unwrap_or(CubicFeetPerMinute::ZERO);
+        let marginal_airflow = profile.predicted_airflow(next_util)
+            - profile.predicted_airflow(instance.utilization.clamp(0.0, 1.0));
+        if (aisle_now + marginal_airflow).value()
+            > aisle_budget.value() * self.config.aisle_airflow_risk_fraction
+        {
+            return true;
+        }
+
+        false
+    }
+
+    /// Scores an eligible instance; higher is better.
+    fn score(&self, request: &InferenceRequest, instance: &InstanceSnapshot) -> f64 {
+        // (3) Spread: fewer outstanding requests is better. This is the only criterion that
+        // applies to instances already past the utilization knee — sending them affinity or
+        // concentration traffic would trade latency for locality/energy, which the paper's
+        // ordering never does.
+        let spread = 1.0 / (1.0 + instance.outstanding_requests as f64);
+        if instance.utilization > self.config.concentration_knee {
+            return spread;
+        }
+        // (1) KV-cache affinity dominates among instances with headroom.
+        let affinity = if instance.recent_customers.contains(&request.customer) {
+            1.0
+        } else {
+            0.0
+        };
+        // (2) Energy concentration: prefer the most-utilized instance below the knee.
+        let concentration = instance.utilization / self.config.concentration_knee;
+        100.0 * affinity + 2.0 * concentration + spread
+    }
+}
+
+impl RequestRouterPolicy for TapasRouter {
+    fn route(
+        &self,
+        request: &InferenceRequest,
+        instances: &[InstanceSnapshot],
+        profiles: &ProfileStore,
+        context: &RoutingContext,
+    ) -> Option<VmId> {
+        if instances.is_empty() {
+            return None;
+        }
+        let available: Vec<&InstanceSnapshot> =
+            instances.iter().filter(|i| !i.in_transition).collect();
+        let pool = if available.is_empty() {
+            instances.iter().collect::<Vec<_>>()
+        } else {
+            available
+        };
+        let safe: Vec<&InstanceSnapshot> = pool
+            .iter()
+            .copied()
+            .filter(|i| !self.is_risky(i, profiles, context))
+            .collect();
+        // If every instance is risky we must still serve the request: fall back to the full
+        // pool (the instance configurator will shed the load instead).
+        let candidates = if safe.is_empty() { pool } else { safe };
+        candidates
+            .into_iter()
+            .max_by(|a, b| {
+                self.score(request, a)
+                    .partial_cmp(&self.score(request, b))
+                    .expect("finite scores")
+                    .then(b.vm.0.cmp(&a.vm.0))
+            })
+            .map(|i| i.vm)
+    }
+
+    fn name(&self) -> &'static str {
+        "tapas-router"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_sim::engine::Datacenter;
+    use dc_sim::topology::LayoutConfig;
+    use llm_sim::hardware::GpuHardware;
+    use llm_sim::request::RequestId;
+    use simkit::time::SimTime;
+
+    fn profiles() -> ProfileStore {
+        let dc = Datacenter::new(LayoutConfig::real_cluster_two_rows().build(), 42);
+        ProfileStore::offline_profiling(&dc, &GpuHardware::a100())
+    }
+
+    fn snapshot(vm: u64, server: usize, outstanding: usize, util: f64) -> InstanceSnapshot {
+        InstanceSnapshot {
+            vm: VmId(vm),
+            server: ServerId::new(server),
+            outstanding_requests: outstanding,
+            utilization: util,
+            recent_customers: Vec::new(),
+            config: InstanceConfig::default_70b(),
+            in_transition: false,
+        }
+    }
+
+    fn request(customer: u64) -> InferenceRequest {
+        InferenceRequest {
+            id: RequestId(1),
+            customer: CustomerId(customer),
+            arrival: SimTime::ZERO,
+            prompt_tokens: 512,
+            output_tokens: 128,
+        }
+    }
+
+    fn calm_context(profiles: &ProfileStore) -> RoutingContext {
+        RoutingContext {
+            outside_temp: Celsius::new(20.0),
+            dc_load: 0.4,
+            row_power: profiles
+                .budgets
+                .row_power
+                .keys()
+                .map(|&r| (r, Kilowatts::new(50.0)))
+                .collect(),
+            aisle_airflow: profiles
+                .budgets
+                .aisle_airflow
+                .keys()
+                .map(|&a| (a, CubicFeetPerMinute::new(10_000.0)))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn baseline_picks_least_outstanding() {
+        let profiles = profiles();
+        let ctx = calm_context(&profiles);
+        let instances = vec![snapshot(1, 0, 10, 0.9), snapshot(2, 1, 2, 0.3), snapshot(3, 2, 5, 0.5)];
+        let choice = BaselineRouter.route(&request(0), &instances, &profiles, &ctx);
+        assert_eq!(choice, Some(VmId(2)));
+        assert_eq!(BaselineRouter.name(), "baseline-router");
+        assert!(BaselineRouter.route(&request(0), &[], &profiles, &ctx).is_none());
+    }
+
+    #[test]
+    fn baseline_skips_instances_in_transition_when_possible() {
+        let profiles = profiles();
+        let ctx = calm_context(&profiles);
+        let mut busy = snapshot(1, 0, 1, 0.2);
+        busy.in_transition = true;
+        let instances = vec![busy.clone(), snapshot(2, 1, 5, 0.5)];
+        assert_eq!(BaselineRouter.route(&request(0), &instances, &profiles, &ctx), Some(VmId(2)));
+        // If every instance is in transition the request still goes somewhere.
+        let all_busy = vec![busy];
+        assert_eq!(BaselineRouter.route(&request(0), &all_busy, &profiles, &ctx), Some(VmId(1)));
+    }
+
+    #[test]
+    fn tapas_avoids_rows_near_their_power_budget() {
+        let profiles = profiles();
+        let router = TapasRouter::default();
+        let mut ctx = calm_context(&profiles);
+        // Row 0 is right at its budget; row 1 is calm. Instance 1 sits in row 0 (server 0),
+        // instance 2 in row 1 (server 40).
+        let row0 = profiles.server(ServerId::new(0)).row;
+        let budget = profiles.budgets.row_power[&row0];
+        ctx.row_power.insert(row0, budget * 0.99);
+        let instances = vec![snapshot(1, 0, 1, 0.5), snapshot(2, 40, 5, 0.5)];
+        let choice = router.route(&request(0), &instances, &profiles, &ctx);
+        assert_eq!(choice, Some(VmId(2)), "the request must avoid the at-risk row");
+        assert_eq!(router.name(), "tapas-router");
+    }
+
+    #[test]
+    fn tapas_avoids_hot_servers() {
+        let profiles = profiles();
+        let router = TapasRouter::default();
+        let mut ctx = calm_context(&profiles);
+        // A very hot day with high utilization puts fully-loaded servers at thermal risk.
+        ctx.outside_temp = Celsius::new(42.0);
+        ctx.dc_load = 1.0;
+        let hot = snapshot(1, 0, 0, 0.98);
+        let cool = snapshot(2, 40, 8, 0.2);
+        let choice = router.route(&request(0), &[hot.clone(), cool], &profiles, &ctx);
+        assert_eq!(choice, Some(VmId(2)));
+        // If every instance is risky, the router still returns something.
+        let choice = router.route(&request(0), &[hot], &profiles, &ctx);
+        assert_eq!(choice, Some(VmId(1)));
+    }
+
+    #[test]
+    fn tapas_prefers_kv_affinity() {
+        let profiles = profiles();
+        let router = TapasRouter::default();
+        let ctx = calm_context(&profiles);
+        let mut with_cache = snapshot(1, 0, 6, 0.5);
+        with_cache.recent_customers.push(CustomerId(7));
+        let without_cache = snapshot(2, 1, 0, 0.1);
+        let choice =
+            router.route(&request(7), &[with_cache.clone(), without_cache.clone()], &profiles, &ctx);
+        assert_eq!(choice, Some(VmId(1)), "KV affinity should dominate");
+        // A different customer goes by concentration/spread instead.
+        let other = router.route(&request(9), &[with_cache, without_cache], &profiles, &ctx);
+        assert_eq!(other, Some(VmId(1)), "concentration prefers the busier-but-safe instance");
+    }
+
+    #[test]
+    fn tapas_concentrates_below_knee_and_spreads_above() {
+        let profiles = profiles();
+        let router = TapasRouter::default();
+        let ctx = calm_context(&profiles);
+        // Both below the knee: prefer the busier one (concentration).
+        let low = snapshot(1, 0, 2, 0.2);
+        let mid = snapshot(2, 1, 2, 0.6);
+        assert_eq!(
+            router.route(&request(0), &[low.clone(), mid], &profiles, &ctx),
+            Some(VmId(2))
+        );
+        // One far above the knee: prefer the one with headroom.
+        let hot = snapshot(3, 2, 2, 0.95);
+        assert_eq!(router.route(&request(0), &[low, hot], &profiles, &ctx), Some(VmId(1)));
+    }
+
+    #[test]
+    fn tapas_airflow_risk_filters_aisle() {
+        let profiles = profiles();
+        let router = TapasRouter::default();
+        let mut ctx = calm_context(&profiles);
+        let aisle = profiles.server(ServerId::new(0)).aisle;
+        let provisioned = profiles.budgets.aisle_airflow[&aisle];
+        ctx.aisle_airflow.insert(aisle, provisioned * 0.999);
+        // Both instances are in the same (only) aisle, so the filter rejects both and the
+        // fallback still routes the request.
+        let instances = vec![snapshot(1, 0, 3, 0.5), snapshot(2, 40, 1, 0.5)];
+        let choice = router.route(&request(0), &instances, &profiles, &ctx);
+        assert!(choice.is_some());
+    }
+}

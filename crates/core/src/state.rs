@@ -1,0 +1,298 @@
+//! Cluster occupancy bookkeeping.
+//!
+//! Every GPU VM in the studied fleet occupies a whole 8-GPU server, so the cluster state is a
+//! partial assignment of VMs to servers plus, for SaaS VMs, their current instance
+//! configuration. Both the allocator and the router read this state; the cluster simulator
+//! mutates it as VMs arrive, retire and get reconfigured.
+
+use dc_sim::ids::{AisleId, RowId, ServerId};
+use dc_sim::topology::Layout;
+use llm_sim::config::InstanceConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use workload::vm::{Vm, VmId, VmKind};
+
+/// A VM placed on a server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacedVm {
+    /// The VM.
+    pub vm: Vm,
+    /// The server hosting it.
+    pub server: ServerId,
+    /// The allocator's prediction of this VM's peak mean-GPU load in `[0, 1]`.
+    pub predicted_peak_load: f64,
+    /// The current instance configuration (SaaS only).
+    pub config: Option<InstanceConfig>,
+}
+
+/// Errors returned by cluster-state mutations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StateError {
+    /// The target server already hosts a VM.
+    ServerOccupied(ServerId),
+    /// The VM is already placed somewhere.
+    AlreadyPlaced(VmId),
+    /// The VM is not currently placed.
+    NotPlaced(VmId),
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateError::ServerOccupied(s) => write!(f, "server {s} is already occupied"),
+            StateError::AlreadyPlaced(vm) => write!(f, "{vm} is already placed"),
+            StateError::NotPlaced(vm) => write!(f, "{vm} is not placed"),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// The assignment of VMs to servers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterState {
+    occupancy: Vec<Option<PlacedVm>>,
+    by_vm: BTreeMap<VmId, ServerId>,
+}
+
+impl ClusterState {
+    /// Creates an empty state for a cluster of `server_count` servers.
+    #[must_use]
+    pub fn new(server_count: usize) -> Self {
+        Self { occupancy: vec![None; server_count], by_vm: BTreeMap::new() }
+    }
+
+    /// Number of servers.
+    #[must_use]
+    pub fn server_count(&self) -> usize {
+        self.occupancy.len()
+    }
+
+    /// Number of placed VMs.
+    #[must_use]
+    pub fn placed_count(&self) -> usize {
+        self.by_vm.len()
+    }
+
+    /// Returns `true` if the server hosts no VM.
+    #[must_use]
+    pub fn is_free(&self, server: ServerId) -> bool {
+        self.occupancy[server.index()].is_none()
+    }
+
+    /// The VM on a server, if any.
+    #[must_use]
+    pub fn vm_on(&self, server: ServerId) -> Option<&PlacedVm> {
+        self.occupancy[server.index()].as_ref()
+    }
+
+    /// The server hosting a VM, if it is placed.
+    #[must_use]
+    pub fn server_of(&self, vm: VmId) -> Option<ServerId> {
+        self.by_vm.get(&vm).copied()
+    }
+
+    /// All free servers.
+    #[must_use]
+    pub fn free_servers(&self) -> Vec<ServerId> {
+        self.occupancy
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.is_none())
+            .map(|(i, _)| ServerId::new(i))
+            .collect()
+    }
+
+    /// Iterates over all placed VMs.
+    pub fn placed(&self) -> impl Iterator<Item = &PlacedVm> + '_ {
+        self.occupancy.iter().filter_map(|slot| slot.as_ref())
+    }
+
+    /// Places a VM on a server.
+    ///
+    /// # Errors
+    /// Returns an error if the server is occupied or the VM is already placed.
+    pub fn place(
+        &mut self,
+        vm: Vm,
+        server: ServerId,
+        predicted_peak_load: f64,
+        config: Option<InstanceConfig>,
+    ) -> Result<(), StateError> {
+        if self.by_vm.contains_key(&vm.id) {
+            return Err(StateError::AlreadyPlaced(vm.id));
+        }
+        if self.occupancy[server.index()].is_some() {
+            return Err(StateError::ServerOccupied(server));
+        }
+        self.occupancy[server.index()] =
+            Some(PlacedVm { vm, server, predicted_peak_load, config });
+        self.by_vm.insert(vm.id, server);
+        Ok(())
+    }
+
+    /// Removes a VM, freeing its server.
+    ///
+    /// # Errors
+    /// Returns an error if the VM is not placed.
+    pub fn remove(&mut self, vm: VmId) -> Result<PlacedVm, StateError> {
+        let server = self.by_vm.remove(&vm).ok_or(StateError::NotPlaced(vm))?;
+        Ok(self.occupancy[server.index()].take().expect("occupancy consistent with index"))
+    }
+
+    /// Updates the configuration of a placed SaaS VM.
+    ///
+    /// # Errors
+    /// Returns an error if the VM is not placed.
+    pub fn set_config(&mut self, vm: VmId, config: InstanceConfig) -> Result<(), StateError> {
+        let server = self.by_vm.get(&vm).copied().ok_or(StateError::NotPlaced(vm))?;
+        let placed = self.occupancy[server.index()]
+            .as_mut()
+            .expect("occupancy consistent with index");
+        placed.config = Some(config);
+        Ok(())
+    }
+
+    /// Counts `(iaas, saas)` VMs in a row.
+    #[must_use]
+    pub fn row_mix(&self, layout: &Layout, row: RowId) -> (usize, usize) {
+        let mut iaas = 0;
+        let mut saas = 0;
+        for &server in &layout.rows()[row.index()].servers {
+            if let Some(placed) = self.vm_on(server) {
+                match placed.vm.kind {
+                    VmKind::Iaas { .. } => iaas += 1,
+                    VmKind::Saas { .. } => saas += 1,
+                }
+            }
+        }
+        (iaas, saas)
+    }
+
+    /// VMs placed in an aisle.
+    #[must_use]
+    pub fn vms_in_aisle(&self, layout: &Layout, aisle: AisleId) -> Vec<&PlacedVm> {
+        layout.aisles()[aisle.index()]
+            .servers
+            .iter()
+            .filter_map(|&s| self.vm_on(s))
+            .collect()
+    }
+
+    /// VMs placed in a row.
+    #[must_use]
+    pub fn vms_in_row(&self, layout: &Layout, row: RowId) -> Vec<&PlacedVm> {
+        layout.rows()[row.index()]
+            .servers
+            .iter()
+            .filter_map(|&s| self.vm_on(s))
+            .collect()
+    }
+
+    /// Retires every VM whose lifetime has expired at `now`, returning the retired VMs.
+    pub fn retire_expired(&mut self, now: simkit::time::SimTime) -> Vec<PlacedVm> {
+        let expired: Vec<VmId> = self
+            .placed()
+            .filter(|p| !p.vm.is_alive_at(now) && p.vm.departure() <= now)
+            .map(|p| p.vm.id)
+            .collect();
+        expired
+            .into_iter()
+            .map(|id| self.remove(id).expect("listed as placed"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_sim::topology::LayoutConfig;
+    use simkit::time::{SimDuration, SimTime};
+    use workload::endpoints::EndpointId;
+    use workload::vm::IaasCustomerId;
+
+    fn vm(id: u64, saas: bool) -> Vm {
+        Vm {
+            id: VmId(id),
+            kind: if saas {
+                VmKind::Saas { endpoint: EndpointId(0) }
+            } else {
+                VmKind::Iaas { customer: IaasCustomerId(0) }
+            },
+            arrival: SimTime::ZERO,
+            lifetime: SimDuration::from_days(7),
+        }
+    }
+
+    #[test]
+    fn place_and_remove_round_trip() {
+        let mut state = ClusterState::new(4);
+        assert_eq!(state.server_count(), 4);
+        assert_eq!(state.free_servers().len(), 4);
+        state.place(vm(1, true), ServerId::new(2), 0.8, Some(InstanceConfig::default_70b())).unwrap();
+        assert_eq!(state.placed_count(), 1);
+        assert!(!state.is_free(ServerId::new(2)));
+        assert_eq!(state.server_of(VmId(1)), Some(ServerId::new(2)));
+        assert_eq!(state.vm_on(ServerId::new(2)).unwrap().vm.id, VmId(1));
+        let removed = state.remove(VmId(1)).unwrap();
+        assert_eq!(removed.server, ServerId::new(2));
+        assert!(state.is_free(ServerId::new(2)));
+        assert_eq!(state.placed_count(), 0);
+    }
+
+    #[test]
+    fn double_placement_and_missing_removal_error() {
+        let mut state = ClusterState::new(2);
+        state.place(vm(1, false), ServerId::new(0), 1.0, None).unwrap();
+        assert_eq!(
+            state.place(vm(2, false), ServerId::new(0), 1.0, None),
+            Err(StateError::ServerOccupied(ServerId::new(0)))
+        );
+        assert_eq!(
+            state.place(vm(1, false), ServerId::new(1), 1.0, None),
+            Err(StateError::AlreadyPlaced(VmId(1)))
+        );
+        assert_eq!(state.remove(VmId(9)), Err(StateError::NotPlaced(VmId(9))));
+        assert!(StateError::NotPlaced(VmId(9)).to_string().contains("not placed"));
+    }
+
+    #[test]
+    fn set_config_updates_placed_vm() {
+        let mut state = ClusterState::new(2);
+        state.place(vm(1, true), ServerId::new(0), 0.5, Some(InstanceConfig::default_70b())).unwrap();
+        let new_config = InstanceConfig::small_fallback();
+        state.set_config(VmId(1), new_config).unwrap();
+        assert_eq!(state.vm_on(ServerId::new(0)).unwrap().config, Some(new_config));
+        assert!(state.set_config(VmId(2), new_config).is_err());
+    }
+
+    #[test]
+    fn row_mix_counts_kinds() {
+        let layout = LayoutConfig::small_test_cluster().build();
+        let mut state = ClusterState::new(layout.server_count());
+        // Row 0 contains servers 0..4.
+        state.place(vm(1, true), ServerId::new(0), 0.5, None).unwrap();
+        state.place(vm(2, false), ServerId::new(1), 0.5, None).unwrap();
+        state.place(vm(3, false), ServerId::new(4), 0.5, None).unwrap();
+        let (iaas, saas) = state.row_mix(&layout, RowId::new(0));
+        assert_eq!((iaas, saas), (1, 1));
+        let (iaas1, saas1) = state.row_mix(&layout, RowId::new(1));
+        assert_eq!((iaas1, saas1), (1, 0));
+        assert_eq!(state.vms_in_row(&layout, RowId::new(0)).len(), 2);
+        assert_eq!(state.vms_in_aisle(&layout, AisleId::new(0)).len(), 3);
+    }
+
+    #[test]
+    fn retire_expired_removes_only_dead_vms() {
+        let mut state = ClusterState::new(3);
+        let mut short = vm(1, false);
+        short.lifetime = SimDuration::from_hours(1);
+        state.place(short, ServerId::new(0), 0.5, None).unwrap();
+        state.place(vm(2, true), ServerId::new(1), 0.5, None).unwrap();
+        let retired = state.retire_expired(SimTime::from_hours(2));
+        assert_eq!(retired.len(), 1);
+        assert_eq!(retired[0].vm.id, VmId(1));
+        assert_eq!(state.placed_count(), 1);
+        assert!(state.is_free(ServerId::new(0)));
+    }
+}

@@ -1,0 +1,291 @@
+//! Per-GPU temperature model (Eq. 2 of the paper).
+//!
+//! The characterization finds that a linear regression of GPU temperature on the server inlet
+//! temperature and the GPU power draw reaches a mean absolute error below 1 °C (Fig. 7):
+//! `T_gpu = a · T_inlet + b · P_gpu + c + offset_gpu`.
+//!
+//! Within one server, GPUs with identical utilization differ by up to ≈10 °C because of the
+//! chassis layout (GPUs closer to the inlet — the even-numbered slots — run cooler) and
+//! process variation (Fig. 8–9). GPU memory tracks the GPU temperature, running slightly
+//! hotter under memory-intensive (decode-dominated) load and slightly cooler otherwise.
+
+use crate::ids::GpuId;
+use crate::topology::Layout;
+use serde::{Deserialize, Serialize};
+use simkit::rng::SimRng;
+use simkit::units::{Celsius, Watts};
+
+/// Coefficients of the linear GPU temperature model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuThermalCoefficients {
+    /// Sensitivity to the server inlet temperature (°C per °C).
+    pub inlet_coeff: f64,
+    /// Sensitivity to the GPU power draw (°C per W).
+    pub power_coeff: f64,
+    /// Intercept (°C).
+    pub intercept: f64,
+    /// Extra temperature of the hotter (odd, obstructed) GPU slots relative to the cooler
+    /// (even, inlet-adjacent) slots.
+    pub layout_penalty_c: f64,
+    /// Standard deviation of the per-GPU process-variation offset.
+    pub process_variation_std_c: f64,
+    /// Memory temperature offset relative to the GPU under memory-bound load.
+    pub mem_offset_membound_c: f64,
+    /// Memory temperature offset relative to the GPU under compute-bound load.
+    pub mem_offset_computebound_c: f64,
+}
+
+impl Default for GpuThermalCoefficients {
+    fn default() -> Self {
+        Self {
+            inlet_coeff: 0.9,
+            power_coeff: 0.10,
+            intercept: 5.0,
+            layout_penalty_c: 4.0,
+            process_variation_std_c: 1.8,
+            mem_offset_membound_c: 3.0,
+            mem_offset_computebound_c: -2.0,
+        }
+    }
+}
+
+/// Temperatures of one GPU at one evaluation step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuTemperatures {
+    /// GPU junction temperature.
+    pub gpu: Celsius,
+    /// GPU memory (HBM) temperature.
+    pub memory: Celsius,
+}
+
+/// Per-GPU thermal model with layout and process-variation offsets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuThermalModel {
+    coeffs: GpuThermalCoefficients,
+    /// Offsets indexed by `[server][slot]`.
+    offsets: Vec<Vec<f64>>,
+}
+
+impl GpuThermalModel {
+    /// Builds the model for a layout with deterministic per-GPU offsets.
+    #[must_use]
+    pub fn for_layout(layout: &Layout, coeffs: GpuThermalCoefficients, seed: u64) -> Self {
+        let mut rng = SimRng::seed_from(seed).derive("gpu-thermal");
+        let offsets = layout
+            .servers()
+            .iter()
+            .map(|server| {
+                (0..server.spec.gpus_per_server)
+                    .map(|slot| {
+                        let layout_offset = if slot % 2 == 0 {
+                            0.0
+                        } else {
+                            coeffs.layout_penalty_c
+                        };
+                        layout_offset + rng.normal(0.0, coeffs.process_variation_std_c)
+                    })
+                    .collect()
+            })
+            .collect();
+        Self { coeffs, offsets }
+    }
+
+    /// The model coefficients.
+    #[must_use]
+    pub fn coefficients(&self) -> &GpuThermalCoefficients {
+        &self.coeffs
+    }
+
+    /// The static offset of a GPU (layout + process variation).
+    ///
+    /// # Panics
+    /// Panics if the GPU id is out of range.
+    #[must_use]
+    pub fn offset(&self, gpu: GpuId) -> f64 {
+        self.offsets[gpu.server.index()][gpu.slot]
+    }
+
+    /// GPU and memory temperatures given the server inlet temperature, this GPU's power draw
+    /// and the memory-boundedness of its current work (0 = fully compute-bound prefill,
+    /// 1 = fully memory-bound decode).
+    #[must_use]
+    pub fn temperatures(
+        &self,
+        gpu: GpuId,
+        inlet: Celsius,
+        gpu_power: Watts,
+        memory_boundedness: f64,
+    ) -> GpuTemperatures {
+        let c = &self.coeffs;
+        let base = c.inlet_coeff * inlet.value()
+            + c.power_coeff * gpu_power.value()
+            + c.intercept
+            + self.offset(gpu);
+        let mem_frac = memory_boundedness.clamp(0.0, 1.0);
+        let mem_offset = c.mem_offset_computebound_c
+            + (c.mem_offset_membound_c - c.mem_offset_computebound_c) * mem_frac;
+        GpuTemperatures {
+            gpu: Celsius::new(base),
+            memory: Celsius::new(base + mem_offset),
+        }
+    }
+
+    /// Inverse model: the maximum GPU power that keeps the *hottest* GPU of a server at or
+    /// below `limit`, for a given inlet temperature.
+    ///
+    /// TAPAS's instance configurator uses this to turn a temperature headroom into a power
+    /// budget when selecting configurations.
+    #[must_use]
+    pub fn power_for_temp_limit(
+        &self,
+        server: crate::ids::ServerId,
+        inlet: Celsius,
+        limit: Celsius,
+    ) -> Watts {
+        let c = &self.coeffs;
+        let worst_offset = self.offsets[server.index()]
+            .iter()
+            .copied()
+            .fold(f64::MIN, f64::max);
+        let available =
+            limit.value() - c.inlet_coeff * inlet.value() - c.intercept - worst_offset;
+        Watts::new((available / c.power_coeff).max(0.0))
+    }
+
+    /// Number of servers covered.
+    #[must_use]
+    pub fn server_count(&self) -> usize {
+        self.offsets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ServerId;
+    use crate::topology::LayoutConfig;
+    use simkit::stats;
+
+    fn model() -> GpuThermalModel {
+        let layout = LayoutConfig::real_cluster_two_rows().build();
+        GpuThermalModel::for_layout(&layout, GpuThermalCoefficients::default(), 42)
+    }
+
+    #[test]
+    fn temperature_is_linear_in_inlet_and_power() {
+        let m = model();
+        let gpu = GpuId::new(ServerId::new(0), 0);
+        let base = m.temperatures(gpu, Celsius::new(20.0), Watts::new(300.0), 0.5);
+        let hotter_inlet = m.temperatures(gpu, Celsius::new(25.0), Watts::new(300.0), 0.5);
+        let more_power = m.temperatures(gpu, Celsius::new(20.0), Watts::new(400.0), 0.5);
+        assert!((hotter_inlet.gpu.value() - base.gpu.value() - 0.9 * 5.0).abs() < 1e-9);
+        assert!((more_power.gpu.value() - base.gpu.value() - 0.10 * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn realistic_operating_point_matches_paper_range() {
+        // At ~22 °C inlet and 400 W per GPU the paper's Fig. 6/7 shows roughly 55–70 °C.
+        let m = model();
+        let temps: Vec<f64> = (0..8)
+            .map(|slot| {
+                m.temperatures(
+                    GpuId::new(ServerId::new(0), slot),
+                    Celsius::new(22.0),
+                    Watts::new(400.0),
+                    0.5,
+                )
+                .gpu
+                .value()
+            })
+            .collect();
+        for t in &temps {
+            assert!((45.0..80.0).contains(t), "unexpected GPU temperature {t}");
+        }
+    }
+
+    #[test]
+    fn even_slots_are_cooler_on_average() {
+        let layout = LayoutConfig::production_datacenter().build();
+        let m = GpuThermalModel::for_layout(&layout, GpuThermalCoefficients::default(), 1);
+        let mut even = Vec::new();
+        let mut odd = Vec::new();
+        for server in layout.servers() {
+            for slot in 0..8 {
+                let off = m.offset(GpuId::new(server.id, slot));
+                if slot % 2 == 0 {
+                    even.push(off);
+                } else {
+                    odd.push(off);
+                }
+            }
+        }
+        let diff = stats::mean(&odd).unwrap() - stats::mean(&even).unwrap();
+        assert!((diff - 4.0).abs() < 0.5, "layout penalty should be ≈4 °C, got {diff}");
+    }
+
+    #[test]
+    fn within_server_spread_is_up_to_ten_degrees() {
+        let layout = LayoutConfig::production_datacenter().build();
+        let m = GpuThermalModel::for_layout(&layout, GpuThermalCoefficients::default(), 3);
+        let mut spreads = Vec::new();
+        for server in layout.servers() {
+            let temps: Vec<f64> = (0..8)
+                .map(|slot| {
+                    m.temperatures(
+                        GpuId::new(server.id, slot),
+                        Celsius::new(22.0),
+                        Watts::new(400.0),
+                        0.5,
+                    )
+                    .gpu
+                    .value()
+                })
+                .collect();
+            spreads.push(stats::max(&temps).unwrap() - stats::min(&temps).unwrap());
+        }
+        let typical = stats::mean(&spreads).unwrap();
+        let worst = stats::max(&spreads).unwrap();
+        assert!(typical > 3.0, "typical within-server spread too small: {typical}");
+        assert!(worst < 20.0, "worst within-server spread implausibly large: {worst}");
+        assert!(worst > 7.0, "worst within-server spread should approach 10 °C: {worst}");
+    }
+
+    #[test]
+    fn memory_temperature_tracks_boundedness() {
+        let m = model();
+        let gpu = GpuId::new(ServerId::new(5), 2);
+        let decode = m.temperatures(gpu, Celsius::new(22.0), Watts::new(300.0), 1.0);
+        let prefill = m.temperatures(gpu, Celsius::new(22.0), Watts::new(300.0), 0.0);
+        assert!(decode.memory.value() > decode.gpu.value());
+        assert!(prefill.memory.value() < prefill.gpu.value());
+        // Same GPU power => same GPU temperature regardless of boundedness.
+        assert_eq!(decode.gpu, prefill.gpu);
+    }
+
+    #[test]
+    fn power_for_temp_limit_inverts_the_model() {
+        let m = model();
+        let server = ServerId::new(7);
+        let inlet = Celsius::new(24.0);
+        let limit = Celsius::new(85.0);
+        let power = m.power_for_temp_limit(server, inlet, limit);
+        assert!(power.value() > 0.0);
+        // Running every GPU at that power must keep all of them at or below the limit.
+        for slot in 0..8 {
+            let t = m.temperatures(GpuId::new(server, slot), inlet, power, 0.5);
+            assert!(t.gpu.value() <= limit.value() + 1e-6);
+        }
+        // An unreachable limit yields zero power rather than a negative one.
+        let impossible = m.power_for_temp_limit(server, Celsius::new(90.0), Celsius::new(20.0));
+        assert_eq!(impossible.value(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let layout = LayoutConfig::small_test_cluster().build();
+        let a = GpuThermalModel::for_layout(&layout, GpuThermalCoefficients::default(), 9);
+        let b = GpuThermalModel::for_layout(&layout, GpuThermalCoefficients::default(), 9);
+        assert_eq!(a, b);
+        assert_eq!(a.server_count(), 8);
+    }
+}

@@ -1,0 +1,553 @@
+//! The per-step evaluation pipeline.
+//!
+//! [`Datacenter`] owns the layout and the generative thermal/power models, and
+//! [`Datacenter::evaluate`] turns one step's per-GPU activity into:
+//!
+//! 1. per-server airflow demand and per-aisle airflow assessment (Eq. 3), including the heat
+//!    recirculation penalty when an aisle is over-subscribed or an AHU has failed;
+//! 2. per-server inlet temperatures (Eq. 1) given outside temperature, datacenter load and
+//!    the recirculation penalty;
+//! 3. per-GPU and per-GPU-memory temperatures (Eq. 2);
+//! 4. per-server power and the hierarchy assessment (Eq. 4) with power capping directives;
+//! 5. thermal throttling directives for GPUs above their junction limit.
+//!
+//! The engine is stateless across steps apart from the models' static offsets: the caller
+//! (the cluster simulator) owns all dynamic state (which VM runs where, what load it offers)
+//! and applies the capping/throttling directives to the *next* step's activity, which mirrors
+//! how real telemetry-driven control loops behave.
+
+use crate::cooling::airflow::{AirflowModel, AisleAirflowAssessment};
+use crate::cooling::gpu::{GpuTemperatures, GpuThermalCoefficients, GpuThermalModel};
+use crate::cooling::inlet::{InletCurve, InletModel};
+use crate::failures::FailureState;
+use crate::ids::{AisleId, GpuId, RowId, ServerId};
+use crate::power::hierarchy::{PowerAssessment, PowerHierarchy};
+use crate::power::server::ServerPowerModel;
+use crate::topology::Layout;
+use serde::{Deserialize, Serialize};
+use simkit::units::{Celsius, CubicFeetPerMinute, Kilowatts, Watts};
+use std::collections::BTreeMap;
+
+/// Activity of one server during a step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerActivity {
+    /// Per-GPU utilization in `[0, 1]`.
+    pub gpu_utilization: Vec<f64>,
+    /// Per-GPU frequency scale in `(0, 1]` (1.0 = nominal clocks).
+    pub frequency_scale: Vec<f64>,
+    /// Memory-boundedness of the work in `[0, 1]` (0 = prefill-like, 1 = decode-like).
+    pub memory_boundedness: f64,
+}
+
+impl ServerActivity {
+    /// An idle server with the given GPU count.
+    #[must_use]
+    pub fn idle(gpu_count: usize) -> Self {
+        Self {
+            gpu_utilization: vec![0.0; gpu_count],
+            frequency_scale: vec![1.0; gpu_count],
+            memory_boundedness: 0.0,
+        }
+    }
+
+    /// A server with every GPU at the same utilization and nominal frequency.
+    #[must_use]
+    pub fn uniform(gpu_count: usize, utilization: f64) -> Self {
+        Self {
+            gpu_utilization: vec![utilization.clamp(0.0, 1.0); gpu_count],
+            frequency_scale: vec![1.0; gpu_count],
+            memory_boundedness: 0.5,
+        }
+    }
+
+    /// Mean GPU utilization of the server.
+    #[must_use]
+    pub fn mean_utilization(&self) -> f64 {
+        if self.gpu_utilization.is_empty() {
+            0.0
+        } else {
+            self.gpu_utilization.iter().sum::<f64>() / self.gpu_utilization.len() as f64
+        }
+    }
+}
+
+/// Input to one evaluation step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepInput {
+    /// Outside air temperature.
+    pub outside_temp: Celsius,
+    /// Per-server activity, indexed by [`ServerId::index`].
+    pub activity: Vec<ServerActivity>,
+    /// Active infrastructure failures.
+    pub failures: FailureState,
+}
+
+impl StepInput {
+    /// An all-idle cluster at a given outside temperature (useful for tests and baselines).
+    #[must_use]
+    pub fn idle(layout: &Layout, outside_temp: Celsius) -> Self {
+        Self {
+            outside_temp,
+            activity: layout
+                .servers()
+                .iter()
+                .map(|s| ServerActivity::idle(s.spec.gpus_per_server))
+                .collect(),
+            failures: FailureState::healthy(),
+        }
+    }
+
+    /// A uniformly loaded cluster.
+    #[must_use]
+    pub fn uniform_load(layout: &Layout, outside_temp: Celsius, utilization: f64) -> Self {
+        Self {
+            outside_temp,
+            activity: layout
+                .servers()
+                .iter()
+                .map(|s| ServerActivity::uniform(s.spec.gpus_per_server, utilization))
+                .collect(),
+            failures: FailureState::healthy(),
+        }
+    }
+}
+
+/// A GPU that crossed its thermal limit, and the frequency reduction the hardware applies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalThrottleDirective {
+    /// The throttled GPU.
+    pub gpu: GpuId,
+    /// Junction temperature that triggered the throttle.
+    pub temperature: Celsius,
+    /// Frequency scale the hardware enforces until the GPU cools (`< 1.0`).
+    pub frequency_scale: f64,
+}
+
+/// Everything the engine derives for one step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepOutcome {
+    /// Per-server inlet temperature.
+    pub inlet_temps: Vec<Celsius>,
+    /// Per-server, per-GPU temperatures.
+    pub gpu_temps: Vec<Vec<GpuTemperatures>>,
+    /// Per-server total power.
+    pub server_power: Vec<Kilowatts>,
+    /// Per-server airflow demand.
+    pub server_airflow: Vec<CubicFeetPerMinute>,
+    /// Per-aisle airflow assessment.
+    pub aisle_airflow: BTreeMap<AisleId, AisleAirflowAssessment>,
+    /// Power-hierarchy assessment, including power capping directives.
+    pub power: PowerAssessment,
+    /// GPUs above their thermal limit and the throttle the hardware applies.
+    pub thermal_throttles: Vec<ThermalThrottleDirective>,
+    /// Normalized datacenter load in `[0, 1]` used for the inlet model.
+    pub datacenter_load: f64,
+}
+
+impl StepOutcome {
+    /// The hottest GPU temperature across the datacenter.
+    #[must_use]
+    pub fn max_gpu_temp(&self) -> Celsius {
+        self.gpu_temps
+            .iter()
+            .flatten()
+            .map(|t| t.gpu)
+            .fold(Celsius::new(f64::MIN), Celsius::max)
+    }
+
+    /// The hottest GPU-memory temperature across the datacenter.
+    #[must_use]
+    pub fn max_mem_temp(&self) -> Celsius {
+        self.gpu_temps
+            .iter()
+            .flatten()
+            .map(|t| t.memory)
+            .fold(Celsius::new(f64::MIN), Celsius::max)
+    }
+
+    /// The peak row power.
+    #[must_use]
+    pub fn peak_row_power(&self) -> Kilowatts {
+        self.power.peak_row_power()
+    }
+
+    /// Per-row power draw.
+    #[must_use]
+    pub fn row_power(&self) -> BTreeMap<RowId, Kilowatts> {
+        self.power.rows.iter().map(|(&id, util)| (id, util.draw)).collect()
+    }
+
+    /// Number of GPUs currently thermally throttled.
+    #[must_use]
+    pub fn throttled_gpu_count(&self) -> usize {
+        self.thermal_throttles.len()
+    }
+
+    /// Returns `true` if any aisle violates its airflow provisioning.
+    #[must_use]
+    pub fn any_airflow_violation(&self) -> bool {
+        self.aisle_airflow.values().any(AisleAirflowAssessment::is_violated)
+    }
+}
+
+/// Tunable model parameters for a [`Datacenter`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatacenterModels {
+    /// Inlet-temperature curve (Eq. 1).
+    pub inlet_curve: InletCurve,
+    /// GPU-temperature coefficients (Eq. 2).
+    pub gpu_thermal: GpuThermalCoefficients,
+    /// Airflow / recirculation model (Eq. 3).
+    pub airflow: AirflowModel,
+    /// Server power model (Eq. 4).
+    pub power: ServerPowerModel,
+}
+
+impl Default for DatacenterModels {
+    fn default() -> Self {
+        Self {
+            inlet_curve: InletCurve::default(),
+            gpu_thermal: GpuThermalCoefficients::default(),
+            airflow: AirflowModel::default(),
+            power: ServerPowerModel::default(),
+        }
+    }
+}
+
+/// The datacenter physics engine.
+#[derive(Debug, Clone)]
+pub struct Datacenter {
+    layout: Layout,
+    inlet_model: InletModel,
+    gpu_model: GpuThermalModel,
+    airflow_model: AirflowModel,
+    power_model: ServerPowerModel,
+    hierarchy: PowerHierarchy,
+}
+
+impl Datacenter {
+    /// Creates a datacenter with default model parameters and deterministic per-entity
+    /// offsets derived from `seed`.
+    #[must_use]
+    pub fn new(layout: Layout, seed: u64) -> Self {
+        Self::with_models(layout, DatacenterModels::default(), seed)
+    }
+
+    /// Creates a datacenter with explicit model parameters.
+    #[must_use]
+    pub fn with_models(layout: Layout, models: DatacenterModels, seed: u64) -> Self {
+        let inlet_model = InletModel::for_layout(&layout, models.inlet_curve, seed);
+        let gpu_model = GpuThermalModel::for_layout(&layout, models.gpu_thermal, seed);
+        let hierarchy = PowerHierarchy::from_layout(&layout);
+        Self {
+            layout,
+            inlet_model,
+            gpu_model,
+            airflow_model: models.airflow,
+            power_model: models.power,
+            hierarchy,
+        }
+    }
+
+    /// The physical layout.
+    #[must_use]
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The inlet-temperature model.
+    #[must_use]
+    pub fn inlet_model(&self) -> &InletModel {
+        &self.inlet_model
+    }
+
+    /// The GPU thermal model.
+    #[must_use]
+    pub fn gpu_model(&self) -> &GpuThermalModel {
+        &self.gpu_model
+    }
+
+    /// The server power model.
+    #[must_use]
+    pub fn power_model(&self) -> &ServerPowerModel {
+        &self.power_model
+    }
+
+    /// The airflow model.
+    #[must_use]
+    pub fn airflow_model(&self) -> &AirflowModel {
+        &self.airflow_model
+    }
+
+    /// The power hierarchy.
+    #[must_use]
+    pub fn hierarchy(&self) -> &PowerHierarchy {
+        &self.hierarchy
+    }
+
+    /// Evaluates one step.
+    ///
+    /// # Panics
+    /// Panics if `input.activity` does not have exactly one entry per server, or if a
+    /// server's activity has a different GPU count than its spec.
+    #[must_use]
+    pub fn evaluate(&self, input: &StepInput) -> StepOutcome {
+        assert_eq!(
+            input.activity.len(),
+            self.layout.server_count(),
+            "activity must cover every server"
+        );
+
+        // 1. Per-server loads, airflow demand and power.
+        let mut server_airflow = Vec::with_capacity(self.layout.server_count());
+        let mut server_power = Vec::with_capacity(self.layout.server_count());
+        let mut per_gpu_power: Vec<Vec<Watts>> = Vec::with_capacity(self.layout.server_count());
+        let mut total_load = 0.0;
+        for (server, activity) in self.layout.servers().iter().zip(&input.activity) {
+            assert_eq!(
+                activity.gpu_utilization.len(),
+                server.spec.gpus_per_server,
+                "activity GPU count must match the server spec"
+            );
+            let mean_load = activity.mean_utilization();
+            total_load += mean_load;
+            server_airflow.push(self.airflow_model.server_airflow(&server.spec, mean_load));
+            let (gpu_power, overhead) = self.power_model.split_server_power(
+                &server.spec,
+                &activity.gpu_utilization,
+                &activity.frequency_scale,
+            );
+            let total: Watts = gpu_power.iter().copied().sum::<Watts>() + overhead;
+            server_power.push(total.to_kilowatts());
+            per_gpu_power.push(gpu_power);
+        }
+        let datacenter_load = if self.layout.server_count() > 0 {
+            total_load / self.layout.server_count() as f64
+        } else {
+            0.0
+        };
+
+        // 2. Aisle airflow assessment and recirculation penalties.
+        let mut aisle_airflow = BTreeMap::new();
+        let mut aisle_penalty: BTreeMap<AisleId, f64> = BTreeMap::new();
+        for aisle in self.layout.aisles() {
+            let fraction = input
+                .failures
+                .aisle_airflow_fraction(aisle.id, aisle.ahu_count);
+            let assessment = self.airflow_model.assess_aisle(
+                aisle,
+                |s: ServerId| server_airflow[s.index()],
+                fraction,
+            );
+            aisle_penalty.insert(aisle.id, assessment.recirculation_penalty_c);
+            aisle_airflow.insert(aisle.id, assessment);
+        }
+
+        // 3. Inlet temperatures.
+        let inlet_temps: Vec<Celsius> = self
+            .layout
+            .servers()
+            .iter()
+            .map(|server| {
+                let penalty = aisle_penalty.get(&server.aisle).copied().unwrap_or(0.0);
+                self.inlet_model.inlet_temp(
+                    server.id,
+                    input.outside_temp,
+                    datacenter_load,
+                    penalty,
+                )
+            })
+            .collect();
+
+        // 4. GPU temperatures and thermal throttles.
+        let mut gpu_temps = Vec::with_capacity(self.layout.server_count());
+        let mut thermal_throttles = Vec::new();
+        for (server, activity) in self.layout.servers().iter().zip(&input.activity) {
+            let inlet = inlet_temps[server.id.index()];
+            let mut temps = Vec::with_capacity(server.spec.gpus_per_server);
+            for slot in 0..server.spec.gpus_per_server {
+                let gpu_id = GpuId::new(server.id, slot);
+                let t = self.gpu_model.temperatures(
+                    gpu_id,
+                    inlet,
+                    per_gpu_power[server.id.index()][slot],
+                    activity.memory_boundedness,
+                );
+                let limit = server.spec.gpu_throttle_temp_c;
+                if t.gpu.value() > limit {
+                    // The hardware reduces clocks proportionally to the overshoot, with a
+                    // floor of 50 % of nominal frequency (matching observed DVFS behaviour).
+                    let overshoot = t.gpu.value() - limit;
+                    let frequency_scale = (1.0 - 0.05 * overshoot).clamp(0.5, 0.95);
+                    thermal_throttles.push(ThermalThrottleDirective {
+                        gpu: gpu_id,
+                        temperature: t.gpu,
+                        frequency_scale,
+                    });
+                }
+                temps.push(t);
+            }
+            gpu_temps.push(temps);
+        }
+
+        // 5. Power hierarchy assessment and capping.
+        let capacity = input.failures.capacity_state(&self.layout);
+        let power = self.hierarchy.assess(&server_power, &capacity);
+
+        StepOutcome {
+            inlet_temps,
+            gpu_temps,
+            server_power,
+            server_airflow,
+            aisle_airflow,
+            power,
+            thermal_throttles,
+            datacenter_load,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failures::FailureSchedule;
+    use crate::topology::LayoutConfig;
+    use simkit::time::SimTime;
+
+    fn datacenter() -> Datacenter {
+        Datacenter::new(LayoutConfig::real_cluster_two_rows().build(), 42)
+    }
+
+    #[test]
+    fn idle_cluster_is_cool_and_uncapped() {
+        let dc = datacenter();
+        let outcome = dc.evaluate(&StepInput::idle(dc.layout(), Celsius::new(18.0)));
+        assert!(outcome.max_gpu_temp().value() < 55.0);
+        assert!(!outcome.power.any_over_budget());
+        assert!(outcome.thermal_throttles.is_empty());
+        assert!(!outcome.any_airflow_violation());
+        assert_eq!(outcome.datacenter_load, 0.0);
+        assert_eq!(outcome.inlet_temps.len(), 80);
+        assert_eq!(outcome.gpu_temps.len(), 80);
+        assert_eq!(outcome.gpu_temps[0].len(), 8);
+    }
+
+    #[test]
+    fn load_raises_temperature_and_power_monotonically() {
+        let dc = datacenter();
+        let mut last_temp = 0.0;
+        let mut last_power = 0.0;
+        for load in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let outcome =
+                dc.evaluate(&StepInput::uniform_load(dc.layout(), Celsius::new(22.0), load));
+            let t = outcome.max_gpu_temp().value();
+            let p = outcome.peak_row_power().value();
+            assert!(t >= last_temp, "temperature must be monotone in load");
+            assert!(p >= last_power, "power must be monotone in load");
+            last_temp = t;
+            last_power = p;
+        }
+    }
+
+    #[test]
+    fn hot_day_full_load_produces_hot_gpus() {
+        let dc = datacenter();
+        let outcome =
+            dc.evaluate(&StepInput::uniform_load(dc.layout(), Celsius::new(35.0), 1.0));
+        // Full load on a hot day should push the hottest GPUs near or past the limit.
+        assert!(outcome.max_gpu_temp().value() > 70.0);
+        // Memory runs hotter than the GPU under the default 0.5 boundedness? Not necessarily,
+        // but it must be within a few degrees.
+        assert!((outcome.max_mem_temp().value() - outcome.max_gpu_temp().value()).abs() < 6.0);
+    }
+
+    #[test]
+    fn thermal_throttles_fire_above_limit() {
+        let dc = datacenter();
+        // Extreme outside temperature forces inlet (and thus GPU) temperatures over the limit.
+        let outcome =
+            dc.evaluate(&StepInput::uniform_load(dc.layout(), Celsius::new(45.0), 1.0));
+        assert!(outcome.throttled_gpu_count() > 0);
+        for directive in &outcome.thermal_throttles {
+            assert!(directive.temperature.value() > 85.0);
+            assert!(directive.frequency_scale >= 0.5 && directive.frequency_scale < 1.0);
+        }
+    }
+
+    #[test]
+    fn power_capping_triggers_when_row_budget_exceeded() {
+        // Provision rows for only 60 % of TDP, then run at full load.
+        let mut cfg = LayoutConfig::real_cluster_two_rows();
+        cfg.row_power_provisioning = 0.6;
+        let dc = Datacenter::new(cfg.build(), 1);
+        let outcome =
+            dc.evaluate(&StepInput::uniform_load(dc.layout(), Celsius::new(20.0), 1.0));
+        assert!(outcome.power.any_over_budget());
+        assert!(!outcome.power.capping.is_empty());
+    }
+
+    #[test]
+    fn cooling_failure_raises_inlet_temperatures() {
+        let dc = datacenter();
+        let mut input = StepInput::uniform_load(dc.layout(), Celsius::new(28.0), 0.9);
+        let healthy = dc.evaluate(&input);
+        let schedule = FailureSchedule::none().with_thermal_emergency(
+            SimTime::ZERO,
+            SimTime::from_hours(2),
+        );
+        input.failures = schedule.state_at(SimTime::from_minutes(30));
+        let degraded = dc.evaluate(&input);
+        // Less airflow available -> higher (or equal) utilization and potentially recirculation.
+        let healthy_util = healthy.aisle_airflow[&AisleId::new(0)].utilization;
+        let degraded_util = degraded.aisle_airflow[&AisleId::new(0)].utilization;
+        assert!(degraded_util > healthy_util);
+        assert!(degraded.max_gpu_temp().value() >= healthy.max_gpu_temp().value());
+    }
+
+    #[test]
+    fn power_emergency_caps_aggressively() {
+        let dc = datacenter();
+        let mut input = StepInput::uniform_load(dc.layout(), Celsius::new(20.0), 0.7);
+        let healthy = dc.evaluate(&input);
+        assert!(!healthy.power.any_over_budget());
+        let schedule = FailureSchedule::none()
+            .with_power_emergency(SimTime::ZERO, SimTime::from_hours(1));
+        input.failures = schedule.state_at(SimTime::from_minutes(10));
+        let degraded = dc.evaluate(&input);
+        assert!(degraded.power.any_over_budget());
+        assert_eq!(degraded.power.capping.len(), dc.layout().server_count());
+    }
+
+    #[test]
+    fn spatial_heterogeneity_shows_in_outcome() {
+        let dc = datacenter();
+        let outcome =
+            dc.evaluate(&StepInput::uniform_load(dc.layout(), Celsius::new(25.0), 0.8));
+        let inlets: Vec<f64> = outcome.inlet_temps.iter().map(|t| t.value()).collect();
+        let spread = simkit::stats::max(&inlets).unwrap() - simkit::stats::min(&inlets).unwrap();
+        assert!(spread > 1.0, "inlet spread should reflect spatial heterogeneity: {spread}");
+        // GPUs within one server differ because of layout/process variation.
+        let first_server = &outcome.gpu_temps[0];
+        let temps: Vec<f64> = first_server.iter().map(|t| t.gpu.value()).collect();
+        let gpu_spread = simkit::stats::max(&temps).unwrap() - simkit::stats::min(&temps).unwrap();
+        assert!(gpu_spread > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "activity must cover every server")]
+    fn mismatched_activity_length_panics() {
+        let dc = datacenter();
+        let mut input = StepInput::idle(dc.layout(), Celsius::new(20.0));
+        input.activity.pop();
+        let _ = dc.evaluate(&input);
+    }
+
+    #[test]
+    #[should_panic(expected = "match the server spec")]
+    fn mismatched_gpu_count_panics() {
+        let dc = datacenter();
+        let mut input = StepInput::idle(dc.layout(), Celsius::new(20.0));
+        input.activity[0].gpu_utilization.pop();
+        let _ = dc.evaluate(&input);
+    }
+}

@@ -1,0 +1,425 @@
+//! The three-level power delivery hierarchy and power capping (Eq. 4).
+//!
+//! Power flows ATS → UPS → PDU pairs → rows of racks → servers. Each level has a provisioned
+//! budget; if the aggregate draw of a level exceeds its budget, the servers below that level
+//! are power-capped to bring the draw back within limits (§2.2). Redundancy failures (e.g. a
+//! UPS in a 4N/3 group failing) reduce the effective budget of the affected levels, which is
+//! how §5.4's "75 % power capacity" emergency is modelled.
+
+use crate::ids::{PduId, RowId, ServerId, UpsId};
+use crate::topology::Layout;
+use serde::{Deserialize, Serialize};
+use simkit::units::Kilowatts;
+use std::collections::BTreeMap;
+
+/// A per-server power cap produced when some level of the hierarchy is over budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CappingDirective {
+    /// The capped server.
+    pub server: ServerId,
+    /// Fraction of its current power the server is allowed to keep (`0 < fraction <= 1`).
+    pub power_fraction: f64,
+}
+
+/// Utilization of one level of the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LevelUtilization {
+    /// Aggregate draw of the level.
+    pub draw: Kilowatts,
+    /// Effective budget (provisioned budget × capacity fraction after failures).
+    pub budget: Kilowatts,
+    /// `draw / budget`.
+    pub utilization: f64,
+}
+
+impl LevelUtilization {
+    fn new(draw: Kilowatts, budget: Kilowatts) -> Self {
+        let utilization = if budget.value() > 0.0 {
+            draw / budget
+        } else {
+            f64::INFINITY
+        };
+        Self { draw, budget, utilization }
+    }
+
+    /// Returns `true` if the level draws more than its budget.
+    #[must_use]
+    pub fn is_over_budget(&self) -> bool {
+        self.utilization > 1.0
+    }
+
+    /// Remaining headroom (zero when over budget).
+    #[must_use]
+    pub fn headroom(&self) -> Kilowatts {
+        Kilowatts::new((self.budget.value() - self.draw.value()).max(0.0))
+    }
+}
+
+/// The result of assessing the hierarchy for one step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerAssessment {
+    /// Per-row utilization.
+    pub rows: BTreeMap<RowId, LevelUtilization>,
+    /// Per-PDU utilization.
+    pub pdus: BTreeMap<PduId, LevelUtilization>,
+    /// Per-UPS utilization.
+    pub upses: BTreeMap<UpsId, LevelUtilization>,
+    /// Datacenter-level utilization.
+    pub datacenter: LevelUtilization,
+    /// Capping directives for servers under over-budget levels (empty when all levels fit).
+    pub capping: Vec<CappingDirective>,
+}
+
+impl PowerAssessment {
+    /// Returns `true` if any level is over budget.
+    #[must_use]
+    pub fn any_over_budget(&self) -> bool {
+        !self.capping.is_empty()
+    }
+
+    /// The peak row utilization (0 if there are no rows).
+    #[must_use]
+    pub fn peak_row_utilization(&self) -> f64 {
+        self.rows
+            .values()
+            .map(|u| u.utilization)
+            .fold(0.0, f64::max)
+    }
+
+    /// The peak row draw in kilowatts.
+    #[must_use]
+    pub fn peak_row_power(&self) -> Kilowatts {
+        self.rows
+            .values()
+            .map(|u| u.draw)
+            .fold(Kilowatts::ZERO, Kilowatts::max)
+    }
+
+    /// The rows that are over budget.
+    #[must_use]
+    pub fn over_budget_rows(&self) -> Vec<RowId> {
+        self.rows
+            .iter()
+            .filter(|(_, u)| u.is_over_budget())
+            .map(|(&id, _)| id)
+            .collect()
+    }
+}
+
+/// Capacity scaling applied to hierarchy levels, typically due to failures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacityState {
+    /// Fraction of each UPS budget that is available (default 1.0).
+    pub ups_capacity: BTreeMap<UpsId, f64>,
+    /// Fraction of each row budget that is available (default 1.0).
+    pub row_capacity: BTreeMap<RowId, f64>,
+    /// Fraction of the datacenter budget that is available.
+    pub datacenter_capacity: f64,
+}
+
+impl Default for CapacityState {
+    fn default() -> Self {
+        Self {
+            ups_capacity: BTreeMap::new(),
+            row_capacity: BTreeMap::new(),
+            datacenter_capacity: 1.0,
+        }
+    }
+}
+
+impl CapacityState {
+    /// Full capacity everywhere.
+    #[must_use]
+    pub fn healthy() -> Self {
+        Self::default()
+    }
+
+    fn ups(&self, id: UpsId) -> f64 {
+        *self.ups_capacity.get(&id).unwrap_or(&1.0)
+    }
+
+    fn row(&self, id: RowId) -> f64 {
+        *self.row_capacity.get(&id).unwrap_or(&1.0)
+    }
+}
+
+/// The power hierarchy of a datacenter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerHierarchy {
+    layout_rows: Vec<(RowId, Vec<ServerId>, Kilowatts, PduId)>,
+    layout_pdus: Vec<(PduId, Vec<RowId>, Kilowatts, UpsId)>,
+    layout_upses: Vec<(UpsId, Vec<PduId>, Kilowatts)>,
+    datacenter_budget: Kilowatts,
+}
+
+impl PowerHierarchy {
+    /// Builds the hierarchy view from a layout.
+    #[must_use]
+    pub fn from_layout(layout: &Layout) -> Self {
+        Self {
+            layout_rows: layout
+                .rows()
+                .iter()
+                .map(|r| (r.id, r.servers.clone(), r.power_budget, r.pdu))
+                .collect(),
+            layout_pdus: layout
+                .pdus()
+                .iter()
+                .map(|p| (p.id, p.rows.clone(), p.power_budget, p.ups))
+                .collect(),
+            layout_upses: layout
+                .upses()
+                .iter()
+                .map(|u| (u.id, u.pdus.clone(), u.power_budget))
+                .collect(),
+            datacenter_budget: layout.datacenter_power_budget(),
+        }
+    }
+
+    /// Provisioned budget of a row.
+    ///
+    /// # Panics
+    /// Panics if the row id is unknown.
+    #[must_use]
+    pub fn row_budget(&self, row: RowId) -> Kilowatts {
+        self.layout_rows
+            .iter()
+            .find(|(id, ..)| *id == row)
+            .map(|(_, _, budget, _)| *budget)
+            .expect("unknown row id")
+    }
+
+    /// Assesses every level of the hierarchy for the given per-server power draws and
+    /// produces capping directives for servers under over-budget levels.
+    ///
+    /// The cap applied to a server is the *most restrictive* fraction across all of the
+    /// levels above it (row, PDU, UPS, datacenter).
+    ///
+    /// # Panics
+    /// Panics if `server_power` has fewer entries than the layout has servers.
+    #[must_use]
+    pub fn assess(
+        &self,
+        server_power: &[Kilowatts],
+        capacity: &CapacityState,
+    ) -> PowerAssessment {
+        let mut rows = BTreeMap::new();
+        let mut row_draw: BTreeMap<RowId, Kilowatts> = BTreeMap::new();
+        for (row_id, servers, budget, _) in &self.layout_rows {
+            let draw: Kilowatts = servers.iter().map(|s| server_power[s.index()]).sum();
+            row_draw.insert(*row_id, draw);
+            rows.insert(
+                *row_id,
+                LevelUtilization::new(draw, *budget * capacity.row(*row_id)),
+            );
+        }
+
+        let mut pdus = BTreeMap::new();
+        let mut pdu_draw: BTreeMap<PduId, Kilowatts> = BTreeMap::new();
+        for (pdu_id, member_rows, budget, _) in &self.layout_pdus {
+            let draw: Kilowatts = member_rows.iter().map(|r| row_draw[r]).sum();
+            pdu_draw.insert(*pdu_id, draw);
+            pdus.insert(*pdu_id, LevelUtilization::new(draw, *budget));
+        }
+
+        let mut upses = BTreeMap::new();
+        let mut ups_draw: BTreeMap<UpsId, Kilowatts> = BTreeMap::new();
+        for (ups_id, member_pdus, budget) in &self.layout_upses {
+            let draw: Kilowatts = member_pdus.iter().map(|p| pdu_draw[p]).sum();
+            ups_draw.insert(*ups_id, draw);
+            upses.insert(
+                *ups_id,
+                LevelUtilization::new(draw, *budget * capacity.ups(*ups_id)),
+            );
+        }
+
+        let dc_draw: Kilowatts = ups_draw.values().copied().sum();
+        let datacenter = LevelUtilization::new(
+            dc_draw,
+            self.datacenter_budget * capacity.datacenter_capacity,
+        );
+
+        // Compute the most restrictive cap per server.
+        let mut caps: BTreeMap<ServerId, f64> = BTreeMap::new();
+        let mut apply_cap = |servers: &[ServerId], fraction: f64| {
+            for &s in servers {
+                let entry = caps.entry(s).or_insert(1.0);
+                *entry = entry.min(fraction);
+            }
+        };
+
+        for (row_id, servers, _, _) in &self.layout_rows {
+            let util = &rows[row_id];
+            if util.is_over_budget() {
+                apply_cap(servers, 1.0 / util.utilization);
+            }
+        }
+        for (pdu_id, member_rows, _, _) in &self.layout_pdus {
+            let util = &pdus[pdu_id];
+            if util.is_over_budget() {
+                let fraction = 1.0 / util.utilization;
+                for row in member_rows {
+                    let servers = &self
+                        .layout_rows
+                        .iter()
+                        .find(|(id, ..)| id == row)
+                        .expect("row referenced by pdu exists")
+                        .1;
+                    apply_cap(servers, fraction);
+                }
+            }
+        }
+        for (ups_id, member_pdus, _) in &self.layout_upses {
+            let util = &upses[ups_id];
+            if util.is_over_budget() {
+                let fraction = 1.0 / util.utilization;
+                for pdu in member_pdus {
+                    let member_rows = &self
+                        .layout_pdus
+                        .iter()
+                        .find(|(id, ..)| id == pdu)
+                        .expect("pdu referenced by ups exists")
+                        .1;
+                    for row in member_rows {
+                        let servers = &self
+                            .layout_rows
+                            .iter()
+                            .find(|(id, ..)| id == row)
+                            .expect("row referenced by pdu exists")
+                            .1;
+                        apply_cap(servers, fraction);
+                    }
+                }
+            }
+        }
+        if datacenter.is_over_budget() {
+            let fraction = 1.0 / datacenter.utilization;
+            for (_, servers, _, _) in &self.layout_rows {
+                apply_cap(servers, fraction);
+            }
+        }
+
+        let capping: Vec<CappingDirective> = caps
+            .into_iter()
+            .filter(|(_, fraction)| *fraction < 1.0)
+            .map(|(server, power_fraction)| CappingDirective { server, power_fraction })
+            .collect();
+
+        PowerAssessment { rows, pdus, upses, datacenter, capping }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LayoutConfig;
+
+    fn hierarchy_and_layout() -> (PowerHierarchy, crate::topology::Layout) {
+        let layout = LayoutConfig::small_test_cluster().build();
+        (PowerHierarchy::from_layout(&layout), layout)
+    }
+
+    #[test]
+    fn idle_cluster_is_within_all_budgets() {
+        let (hierarchy, layout) = hierarchy_and_layout();
+        let power = vec![Kilowatts::new(1.6); layout.server_count()];
+        let assessment = hierarchy.assess(&power, &CapacityState::healthy());
+        assert!(!assessment.any_over_budget());
+        assert!(assessment.capping.is_empty());
+        assert!(assessment.peak_row_utilization() < 0.5);
+        assert_eq!(assessment.rows.len(), 2);
+        assert!(assessment.datacenter.headroom().value() > 0.0);
+    }
+
+    #[test]
+    fn row_draw_aggregates_member_servers() {
+        let (hierarchy, layout) = hierarchy_and_layout();
+        let mut power = vec![Kilowatts::new(2.0); layout.server_count()];
+        power[0] = Kilowatts::new(5.0);
+        let assessment = hierarchy.assess(&power, &CapacityState::healthy());
+        let row0 = layout.servers()[0].row;
+        let expected: f64 = layout.rows()[row0.index()]
+            .servers
+            .iter()
+            .map(|s| power[s.index()].value())
+            .sum();
+        assert!((assessment.rows[&row0].draw.value() - expected).abs() < 1e-9);
+        assert!((assessment.peak_row_power().value() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn over_budget_row_caps_only_its_servers() {
+        let (hierarchy, layout) = hierarchy_and_layout();
+        // Row budget is 4 × 6.5 = 26 kW; drive row 0 to 32 kW and keep row 1 idle.
+        let mut power = vec![Kilowatts::new(1.6); layout.server_count()];
+        for &s in &layout.rows()[0].servers {
+            power[s.index()] = Kilowatts::new(8.0);
+        }
+        let assessment = hierarchy.assess(&power, &CapacityState::healthy());
+        assert!(assessment.any_over_budget());
+        assert_eq!(assessment.over_budget_rows(), vec![RowId::new(0)]);
+        let capped: Vec<ServerId> = assessment.capping.iter().map(|c| c.server).collect();
+        for &s in &layout.rows()[0].servers {
+            assert!(capped.contains(&s), "row-0 servers must be capped");
+        }
+        for &s in &layout.rows()[1].servers {
+            assert!(!capped.contains(&s), "row-1 servers must not be capped");
+        }
+        // The cap fraction restores the row to its budget.
+        let fraction = assessment.capping[0].power_fraction;
+        let row_util = assessment.rows[&RowId::new(0)].utilization;
+        assert!((fraction - 1.0 / row_util).abs() < 1e-9);
+        assert!(fraction < 1.0 && fraction > 0.0);
+    }
+
+    #[test]
+    fn ups_failure_reduces_capacity_and_triggers_capping() {
+        let (hierarchy, layout) = hierarchy_and_layout();
+        // Load everything at 80 % of TDP: fine at full capacity, over budget at 60 %.
+        let power = vec![Kilowatts::new(5.2); layout.server_count()];
+        let healthy = hierarchy.assess(&power, &CapacityState::healthy());
+        assert!(!healthy.any_over_budget());
+        let mut degraded_state = CapacityState::healthy();
+        degraded_state.ups_capacity.insert(UpsId::new(0), 0.6);
+        let degraded = hierarchy.assess(&power, &degraded_state);
+        assert!(degraded.any_over_budget());
+        // All servers under that UPS (which covers the whole small cluster) are capped.
+        assert_eq!(degraded.capping.len(), layout.server_count());
+    }
+
+    #[test]
+    fn most_restrictive_cap_wins() {
+        let (hierarchy, layout) = hierarchy_and_layout();
+        let power = vec![Kilowatts::new(6.0); layout.server_count()];
+        let mut state = CapacityState::healthy();
+        // Row 0 capacity cut hard, datacenter capacity cut mildly.
+        state.row_capacity.insert(RowId::new(0), 0.5);
+        state.datacenter_capacity = 0.9;
+        let assessment = hierarchy.assess(&power, &state);
+        let row0_cap = assessment
+            .capping
+            .iter()
+            .find(|c| c.server == layout.rows()[0].servers[0])
+            .expect("row-0 server capped");
+        let row1_cap = assessment
+            .capping
+            .iter()
+            .find(|c| c.server == layout.rows()[1].servers[0])
+            .expect("row-1 server capped by datacenter level");
+        assert!(row0_cap.power_fraction < row1_cap.power_fraction);
+    }
+
+    #[test]
+    fn row_budget_lookup() {
+        let (hierarchy, layout) = hierarchy_and_layout();
+        let budget = hierarchy.row_budget(RowId::new(0));
+        assert_eq!(budget, layout.rows()[0].power_budget);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown row id")]
+    fn unknown_row_budget_panics() {
+        let (hierarchy, _) = hierarchy_and_layout();
+        let _ = hierarchy.row_budget(RowId::new(99));
+    }
+}

@@ -1,0 +1,433 @@
+//! Iteration-level continuous-batching engine simulator.
+//!
+//! This is a discrete-event model of a vLLM-style serving engine (§4.5 runs the SaaS
+//! instances on vLLM): requests queue for admission, admitted requests are prefetched into the
+//! running batch (their prompt is prefilled), and every scheduler iteration generates one
+//! token for each running request. Iteration times come from the analytic [`PerfModel`], so
+//! the engine's TTFT/TBT/goodput are consistent with the profiles used by the TAPAS
+//! controllers, while still exposing queueing effects (admission delays under load) that the
+//! steady-state profile cannot capture.
+
+use crate::config::InstanceConfig;
+use crate::hardware::GpuHardware;
+use crate::perf::PerfModel;
+use crate::request::InferenceRequest;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A request that finished during the simulation, with its observed latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompletedRequest {
+    /// The original request.
+    pub request: InferenceRequest,
+    /// Seconds from submission to first output token.
+    pub ttft_s: f64,
+    /// Mean seconds between subsequent output tokens.
+    pub mean_tbt_s: f64,
+    /// Seconds from submission to the final token.
+    pub latency_s: f64,
+}
+
+impl CompletedRequest {
+    /// Whether this request met both SLO targets.
+    #[must_use]
+    pub fn met_slo(&self, ttft_target_s: f64, tbt_target_s: f64) -> bool {
+        self.ttft_s <= ttft_target_s && self.mean_tbt_s <= tbt_target_s
+    }
+}
+
+/// Aggregate report for a window of engine execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineReport {
+    /// Wall-clock seconds simulated.
+    pub elapsed_s: f64,
+    /// Seconds during which the engine had work.
+    pub busy_s: f64,
+    /// Fraction of busy time spent in prefill (the rest is decode).
+    pub prefill_fraction: f64,
+    /// Total output tokens generated.
+    pub tokens_generated: u64,
+    /// Requests completed during the window.
+    pub completed: Vec<CompletedRequest>,
+    /// Requests still queued (not yet admitted) at the end of the window.
+    pub queued_at_end: usize,
+    /// Requests still running at the end of the window.
+    pub running_at_end: usize,
+    /// Mean running batch size over the window's iterations (0 if idle).
+    pub mean_batch_size: f64,
+}
+
+impl EngineReport {
+    /// Utilization: busy time over elapsed time.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.elapsed_s <= 0.0 {
+            0.0
+        } else {
+            (self.busy_s / self.elapsed_s).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Output tokens per second over the window.
+    #[must_use]
+    pub fn throughput_tokens_per_s(&self) -> f64 {
+        if self.elapsed_s <= 0.0 {
+            0.0
+        } else {
+            self.tokens_generated as f64 / self.elapsed_s
+        }
+    }
+
+    /// Fraction of completed requests that met the given SLO targets (1.0 if none completed).
+    #[must_use]
+    pub fn slo_attainment(&self, ttft_target_s: f64, tbt_target_s: f64) -> f64 {
+        if self.completed.is_empty() {
+            return 1.0;
+        }
+        self.completed
+            .iter()
+            .filter(|c| c.met_slo(ttft_target_s, tbt_target_s))
+            .count() as f64
+            / self.completed.len() as f64
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RunningRequest {
+    request: InferenceRequest,
+    submitted_at_s: f64,
+    first_token_at_s: Option<f64>,
+    tokens_generated: usize,
+    last_token_at_s: f64,
+    tbt_accumulator_s: f64,
+}
+
+/// The continuous-batching engine for one LLM instance.
+#[derive(Debug, Clone)]
+pub struct InstanceEngine {
+    config: InstanceConfig,
+    perf: PerfModel,
+    kv_capacity_tokens: usize,
+    queue: VecDeque<(InferenceRequest, f64)>,
+    running: Vec<RunningRequest>,
+    now_s: f64,
+}
+
+impl InstanceEngine {
+    /// Creates an engine for a configuration on a GPU generation.
+    ///
+    /// The KV-cache capacity is derived from the HBM left after the weights are resident.
+    #[must_use]
+    pub fn new(config: InstanceConfig, gpu: &GpuHardware) -> Self {
+        let total_hbm_gb = gpu.memory_capacity_gb * config.parallelism.gpus() as f64;
+        let free_gb = (total_hbm_gb - config.variant.weight_bytes_gb()).max(1.0) * 0.9;
+        let kv_capacity_tokens =
+            (free_gb * 1.0e9 / config.variant.kv_bytes_per_token()).max(1024.0) as usize;
+        Self {
+            config,
+            perf: PerfModel::new(*gpu),
+            kv_capacity_tokens,
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            now_s: 0.0,
+        }
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &InstanceConfig {
+        &self.config
+    }
+
+    /// The performance model backing the engine.
+    #[must_use]
+    pub fn perf(&self) -> &PerfModel {
+        &self.perf
+    }
+
+    /// KV-cache capacity in tokens.
+    #[must_use]
+    pub fn kv_capacity_tokens(&self) -> usize {
+        self.kv_capacity_tokens
+    }
+
+    /// Current engine time in seconds.
+    #[must_use]
+    pub fn now_s(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Number of requests waiting for admission plus currently running.
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.queue.len() + self.running.len()
+    }
+
+    /// Submits a request to the admission queue at the current engine time.
+    pub fn submit(&mut self, request: InferenceRequest) {
+        self.queue.push_back((request, self.now_s));
+    }
+
+    /// KV-cache tokens currently pinned by the running batch.
+    fn kv_in_use(&self) -> usize {
+        self.running
+            .iter()
+            .map(|r| r.request.prompt_tokens + r.tokens_generated)
+            .sum()
+    }
+
+    /// Runs the engine for `duration_s` seconds of simulated time and returns the report.
+    ///
+    /// # Panics
+    /// Panics if `duration_s` is not positive.
+    pub fn run_for(&mut self, duration_s: f64) -> EngineReport {
+        assert!(duration_s > 0.0, "duration must be positive");
+        let end_s = self.now_s + duration_s;
+        let mut busy_s = 0.0;
+        let mut prefill_s = 0.0;
+        let mut tokens_generated: u64 = 0;
+        let mut completed = Vec::new();
+        let mut batch_size_sum = 0.0;
+        let mut iterations = 0u64;
+
+        while self.now_s < end_s {
+            // Admit queued requests while there is batch and KV headroom.
+            let mut admitted_prompt_tokens = 0usize;
+            while self.running.len() < self.config.max_batch_size {
+                let fits = self
+                    .queue
+                    .front()
+                    .map(|(r, _)| {
+                        self.kv_in_use() + admitted_prompt_tokens + r.total_tokens()
+                            <= self.kv_capacity_tokens
+                    })
+                    .unwrap_or(false);
+                if !fits {
+                    break;
+                }
+                let (request, submitted_at_s) = self.queue.pop_front().expect("checked front");
+                admitted_prompt_tokens += request.prompt_tokens;
+                self.running.push(RunningRequest {
+                    request,
+                    submitted_at_s,
+                    first_token_at_s: None,
+                    tokens_generated: 0,
+                    last_token_at_s: 0.0,
+                    tbt_accumulator_s: 0.0,
+                });
+            }
+
+            if self.running.is_empty() {
+                // Idle: jump straight to the end of the window (new work only arrives via
+                // `submit`, which external callers do between windows).
+                self.now_s = end_s;
+                break;
+            }
+
+            // One scheduler iteration: prefill any newly admitted prompts, then one decode
+            // step for the whole running batch.
+            let prefill_time = if admitted_prompt_tokens > 0 {
+                self.perf.prefill_time_s(&self.config, admitted_prompt_tokens)
+            } else {
+                0.0
+            };
+            let mean_context = (self.kv_in_use() / self.running.len().max(1)).max(1);
+            let decode_time =
+                self.perf
+                    .decode_step_time_s(&self.config, self.running.len(), mean_context);
+            let iteration_time = prefill_time + decode_time;
+            self.now_s += iteration_time;
+            busy_s += iteration_time;
+            prefill_s += prefill_time;
+            batch_size_sum += self.running.len() as f64;
+            iterations += 1;
+
+            // Every running request receives one token.
+            let now = self.now_s;
+            let mut still_running = Vec::with_capacity(self.running.len());
+            for mut r in self.running.drain(..) {
+                r.tokens_generated += 1;
+                tokens_generated += 1;
+                if r.first_token_at_s.is_none() {
+                    r.first_token_at_s = Some(now);
+                } else {
+                    r.tbt_accumulator_s += now - r.last_token_at_s;
+                }
+                r.last_token_at_s = now;
+                if r.tokens_generated >= r.request.output_tokens {
+                    let ttft = r.first_token_at_s.expect("set above") - r.submitted_at_s;
+                    let decode_steps = (r.tokens_generated - 1).max(1) as f64;
+                    completed.push(CompletedRequest {
+                        request: r.request,
+                        ttft_s: ttft,
+                        mean_tbt_s: if r.tokens_generated > 1 {
+                            r.tbt_accumulator_s / decode_steps
+                        } else {
+                            0.0
+                        },
+                        latency_s: now - r.submitted_at_s,
+                    });
+                } else {
+                    still_running.push(r);
+                }
+            }
+            self.running = still_running;
+        }
+
+        EngineReport {
+            elapsed_s: duration_s,
+            busy_s,
+            prefill_fraction: if busy_s > 0.0 { prefill_s / busy_s } else { 0.0 },
+            tokens_generated,
+            completed,
+            queued_at_end: self.queue.len(),
+            running_at_end: self.running.len(),
+            mean_batch_size: if iterations > 0 {
+                batch_size_sum / iterations as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{CustomerId, RequestId};
+    use simkit::time::SimTime;
+
+    fn request(id: u64, prompt: usize, output: usize) -> InferenceRequest {
+        InferenceRequest {
+            id: RequestId(id),
+            customer: CustomerId(id % 7),
+            arrival: SimTime::ZERO,
+            prompt_tokens: prompt,
+            output_tokens: output,
+        }
+    }
+
+    fn engine() -> InstanceEngine {
+        InstanceEngine::new(InstanceConfig::default_70b(), &GpuHardware::a100())
+    }
+
+    #[test]
+    fn idle_engine_reports_zero_utilization() {
+        let mut e = engine();
+        let report = e.run_for(10.0);
+        assert_eq!(report.utilization(), 0.0);
+        assert_eq!(report.tokens_generated, 0);
+        assert!(report.completed.is_empty());
+        assert_eq!(report.mean_batch_size, 0.0);
+        assert_eq!(report.slo_attainment(1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn single_request_completes_with_unloaded_latency() {
+        let mut e = engine();
+        let slo = e.perf().slo_targets(e.config());
+        e.submit(request(1, 512, 64));
+        let report = e.run_for(30.0);
+        assert_eq!(report.completed.len(), 1);
+        let done = report.completed[0];
+        assert_eq!(done.request.id, RequestId(1));
+        // An unloaded request should comfortably meet the 5× SLO.
+        assert!(done.met_slo(slo.ttft_s, slo.tbt_s));
+        assert!(done.ttft_s > 0.0);
+        assert!(done.latency_s > done.ttft_s);
+        assert_eq!(report.tokens_generated, 64);
+        assert_eq!(report.queued_at_end, 0);
+        assert_eq!(report.running_at_end, 0);
+    }
+
+    #[test]
+    fn batching_amortizes_work() {
+        // Serving 16 identical requests together should take far less than 16× one request.
+        let mut single = engine();
+        single.submit(request(0, 256, 64));
+        let single_report = single.run_for(60.0);
+        let single_busy = single_report.busy_s;
+
+        let mut batched = engine();
+        for i in 0..16 {
+            batched.submit(request(i, 256, 64));
+        }
+        let batched_report = batched.run_for(120.0);
+        assert_eq!(batched_report.completed.len(), 16);
+        assert!(batched_report.busy_s < 8.0 * single_busy);
+        assert!(batched_report.mean_batch_size > 4.0);
+    }
+
+    #[test]
+    fn overload_leaves_requests_queued_and_violates_slo() {
+        let mut e = engine();
+        // Far more work than the engine can serve in the window.
+        for i in 0..512 {
+            e.submit(request(i, 1024, 256));
+        }
+        let slo = e.perf().slo_targets(e.config());
+        let report = e.run_for(20.0);
+        assert!(report.queued_at_end + report.running_at_end > 0);
+        assert!(report.utilization() > 0.95);
+        // Late-admitted requests blow through the TTFT SLO.
+        if !report.completed.is_empty() {
+            assert!(report.slo_attainment(slo.ttft_s, slo.tbt_s) < 1.0);
+        }
+    }
+
+    #[test]
+    fn kv_capacity_limits_admission() {
+        let e = engine();
+        // 70B FP16 on 8×80 GB leaves ~500 GB for KV -> capacity far above a single request.
+        assert!(e.kv_capacity_tokens() > 10_000);
+        let mut small = InstanceEngine::new(
+            {
+                let mut c = InstanceConfig::default_70b();
+                c.max_batch_size = 64;
+                c
+            },
+            &GpuHardware::a100(),
+        );
+        // Submit more concurrent tokens than fit; the engine must stagger admission rather
+        // than panic.
+        for i in 0..200 {
+            small.submit(request(i, 7000, 100));
+        }
+        let report = small.run_for(5.0);
+        assert!(report.running_at_end <= small.config().max_batch_size);
+    }
+
+    #[test]
+    fn throughput_approaches_profile_goodput() {
+        let mut e = engine();
+        let goodput = e.perf().goodput_tokens_per_s(e.config());
+        // Keep the engine saturated with short-prompt requests.
+        for i in 0..600 {
+            e.submit(request(i, 64, 128));
+        }
+        let report = e.run_for(30.0);
+        let throughput = report.throughput_tokens_per_s();
+        assert!(
+            throughput > 0.3 * goodput,
+            "engine throughput {throughput} too far below analytic goodput {goodput}"
+        );
+    }
+
+    #[test]
+    fn smaller_model_finishes_faster() {
+        let mut big = engine();
+        let mut small = InstanceEngine::new(InstanceConfig::small_fallback(), &GpuHardware::a100());
+        big.submit(request(0, 512, 128));
+        small.submit(request(0, 512, 128));
+        let big_report = big.run_for(60.0);
+        let small_report = small.run_for(60.0);
+        assert!(small_report.completed[0].latency_s < big_report.completed[0].latency_s);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_duration_panics() {
+        let mut e = engine();
+        let _ = e.run_for(0.0);
+    }
+}

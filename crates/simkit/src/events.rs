@@ -1,0 +1,269 @@
+//! Structured event log.
+//!
+//! The evaluation of TAPAS counts *events*: thermal throttling episodes, power capping
+//! episodes, infrastructure failures, VM reconfigurations and SLO violations. Rather than
+//! letting every crate keep ad-hoc counters, the cluster simulator appends typed [`Event`]s
+//! to an [`EventLog`] which the report generators then slice by kind, entity and time window.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The category of a logged event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A GPU exceeded its thermal limit and the hardware throttled it.
+    ThermalThrottle,
+    /// A power-hierarchy level exceeded its budget and its servers were power-capped.
+    PowerCap,
+    /// An aisle's servers demanded more airflow than the AHUs provide (heat recirculation).
+    AirflowViolation,
+    /// A cooling device or AHU failed.
+    CoolingFailure,
+    /// A UPS or other power-hierarchy component failed.
+    PowerFailure,
+    /// A failed component was restored.
+    FailureRecovered,
+    /// A VM was placed on a server.
+    VmPlaced,
+    /// A VM could not be placed (no feasible server).
+    VmRejected,
+    /// A VM finished and released its server.
+    VmRetired,
+    /// A SaaS instance changed configuration (frequency, batch, parallelism, model, quant).
+    InstanceReconfigured,
+    /// A request violated its latency SLO.
+    SloViolation,
+    /// A request was served by a reduced-quality model variant.
+    QualityDegraded,
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = match self {
+            EventKind::ThermalThrottle => "thermal-throttle",
+            EventKind::PowerCap => "power-cap",
+            EventKind::AirflowViolation => "airflow-violation",
+            EventKind::CoolingFailure => "cooling-failure",
+            EventKind::PowerFailure => "power-failure",
+            EventKind::FailureRecovered => "failure-recovered",
+            EventKind::VmPlaced => "vm-placed",
+            EventKind::VmRejected => "vm-rejected",
+            EventKind::VmRetired => "vm-retired",
+            EventKind::InstanceReconfigured => "instance-reconfigured",
+            EventKind::SloViolation => "slo-violation",
+            EventKind::QualityDegraded => "quality-degraded",
+        };
+        f.write_str(label)
+    }
+}
+
+/// A single logged event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// When the event occurred.
+    pub time: SimTime,
+    /// What happened.
+    pub kind: EventKind,
+    /// The affected entity, e.g. `"row-3"`, `"server-0412"`, `"vm-saas-17"`.
+    pub entity: String,
+    /// Optional magnitude (degrees above the limit, kilowatts shed, …).
+    pub magnitude: f64,
+    /// Free-form detail for reports and debugging.
+    pub detail: String,
+}
+
+/// An append-only log of simulation events.
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventLog {
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn record(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// Convenience constructor-and-append.
+    pub fn record_kind(
+        &mut self,
+        time: SimTime,
+        kind: EventKind,
+        entity: impl Into<String>,
+        magnitude: f64,
+        detail: impl Into<String>,
+    ) {
+        self.record(Event { time, kind, entity: entity.into(), magnitude, detail: detail.into() });
+    }
+
+    /// All events in insertion order.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events of the given kind.
+    #[must_use]
+    pub fn count(&self, kind: EventKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Total number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if no events were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events of the given kind.
+    pub fn of_kind(&self, kind: EventKind) -> impl Iterator<Item = &Event> + '_ {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Events affecting the given entity.
+    pub fn for_entity<'a>(&'a self, entity: &'a str) -> impl Iterator<Item = &'a Event> + 'a {
+        self.events.iter().filter(move |e| e.entity == entity)
+    }
+
+    /// Counts events by kind.
+    #[must_use]
+    pub fn counts_by_kind(&self) -> BTreeMap<EventKind, usize> {
+        let mut counts = BTreeMap::new();
+        for event in &self.events {
+            *counts.entry(event.kind).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Fraction of simulation steps in `[0, horizon)` during which at least one event of the
+    /// given kind occurred, assuming events are logged at step boundaries of length `step`.
+    ///
+    /// This is the "% of time under thermal/power capping" metric of Fig. 21.
+    ///
+    /// # Panics
+    /// Panics if `step` is zero.
+    #[must_use]
+    pub fn fraction_of_time(&self, kind: EventKind, horizon: SimTime, step: SimDuration) -> f64 {
+        assert!(!step.is_zero(), "step must be non-zero");
+        let total_steps = horizon.as_minutes().div_ceil(step.as_minutes());
+        if total_steps == 0 {
+            return 0.0;
+        }
+        let mut steps_with_event: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        for event in self.of_kind(kind) {
+            steps_with_event.insert(event.time.as_minutes() / step.as_minutes());
+        }
+        steps_with_event.len() as f64 / total_steps as f64
+    }
+
+    /// Merges another log into this one (used when sub-simulations run independently).
+    pub fn merge(&mut self, other: EventLog) {
+        self.events.extend(other.events);
+        self.events.sort_by_key(|e| e.time);
+    }
+}
+
+impl Extend<Event> for EventLog {
+    fn extend<T: IntoIterator<Item = Event>>(&mut self, iter: T) {
+        self.events.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(minute: u64, kind: EventKind, entity: &str) -> Event {
+        Event {
+            time: SimTime::from_minutes(minute),
+            kind,
+            entity: entity.to_string(),
+            magnitude: 1.0,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn record_and_count() {
+        let mut log = EventLog::new();
+        assert!(log.is_empty());
+        log.record(event(0, EventKind::ThermalThrottle, "server-1"));
+        log.record(event(5, EventKind::PowerCap, "row-1"));
+        log.record(event(7, EventKind::ThermalThrottle, "server-2"));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.count(EventKind::ThermalThrottle), 2);
+        assert_eq!(log.count(EventKind::PowerCap), 1);
+        assert_eq!(log.count(EventKind::CoolingFailure), 0);
+        assert_eq!(log.of_kind(EventKind::PowerCap).count(), 1);
+        assert_eq!(log.for_entity("server-1").count(), 1);
+        let counts = log.counts_by_kind();
+        assert_eq!(counts[&EventKind::ThermalThrottle], 2);
+    }
+
+    #[test]
+    fn record_kind_builds_event() {
+        let mut log = EventLog::new();
+        log.record_kind(
+            SimTime::from_minutes(3),
+            EventKind::VmPlaced,
+            "vm-7",
+            0.0,
+            "placed on server-12",
+        );
+        assert_eq!(log.events()[0].entity, "vm-7");
+        assert_eq!(log.events()[0].detail, "placed on server-12");
+    }
+
+    #[test]
+    fn fraction_of_time_counts_distinct_steps() {
+        let mut log = EventLog::new();
+        // Two events within the same 5-minute step should count once.
+        log.record(event(0, EventKind::PowerCap, "row-1"));
+        log.record(event(2, EventKind::PowerCap, "row-2"));
+        log.record(event(10, EventKind::PowerCap, "row-1"));
+        let fraction = log.fraction_of_time(
+            EventKind::PowerCap,
+            SimTime::from_minutes(20),
+            SimDuration::from_minutes(5),
+        );
+        assert!((fraction - 0.5).abs() < 1e-12);
+        assert_eq!(
+            log.fraction_of_time(
+                EventKind::ThermalThrottle,
+                SimTime::from_minutes(20),
+                SimDuration::from_minutes(5)
+            ),
+            0.0
+        );
+    }
+
+    #[test]
+    fn merge_sorts_by_time() {
+        let mut a = EventLog::new();
+        a.record(event(10, EventKind::VmPlaced, "vm-1"));
+        let mut b = EventLog::new();
+        b.record(event(2, EventKind::VmPlaced, "vm-2"));
+        a.merge(b);
+        assert_eq!(a.events()[0].entity, "vm-2");
+        assert_eq!(a.events()[1].entity, "vm-1");
+    }
+
+    #[test]
+    fn event_kind_display_is_kebab_case() {
+        assert_eq!(EventKind::ThermalThrottle.to_string(), "thermal-throttle");
+        assert_eq!(EventKind::QualityDegraded.to_string(), "quality-degraded");
+    }
+}

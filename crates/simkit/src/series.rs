@@ -1,0 +1,289 @@
+//! Time series containers.
+//!
+//! Experiments record one value per simulation step for each monitored quantity (row power,
+//! maximum GPU temperature, request latency, …). [`TimeSeries`] keeps the `(time, value)`
+//! pairs together with the helpers the figures need: peaks, window maxima, resampling to a
+//! coarser interval and normalization against a provisioned limit.
+
+use crate::stats::Summary;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// An append-only series of `(SimTime, f64)` samples with non-decreasing timestamps.
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    name: String,
+    times: Vec<SimTime>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with a descriptive name (used in reports).
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), times: Vec::new(), values: Vec::new() }
+    }
+
+    /// The series name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the series holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    /// Panics if `time` is earlier than the last recorded sample.
+    pub fn push(&mut self, time: SimTime, value: f64) {
+        if let Some(&last) = self.times.last() {
+            assert!(time >= last, "time series must be appended in order ({time} < {last})");
+        }
+        self.times.push(time);
+        self.values.push(value);
+    }
+
+    /// The raw values.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The timestamps.
+    #[must_use]
+    pub fn times(&self) -> &[SimTime] {
+        &self.times
+    }
+
+    /// Iterates over `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// The last sample, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<(SimTime, f64)> {
+        Some((*self.times.last()?, *self.values.last()?))
+    }
+
+    /// Maximum value over the whole series, or `None` if empty.
+    #[must_use]
+    pub fn peak(&self) -> Option<f64> {
+        crate::stats::max(&self.values)
+    }
+
+    /// Minimum value over the whole series, or `None` if empty.
+    #[must_use]
+    pub fn trough(&self) -> Option<f64> {
+        crate::stats::min(&self.values)
+    }
+
+    /// Arithmetic mean over the whole series, or `None` if empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        crate::stats::mean(&self.values)
+    }
+
+    /// Distributional summary of the values.
+    ///
+    /// # Panics
+    /// Panics if the series is empty.
+    #[must_use]
+    pub fn summary(&self) -> Summary {
+        Summary::from_values(&self.values)
+    }
+
+    /// Fraction of samples for which `predicate` holds (0 for an empty series).
+    #[must_use]
+    pub fn fraction_where(&self, predicate: impl Fn(f64) -> bool) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().filter(|&&v| predicate(v)).count() as f64 / self.values.len() as f64
+    }
+
+    /// Resamples to a coarser interval by taking the maximum within each window.
+    ///
+    /// This mirrors how the paper reports "peak power over 5-minute intervals" (Fig. 19) from
+    /// finer-grained data.
+    #[must_use]
+    pub fn window_max(&self, window: SimDuration) -> TimeSeries {
+        self.resample(window, |values| crate::stats::max(values).unwrap_or(0.0))
+    }
+
+    /// Resamples to a coarser interval by taking the mean within each window.
+    #[must_use]
+    pub fn window_mean(&self, window: SimDuration) -> TimeSeries {
+        self.resample(window, |values| crate::stats::mean(values).unwrap_or(0.0))
+    }
+
+    /// Generic windowed resampling: groups samples into `[k·window, (k+1)·window)` buckets and
+    /// applies `aggregate` to each non-empty bucket. The output sample is timestamped at the
+    /// start of its window.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn resample(&self, window: SimDuration, aggregate: impl Fn(&[f64]) -> f64) -> TimeSeries {
+        assert!(!window.is_zero(), "resample window must be non-zero");
+        let mut out = TimeSeries::new(format!("{}[{}]", self.name, window));
+        if self.is_empty() {
+            return out;
+        }
+        let w = window.as_minutes();
+        let mut bucket_start = self.times[0].as_minutes() / w * w;
+        let mut bucket: Vec<f64> = Vec::new();
+        for (t, v) in self.iter() {
+            let start = t.as_minutes() / w * w;
+            if start != bucket_start && !bucket.is_empty() {
+                out.push(SimTime::from_minutes(bucket_start), aggregate(&bucket));
+                bucket.clear();
+            }
+            bucket_start = start;
+            bucket.push(v);
+        }
+        if !bucket.is_empty() {
+            out.push(SimTime::from_minutes(bucket_start), aggregate(&bucket));
+        }
+        out
+    }
+
+    /// Returns a copy of the series with every value divided by `reference`.
+    ///
+    /// Used to normalize against provisioned maxima, as in "normalized peak power".
+    ///
+    /// # Panics
+    /// Panics if `reference` is zero.
+    #[must_use]
+    pub fn normalized_by(&self, reference: f64) -> TimeSeries {
+        assert!(reference != 0.0, "cannot normalize by zero");
+        let mut out = TimeSeries::new(format!("{} (normalized)", self.name));
+        for (t, v) in self.iter() {
+            out.push(t, v / reference);
+        }
+        out
+    }
+}
+
+impl Extend<(SimTime, f64)> for TimeSeries {
+    fn extend<T: IntoIterator<Item = (SimTime, f64)>>(&mut self, iter: T) {
+        for (t, v) in iter {
+            self.push(t, v);
+        }
+    }
+}
+
+impl FromIterator<(SimTime, f64)> for TimeSeries {
+    fn from_iter<T: IntoIterator<Item = (SimTime, f64)>>(iter: T) -> Self {
+        let mut series = TimeSeries::new("series");
+        series.extend(iter);
+        series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minutes(m: u64) -> SimTime {
+        SimTime::from_minutes(m)
+    }
+
+    #[test]
+    fn push_and_basic_statistics() {
+        let mut s = TimeSeries::new("power");
+        assert!(s.is_empty());
+        assert_eq!(s.peak(), None);
+        s.push(minutes(0), 10.0);
+        s.push(minutes(5), 30.0);
+        s.push(minutes(10), 20.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.peak(), Some(30.0));
+        assert_eq!(s.trough(), Some(10.0));
+        assert_eq!(s.mean(), Some(20.0));
+        assert_eq!(s.last(), Some((minutes(10), 20.0)));
+        assert_eq!(s.name(), "power");
+        assert_eq!(s.summary().count, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "appended in order")]
+    fn out_of_order_push_panics() {
+        let mut s = TimeSeries::new("x");
+        s.push(minutes(10), 1.0);
+        s.push(minutes(5), 2.0);
+    }
+
+    #[test]
+    fn fraction_where_counts_matching_samples() {
+        let s: TimeSeries = (0..10).map(|i| (minutes(i), f64::from(i as u32))).collect();
+        assert!((s.fraction_where(|v| v >= 5.0) - 0.5).abs() < 1e-12);
+        assert_eq!(TimeSeries::new("empty").fraction_where(|_| true), 0.0);
+    }
+
+    #[test]
+    fn window_max_groups_by_window_start() {
+        let mut s = TimeSeries::new("temp");
+        for m in 0..30 {
+            s.push(minutes(m), f64::from(m as u32 % 7));
+        }
+        let resampled = s.window_max(SimDuration::from_minutes(10));
+        assert_eq!(resampled.len(), 3);
+        assert_eq!(resampled.times()[0], minutes(0));
+        assert_eq!(resampled.times()[1], minutes(10));
+        assert_eq!(resampled.values()[0], 6.0);
+        assert!(resampled.values().iter().all(|&v| v <= 6.0));
+    }
+
+    #[test]
+    fn window_mean_of_constant_series_is_constant() {
+        let s: TimeSeries = (0..60).map(|i| (minutes(i), 4.0)).collect();
+        let resampled = s.window_mean(SimDuration::from_minutes(15));
+        assert_eq!(resampled.len(), 4);
+        assert!(resampled.values().iter().all(|&v| (v - 4.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn resample_handles_gaps() {
+        let mut s = TimeSeries::new("gappy");
+        s.push(minutes(0), 1.0);
+        s.push(minutes(55), 9.0);
+        let resampled = s.window_max(SimDuration::from_minutes(10));
+        assert_eq!(resampled.len(), 2);
+        assert_eq!(resampled.times()[1], minutes(50));
+    }
+
+    #[test]
+    fn normalized_by_scales_values() {
+        let s: TimeSeries = (0..4).map(|i| (minutes(i), f64::from(i as u32) * 25.0)).collect();
+        let norm = s.normalized_by(75.0);
+        assert!((norm.values()[3] - 1.0).abs() < 1e-12);
+        assert!(norm.name().contains("normalized"));
+    }
+
+    #[test]
+    #[should_panic(expected = "normalize by zero")]
+    fn normalize_by_zero_panics() {
+        let _ = TimeSeries::new("x").normalized_by(0.0);
+    }
+
+    #[test]
+    fn extend_and_collect() {
+        let mut s = TimeSeries::new("a");
+        s.extend((0..3).map(|i| (minutes(i), 1.0)));
+        assert_eq!(s.len(), 3);
+        let collected: TimeSeries = (0..5).map(|i| (minutes(i), 2.0)).collect();
+        assert_eq!(collected.len(), 5);
+    }
+}

@@ -1,0 +1,33 @@
+//! # workload — workload substrate for the TAPAS reproduction
+//!
+//! §3 of the paper characterizes the GPU workloads the cloud hosts: a mix of opaque IaaS VMs
+//! and provider-managed SaaS LLM-inference VMs, long VM lifetimes, strongly diurnal load, and
+//! power that is predictable from history. This crate generates synthetic traces with those
+//! statistical shapes:
+//!
+//! * [`vm`] — VM descriptions (IaaS vs SaaS, owning customer or endpoint, lifetime).
+//! * [`arrivals`] — VM arrival/lifetime generators calibrated to Fig. 12a (most GPU VMs live
+//!   for weeks) and the evaluation's 50/50 IaaS/SaaS split.
+//! * [`endpoints`] — SaaS endpoint catalog (Fig. 12b: a few endpoints own most VMs; the
+//!   evaluation uses 10 endpoints of 23–100 VMs).
+//! * [`diurnal`] — diurnal request-rate / load generators (Fig. 13).
+//! * [`iaas`] — opaque IaaS GPU-load traces (the provider only sees power, not what runs).
+//! * [`prediction`] — template-based power prediction (P50/P90/P99 of the previous week,
+//!   Fig. 14) used by the TAPAS allocator and router.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod arrivals;
+pub mod diurnal;
+pub mod endpoints;
+pub mod iaas;
+pub mod prediction;
+pub mod vm;
+
+pub use arrivals::{ArrivalConfig, VmArrivalGenerator};
+pub use diurnal::DiurnalPattern;
+pub use endpoints::{Endpoint, EndpointCatalog, EndpointId};
+pub use iaas::IaasLoadModel;
+pub use prediction::{PowerTemplate, TemplateKind};
+pub use vm::{Vm, VmId, VmKind};

@@ -1,0 +1,163 @@
+//! Property-based integration tests spanning crates: invariants that must hold for any
+//! workload mix, load level or configuration the generators can produce.
+
+use proptest::prelude::*;
+use tapas_repro::prelude::*;
+
+use dc_sim::engine::StepInput;
+use dc_sim::failures::FailureState;
+use dc_sim::ids::ServerId;
+use dc_sim::topology::LayoutConfig;
+use llm_sim::config::{FrequencyScale, TensorParallelism};
+use llm_sim::model::{ModelSize, ModelVariant, Quantization};
+use llm_sim::perf::PerfModel;
+use simkit::time::{SimDuration, SimTime};
+use tapas::placement::{PlacementRequest, TapasPlacement, VmPlacementPolicy};
+use tapas::state::ClusterState;
+use workload::endpoints::EndpointId;
+use workload::vm::{IaasCustomerId, Vm, VmId, VmKind};
+
+fn small_datacenter() -> Datacenter {
+    Datacenter::new(LayoutConfig::small_test_cluster().build(), 7)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The physics engine never produces non-finite temperatures or powers, and both are
+    /// monotone in a uniform load increase, for any outside temperature and load level.
+    #[test]
+    fn physics_is_finite_and_monotone(outside in -10.0f64..45.0, load in 0.0f64..1.0) {
+        let dc = small_datacenter();
+        let low = dc.evaluate(&StepInput::uniform_load(dc.layout(), Celsius::new(outside), load * 0.5));
+        let high = dc.evaluate(&StepInput::uniform_load(dc.layout(), Celsius::new(outside), load));
+        prop_assert!(low.max_gpu_temp().value().is_finite());
+        prop_assert!(high.peak_row_power().value().is_finite());
+        prop_assert!(high.max_gpu_temp().value() + 1e-9 >= low.max_gpu_temp().value());
+        prop_assert!(high.peak_row_power().value() + 1e-9 >= low.peak_row_power().value());
+    }
+
+    /// Power capping directives always reduce power (fractions in (0, 1)) and only appear
+    /// when some level is genuinely over budget.
+    #[test]
+    fn capping_fractions_are_valid(load in 0.0f64..1.0, capacity in 0.3f64..1.0) {
+        let dc = small_datacenter();
+        let mut input = StepInput::uniform_load(dc.layout(), Celsius::new(25.0), load);
+        let mut failures = FailureState::healthy();
+        failures.failed_upses.insert(dc_sim::ids::UpsId::new(0), capacity);
+        input.failures = failures;
+        let outcome = dc.evaluate(&input);
+        for directive in &outcome.power.capping {
+            prop_assert!(directive.power_fraction > 0.0 && directive.power_fraction < 1.0);
+        }
+        if outcome.power.capping.is_empty() {
+            prop_assert!(!outcome.power.any_over_budget());
+        }
+    }
+
+    /// The TAPAS allocator never places a VM on an occupied server, and accepts every VM while
+    /// free servers remain.
+    #[test]
+    fn allocator_respects_occupancy(loads in proptest::collection::vec(0.3f64..1.0, 1..8), saas_mask in 0u8..255) {
+        let layout = LayoutConfig::small_test_cluster().build();
+        let dc = Datacenter::new(layout.clone(), 3);
+        let profiles = ProfileStore::offline_profiling(&dc, &GpuHardware::a100());
+        let policy = TapasPlacement::default();
+        let mut state = ClusterState::new(layout.server_count());
+        for (i, &load) in loads.iter().enumerate() {
+            let saas = (saas_mask >> (i % 8)) & 1 == 1;
+            let vm = Vm {
+                id: VmId(i as u64),
+                kind: if saas {
+                    VmKind::Saas { endpoint: EndpointId(0) }
+                } else {
+                    VmKind::Iaas { customer: IaasCustomerId(0) }
+                },
+                arrival: SimTime::ZERO,
+                lifetime: SimDuration::from_days(7),
+            };
+            let request = PlacementRequest { vm, predicted_peak_load: load };
+            let chosen = policy.place(&request, &state, &layout, &profiles);
+            let server = chosen.expect("free servers remain");
+            prop_assert!(state.is_free(server));
+            state.place(vm, server, load, None).expect("placement on a free server");
+        }
+        prop_assert_eq!(state.placed_count(), loads.len());
+    }
+
+    /// The analytic LLM performance model is consistent for every configuration in the sweep:
+    /// goodput positive, decode slower with longer contexts, prefill slower at lower clocks.
+    #[test]
+    fn perf_model_is_consistent(size_idx in 0usize..3, quant_idx in 0usize..3, tp_idx in 0usize..3,
+                                batch in 1usize..64, freq in 0.55f64..1.0) {
+        let config = InstanceConfig {
+            variant: ModelVariant::new(ModelSize::ALL[size_idx], Quantization::ALL[quant_idx]),
+            parallelism: TensorParallelism::ALL[tp_idx],
+            max_batch_size: batch,
+            frequency: FrequencyScale::new(freq),
+        };
+        let perf = PerfModel::new(GpuHardware::a100());
+        prop_assert!(perf.goodput_tokens_per_s(&config) > 0.0);
+        prop_assert!(perf.decode_step_time_s(&config, batch, 2000) >= perf.decode_step_time_s(&config, batch, 500));
+        let slower = InstanceConfig { frequency: FrequencyScale::new(freq * 0.8), ..config };
+        prop_assert!(perf.prefill_time_s(&slower, 512) > perf.prefill_time_s(&config, 512) * 0.99);
+        let targets = perf.slo_targets(&config);
+        prop_assert!(targets.ttft_s > perf.ttft_unloaded_s(&config));
+    }
+
+    /// Profiled configurations always stay below the DGX A100 server TDP and keep quality in
+    /// (0, 1], for any point of the configuration space that fits in memory.
+    #[test]
+    fn profiles_respect_hardware_envelope(size_idx in 0usize..3, quant_idx in 0usize..3, tp_idx in 0usize..3,
+                                          batch_idx in 0usize..3, freq_idx in 0usize..4) {
+        let config = InstanceConfig {
+            variant: ModelVariant::new(ModelSize::ALL[size_idx], Quantization::ALL[quant_idx]),
+            parallelism: TensorParallelism::ALL[tp_idx],
+            max_batch_size: InstanceConfig::BATCH_SIZES[batch_idx],
+            frequency: FrequencyScale::new(FrequencyScale::STEPS[freq_idx]),
+        };
+        let gpu = GpuHardware::a100();
+        prop_assume!(config.fits_in_memory(gpu.memory_capacity_gb));
+        let profile = ConfigProfile::build(&config, &gpu);
+        prop_assert!(profile.prefill.server_power.value() <= 6.5 + 1e-9);
+        prop_assert!(profile.decode.server_power.value() <= 6.5 + 1e-9);
+        prop_assert!(profile.quality > 0.0 && profile.quality <= 1.0);
+        prop_assert!(profile.prefill.gpu_power.value() <= 400.0 + 1e-9);
+    }
+}
+
+/// Deterministic cross-crate check: the cluster state retires VMs exactly at their departure
+/// and placement never exceeds the server count (non-proptest because it spans the whole
+/// arrival generator).
+#[test]
+fn arrival_stream_fits_the_cluster() {
+    let layout = LayoutConfig::small_test_cluster().build();
+    let dc = Datacenter::new(layout.clone(), 5);
+    let profiles = ProfileStore::offline_profiling(&dc, &GpuHardware::a100());
+    let catalog = workload::endpoints::EndpointCatalog::evaluation(2, 10.0, 5);
+    let mut generator = workload::arrivals::VmArrivalGenerator::new(
+        workload::arrivals::ArrivalConfig {
+            saas_fraction: 0.5,
+            initial_population: 6,
+            arrivals_per_day: 4.0,
+            iaas_customers: 5,
+            horizon: SimTime::from_days(2),
+        },
+        5,
+    );
+    let policy = TapasPlacement::default();
+    let mut state = ClusterState::new(layout.server_count());
+    let mut placed = 0;
+    for vm in generator.generate(&catalog) {
+        state.retire_expired(vm.arrival);
+        let request = PlacementRequest { vm, predicted_peak_load: 0.8 };
+        if let Some(server) = policy.place(&request, &state, &layout, &profiles) {
+            assert!(server.index() < layout.server_count());
+            state.place(vm, server, 0.8, None).unwrap();
+            placed += 1;
+        }
+    }
+    assert!(placed >= 6, "at least the initial population fits");
+    assert!(state.placed_count() <= layout.server_count());
+    let _ = ServerId::new(0);
+}
