@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use cluster_sim::experiment::ExperimentConfig;
 use cluster_sim::simulator::ClusterSimulator;
-use dc_sim::engine::{Datacenter, StepInput};
+use dc_sim::engine::{Datacenter, StepInput, StepWorkspace};
 use dc_sim::topology::LayoutConfig;
 use simkit::units::Celsius;
 use std::hint::black_box;
@@ -13,8 +13,10 @@ use tapas::policy::Policy;
 fn bench_end_to_end(c: &mut Criterion) {
     let dc = Datacenter::new(LayoutConfig::real_cluster_two_rows().build(), 42);
     let input = StepInput::uniform_load(dc.layout(), Celsius::new(28.0), 0.8);
+    // The simulator's hot path: a persistent workspace reused across steps.
+    let mut workspace = StepWorkspace::new(dc.layout());
     c.bench_function("physics_step_80_servers", |b| {
-        b.iter(|| dc.evaluate(black_box(&input)))
+        b.iter(|| dc.evaluate_into(black_box(&input), &mut workspace))
     });
 
     let mut group = c.benchmark_group("simulation");

@@ -1,5 +1,7 @@
 //! Criterion micro-benchmarks for the request router: one routing decision across a
-//! 100-instance endpoint, Baseline vs TAPAS.
+//! 100-instance endpoint, Baseline vs TAPAS, measured on the simulator's hot path — the
+//! struct-of-arrays candidate view with a per-step prepared context and scratch, exactly as
+//! `ClusterSimulator::route_requests` drives it.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dc_sim::engine::Datacenter;
@@ -9,45 +11,46 @@ use llm_sim::config::InstanceConfig;
 use llm_sim::hardware::GpuHardware;
 use llm_sim::request::{CustomerId, InferenceRequest, RequestId};
 use simkit::time::SimTime;
-use simkit::units::{Celsius, CubicFeetPerMinute, Kilowatts};
+use simkit::units::Celsius;
 use std::hint::black_box;
 use tapas::profiles::ProfileStore;
 use tapas::routing::{
-    BaselineRouter, InstanceSnapshot, RequestRouterPolicy, RoutingContext, TapasRouter,
+    BaselineRouter, CandidateView, PreparedRoutingContext, RecentWindow, RouterScratch,
+    RoutingContext, TapasRouter,
 };
 use workload::vm::VmId;
 
 fn bench_router(c: &mut Criterion) {
     let dc = Datacenter::new(LayoutConfig::production_datacenter().build(), 42);
     let profiles = ProfileStore::offline_profiling(&dc, &GpuHardware::a100());
-    let instances: Vec<InstanceSnapshot> = (0..100)
-        .map(|i| InstanceSnapshot {
-            vm: VmId(i),
-            server: ServerId::new((i * 7) as usize % dc.layout().server_count()),
-            outstanding_requests: (i % 9) as usize,
-            utilization: (i % 10) as f64 / 10.0,
-            recent_customers: vec![CustomerId(i % 13)],
-            config: InstanceConfig::default_70b(),
-            in_transition: false,
+
+    // One endpoint with 100 instances, as struct-of-arrays registry columns.
+    let count = 100u64;
+    let vm: Vec<VmId> = (0..count).map(VmId).collect();
+    let server: Vec<ServerId> = (0..count)
+        .map(|i| ServerId::new((i * 7) as usize % dc.layout().server_count()))
+        .collect();
+    let outstanding: Vec<u32> = (0..count).map(|i| (i % 9) as u32).collect();
+    let utilization: Vec<f64> = (0..count).map(|i| (i % 10) as f64 / 10.0).collect();
+    let in_transition: Vec<bool> = vec![false; count as usize];
+    let recent: Vec<RecentWindow> = (0..count)
+        .map(|i| {
+            let mut window = RecentWindow::new();
+            window.push(CustomerId(i % 13));
+            window
         })
         .collect();
-    let context = RoutingContext {
-        outside_temp: Celsius::new(30.0),
-        dc_load: 0.7,
-        row_power: profiles
-            .budgets
-            .row_power
-            .iter()
-            .map(|(&r, &b)| (r, b * 0.8))
-            .collect(),
-        aisle_airflow: profiles
-            .budgets
-            .aisle_airflow
-            .iter()
-            .map(|(&a, &b)| (a, CubicFeetPerMinute::new(b.value() * 0.8)))
-            .collect(),
+    let view = CandidateView {
+        vm: &vm,
+        server: &server,
+        outstanding: &outstanding,
+        utilization: &utilization,
+        in_transition: &in_transition,
+        recent: &recent,
     };
-    let _ = Kilowatts::ZERO;
+    let _ = InstanceConfig::default_70b();
+
+    let context = RoutingContext::uniform(&profiles, Celsius::new(30.0), 0.7, 0.8, 0.8);
     let request = InferenceRequest {
         id: RequestId(1),
         customer: CustomerId(5),
@@ -56,12 +59,33 @@ fn bench_router(c: &mut Criterion) {
         output_tokens: 200,
     };
 
+    let baseline = BaselineRouter;
     c.bench_function("routing_baseline_100_instances", |b| {
-        b.iter(|| BaselineRouter.route(black_box(&request), &instances, &profiles, &context))
+        b.iter(|| baseline.route_view(black_box(&view)))
     });
+
+    // The TAPAS per-decision hot path as the simulator drives it: risk flags are computed
+    // once per endpoint per step, each decision is one prescored pass, and the routed
+    // candidate's flag is refreshed afterwards.
+    let tapas = TapasRouter::default();
+    let prepared = PreparedRoutingContext::new(&context, &tapas.config, &profiles);
+    let mut scratch = RouterScratch::default();
+    scratch.begin_step(profiles.server_count());
+    let mut flags = Vec::new();
+    tapas.fill_risk_flags(&view, &profiles, &prepared, &mut scratch, &mut flags);
     c.bench_function("routing_tapas_100_instances", |b| {
         b.iter(|| {
-            TapasRouter::default().route(black_box(&request), &instances, &profiles, &context)
+            let choice = tapas.route_prescored(black_box(&request), black_box(&view), &flags);
+            if let Some(index) = choice {
+                flags[index] = tapas.candidate_risk(
+                    server[index],
+                    utilization[index],
+                    &profiles,
+                    &prepared,
+                    &mut scratch,
+                );
+            }
+            choice
         })
     });
 }

@@ -20,14 +20,17 @@ struct Fig14Output {
     customer_underprediction_p99: f64,
 }
 
+/// One week of `(time, value)` samples.
+type WeekSeries = Vec<(SimTime, f64)>;
+
 /// Synthesizes a two-week signal: an aggregate "row" (many VMs, low relative noise) or a
 /// single "customer" (one VM, higher relative noise).
-fn two_weeks(vms: usize, seed: u64) -> (Vec<(SimTime, f64)>, Vec<(SimTime, f64)>) {
+fn two_weeks(vms: usize, seed: u64) -> (WeekSeries, WeekSeries) {
     let patterns: Vec<DiurnalPattern> = (0..vms)
         .map(|i| DiurnalPattern::interactive(seed + i as u64).with_peak_hour(12.0 + (i % 6) as f64))
         .collect();
     let mut rng = SimRng::seed_from(seed).derive("fig14");
-    let mut sample = |minute: u64, rng: &mut SimRng| {
+    let sample = |minute: u64, rng: &mut SimRng| {
         let t = SimTime::from_minutes(minute);
         let base: f64 = patterns.iter().map(|p| 1.6 + 4.9 * p.load_at(t)).sum();
         (t, base + rng.normal(0.0, 0.05 * base))

@@ -5,11 +5,21 @@
 //! evaluation (temperatures, powers, airflow, capping), metric recording, and carry-over of
 //! throttling/capping effects into the next step — the same control structure the paper's
 //! simulator uses (§5.1).
+//!
+//! # Hot-path layout
+//!
+//! The simulator owns an [`InstanceRegistry`]: a per-endpoint struct-of-arrays store of every
+//! SaaS instance's runtime state (utilization, outstanding requests, recent customers,
+//! configuration, cached profile figures). The registry is updated in place on VM
+//! place/retire/reconfigure and mutated per routing quantum through the index the router
+//! returns, so routing never rebuilds or clones snapshot lists. All carry-over state
+//! (row power, aisle airflow, carry-over frequencies, row histories) lives in dense vectors
+//! indexed by the id newtypes, and the physics engine runs through a persistent
+//! [`StepWorkspace`], making the steady-state step loop allocation-free.
 
 use crate::experiment::ExperimentConfig;
 use crate::metrics::RunReport;
-use dc_sim::engine::{Datacenter, ServerActivity, StepInput};
-use dc_sim::ids::{AisleId, RowId};
+use dc_sim::engine::{Datacenter, StepInput, StepWorkspace};
 use dc_sim::weather::WeatherModel;
 use llm_sim::config::InstanceConfig;
 use llm_sim::hardware::GpuHardware;
@@ -18,14 +28,18 @@ use simkit::events::EventKind;
 use simkit::rng::SimRng;
 use simkit::time::{SimClock, SimTime};
 use simkit::units::{Celsius, CubicFeetPerMinute, Kilowatts, Watts};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
+use std::sync::Arc;
 use tapas::configurator::{InstanceConfigurator, InstanceLimits};
-use tapas::placement::{BaselinePlacement, PlacementRequest, TapasPlacement, VmPlacementPolicy};
+use tapas::placement::{
+    BaselinePlacement, PlacementPlanner, PlacementRequest, TapasPlacement, VmPlacementPolicy,
+};
 use tapas::profiles::ProfileStore;
 use tapas::routing::{
-    BaselineRouter, InstanceSnapshot, RequestRouterPolicy, RoutingContext, TapasRouter,
+    BaselineRouter, CandidateView, PreparedRoutingContext, RecentWindow, RouterScratch,
+    RoutingContext, TapasRouter,
 };
-use tapas::state::ClusterState;
+use tapas::state::{ClusterState, VmSlotMap};
 use workload::arrivals::{ArrivalConfig, VmArrivalGenerator};
 use workload::diurnal::DiurnalPattern;
 use workload::endpoints::{EndpointCatalog, EndpointId};
@@ -39,16 +53,193 @@ const MEAN_TOKENS_PER_REQUEST: f64 = 712.0;
 const OVERLOAD_LATENCY_FACTOR: f64 = 12.0;
 /// The SLO expressed as a latency factor over the unloaded latency.
 const SLO_LATENCY_FACTOR: f64 = 5.0;
+/// Goodput assumed for configurations missing from the profile sweep (tokens/s).
+const FALLBACK_GOODPUT: f64 = 1000.0;
 
-/// Runtime state of one SaaS instance.
-#[derive(Debug, Clone)]
-struct InstanceRuntime {
-    endpoint: EndpointId,
-    config: InstanceConfig,
-    utilization: f64,
-    outstanding: usize,
-    recent_customers: VecDeque<CustomerId>,
-    transition_until: Option<SimTime>,
+/// Struct-of-arrays runtime state of one endpoint's SaaS instances.
+///
+/// Column `i` across all vectors describes one instance. The router consumes the columns
+/// directly as a [`CandidateView`]; per-quantum updates mutate them in place.
+#[derive(Debug, Clone, Default)]
+struct EndpointPool {
+    vm: Vec<VmId>,
+    server: Vec<dc_sim::ids::ServerId>,
+    outstanding: Vec<u32>,
+    utilization: Vec<f64>,
+    in_transition: Vec<bool>,
+    recent: Vec<RecentWindow>,
+    config: Vec<InstanceConfig>,
+    /// Profiled goodput of `config` (NaN when the configuration was not in the sweep).
+    goodput: Vec<f64>,
+    /// Saturated per-GPU utilization of `config`'s decode phase.
+    sat_util: Vec<f64>,
+    /// Memory-boundedness of `config`'s decode phase.
+    boundedness: Vec<f64>,
+    transition_until: Vec<Option<SimTime>>,
+    /// Requests offered to the instance during the current step.
+    offered: Vec<f64>,
+    /// Cached TAPAS risk flags, refreshed per step and after each routed quantum.
+    risky: Vec<bool>,
+}
+
+impl EndpointPool {
+    fn len(&self) -> usize {
+        self.vm.len()
+    }
+
+    fn view(&self) -> CandidateView<'_> {
+        CandidateView {
+            vm: &self.vm,
+            server: &self.server,
+            outstanding: &self.outstanding,
+            utilization: &self.utilization,
+            in_transition: &self.in_transition,
+            recent: &self.recent,
+        }
+    }
+
+    fn swap_remove(&mut self, index: usize) {
+        self.vm.swap_remove(index);
+        self.server.swap_remove(index);
+        self.outstanding.swap_remove(index);
+        self.utilization.swap_remove(index);
+        self.in_transition.swap_remove(index);
+        self.recent.swap_remove(index);
+        self.config.swap_remove(index);
+        self.goodput.swap_remove(index);
+        self.sat_util.swap_remove(index);
+        self.boundedness.swap_remove(index);
+        self.transition_until.swap_remove(index);
+        self.offered.swap_remove(index);
+        self.risky.swap_remove(index);
+    }
+}
+
+/// The simulator's persistent, incrementally updated store of SaaS instance runtime state.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct InstanceRegistry {
+    pools: Vec<EndpointPool>,
+    endpoint_of: VmSlotMap,
+    position_of: VmSlotMap,
+    total: usize,
+}
+
+impl InstanceRegistry {
+    fn lookup(&self, vm: VmId) -> Option<(usize, usize)> {
+        let endpoint = self.endpoint_of.get(vm)? as usize;
+        let position = self.position_of.get(vm)? as usize;
+        Some((endpoint, position))
+    }
+
+    fn insert(
+        &mut self,
+        vm: VmId,
+        server: dc_sim::ids::ServerId,
+        endpoint: EndpointId,
+        config: InstanceConfig,
+        profiles: &ProfileStore,
+    ) {
+        let index = endpoint.0 as usize;
+        if index >= self.pools.len() {
+            self.pools.resize_with(index + 1, EndpointPool::default);
+        }
+        let pool = &mut self.pools[index];
+        let position = pool.len();
+        pool.vm.push(vm);
+        pool.server.push(server);
+        pool.outstanding.push(0);
+        pool.utilization.push(0.0);
+        pool.in_transition.push(false);
+        pool.recent.push(RecentWindow::new());
+        pool.config.push(config);
+        let (goodput, sat_util, boundedness) = profile_figures(profiles, &config);
+        pool.goodput.push(goodput);
+        pool.sat_util.push(sat_util);
+        pool.boundedness.push(boundedness);
+        pool.transition_until.push(None);
+        pool.offered.push(0.0);
+        pool.risky.push(false);
+        self.endpoint_of.insert(vm, index as u32);
+        self.position_of.insert(vm, position as u32);
+        self.total += 1;
+    }
+
+    fn remove(&mut self, vm: VmId) {
+        let Some((endpoint, position)) = self.lookup(vm) else {
+            return;
+        };
+        self.endpoint_of.remove(vm);
+        self.position_of.remove(vm);
+        let pool = &mut self.pools[endpoint];
+        pool.swap_remove(position);
+        if let Some(&moved) = pool.vm.get(position) {
+            self.position_of.insert(moved, position as u32);
+        }
+        self.total -= 1;
+    }
+
+    fn set_config(
+        &mut self,
+        vm: VmId,
+        config: InstanceConfig,
+        transition_until: Option<SimTime>,
+        profiles: &ProfileStore,
+    ) {
+        if let Some((endpoint, position)) = self.lookup(vm) {
+            let pool = &mut self.pools[endpoint];
+            pool.config[position] = config;
+            let (goodput, sat_util, boundedness) = profile_figures(profiles, &config);
+            pool.goodput[position] = goodput;
+            pool.sat_util[position] = sat_util;
+            pool.boundedness[position] = boundedness;
+            if transition_until.is_some() {
+                pool.transition_until[position] = transition_until;
+            }
+        }
+    }
+
+    /// Refreshes per-step flags and resets offered-load accumulators.
+    fn begin_step(&mut self, now: SimTime) {
+        for pool in &mut self.pools {
+            for i in 0..pool.len() {
+                pool.in_transition[i] =
+                    pool.transition_until[i].map(|until| until > now).unwrap_or(false);
+                pool.offered[i] = 0.0;
+            }
+        }
+    }
+
+    /// Total number of registered instances (used by consistency checks).
+    #[cfg(test)]
+    fn instance_count(&self) -> usize {
+        self.total
+    }
+
+    fn mean_utilization(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .pools
+            .iter()
+            .flat_map(|pool| pool.utilization.iter())
+            .sum();
+        sum / self.total as f64
+    }
+}
+
+/// Cached profile figures for a configuration: `(goodput, saturated GPU utilization,
+/// memory boundedness)`. Goodput is NaN when the configuration was not profiled so call
+/// sites can apply their own fallback.
+fn profile_figures(profiles: &ProfileStore, config: &InstanceConfig) -> (f64, f64, f64) {
+    match profiles.profile_for(config) {
+        Some(profile) => (
+            profile.goodput_tokens_per_s,
+            profile.decode.gpu_utilization,
+            profile.decode.memory_boundedness,
+        ),
+        None => (f64::NAN, 0.6, 0.7),
+    }
 }
 
 /// The end-to-end cluster simulator.
@@ -56,22 +247,35 @@ struct InstanceRuntime {
 pub struct ClusterSimulator {
     config: ExperimentConfig,
     dc: Datacenter,
-    profiles: ProfileStore,
+    profiles: Arc<ProfileStore>,
     state: ClusterState,
     weather: WeatherModel,
     catalog: EndpointCatalog,
     iaas_model: IaasLoadModel,
-    endpoint_patterns: BTreeMap<EndpointId, DiurnalPattern>,
+    /// Diurnal pattern per endpoint, indexed by `EndpointId`.
+    endpoint_patterns: Vec<DiurnalPattern>,
     pending: VecDeque<Vm>,
-    instances: BTreeMap<VmId, InstanceRuntime>,
+    registry: InstanceRegistry,
+    planner: PlacementPlanner,
+    tapas_placement: TapasPlacement,
+    router_tapas: TapasRouter,
+    /// Infrastructure state the router consults; row power and aisle airflow are carried
+    /// over from the previous step's physics outcome.
+    routing_context: RoutingContext,
+    prepared_routing: PreparedRoutingContext,
+    router_scratch: RouterScratch,
     carryover_freq: Vec<f64>,
-    prev_row_power: BTreeMap<RowId, Kilowatts>,
-    prev_aisle_airflow: BTreeMap<AisleId, CubicFeetPerMinute>,
+    carryover_next: Vec<f64>,
     prev_dc_load: f64,
-    row_history: BTreeMap<RowId, Vec<(SimTime, f64)>>,
+    /// Observed row power history per row, for the weekly template refinement.
+    row_history: Vec<Vec<(SimTime, f64)>>,
+    /// Scratch: SaaS instance count per row (for headroom sharing in reconfiguration).
+    saas_per_row: Vec<u32>,
     last_refinement: SimTime,
     rng: SimRng,
     next_request_id: u64,
+    step_input: StepInput,
+    workspace: StepWorkspace,
     report: RunReport,
 }
 
@@ -81,8 +285,8 @@ impl ClusterSimulator {
     pub fn new(config: ExperimentConfig) -> Self {
         let layout = config.layout.build();
         let dc = Datacenter::new(layout, config.seed);
-        let profiles = ProfileStore::offline_profiling(&dc, &GpuHardware::a100());
-        let state = ClusterState::new(dc.layout().server_count());
+        let profiles = ProfileStore::offline_profiling_shared(&dc, &GpuHardware::a100());
+        let state = ClusterState::with_layout(dc.layout());
         let weather = WeatherModel::new(config.climate, config.seed);
 
         let saas_target =
@@ -105,15 +309,12 @@ impl ClusterSimulator {
 
         let iaas_model = IaasLoadModel::new(12, config.seed);
         let mut pattern_rng = SimRng::seed_from(config.seed).derive("endpoint-patterns");
-        let endpoint_patterns = catalog
+        let endpoint_patterns: Vec<DiurnalPattern> = catalog
             .endpoints()
             .iter()
             .map(|e| {
-                (
-                    e.id,
-                    DiurnalPattern::interactive(config.seed ^ e.id.0)
-                        .with_peak_hour(pattern_rng.uniform(10.0, 20.0)),
-                )
+                DiurnalPattern::interactive(config.seed ^ e.id.0)
+                    .with_peak_hour(pattern_rng.uniform(10.0, 20.0))
             })
             .collect();
 
@@ -127,9 +328,24 @@ impl ClusterSimulator {
         report.gpu_throttle_temp_c = dc.layout().servers()[0].spec.gpu_throttle_temp_c;
 
         let server_count = dc.layout().server_count();
+        let row_count = dc.layout().rows().len();
+        let aisle_count = dc.layout().aisles().len();
+        let tapas_placement = TapasPlacement::default();
+        let planner =
+            PlacementPlanner::new(&state, dc.layout(), &profiles, tapas_placement.config.design);
+        let router_tapas = TapasRouter::default();
+        let routing_context = RoutingContext {
+            outside_temp: Celsius::new(20.0),
+            dc_load: 0.5,
+            row_power: vec![Kilowatts::ZERO; row_count],
+            aisle_airflow: vec![CubicFeetPerMinute::ZERO; aisle_count],
+        };
+        let prepared_routing =
+            PreparedRoutingContext::new(&routing_context, &router_tapas.config, &profiles);
+        let step_input = StepInput::idle(dc.layout(), Celsius::new(20.0));
+        let workspace = StepWorkspace::new(dc.layout());
         Self {
             rng: SimRng::seed_from(config.seed).derive("cluster-sim"),
-            dc,
             profiles,
             state,
             weather,
@@ -137,15 +353,24 @@ impl ClusterSimulator {
             iaas_model,
             endpoint_patterns,
             pending,
-            instances: BTreeMap::new(),
+            registry: InstanceRegistry::default(),
+            planner,
+            tapas_placement,
+            router_tapas,
+            routing_context,
+            prepared_routing,
+            router_scratch: RouterScratch::default(),
             carryover_freq: vec![1.0; server_count],
-            prev_row_power: BTreeMap::new(),
-            prev_aisle_airflow: BTreeMap::new(),
+            carryover_next: vec![1.0; server_count],
             prev_dc_load: 0.5,
-            row_history: BTreeMap::new(),
+            row_history: vec![Vec::new(); row_count],
+            saas_per_row: vec![0; row_count],
             last_refinement: SimTime::ZERO,
             next_request_id: 0,
+            step_input,
+            workspace,
             report,
+            dc,
             config,
         }
     }
@@ -186,7 +411,6 @@ impl ClusterSimulator {
 
     fn place_pending_vms(&mut self, now: SimTime) {
         let baseline = BaselinePlacement;
-        let tapas = TapasPlacement::default();
         while let Some(front) = self.pending.front() {
             if front.arrival > now {
                 break;
@@ -198,7 +422,13 @@ impl ClusterSimulator {
             let request = PlacementRequest { vm, predicted_peak_load: self.predicted_peak_load(&vm) };
             let layout = self.dc.layout();
             let chosen = if self.config.policy.placement_enabled() {
-                tapas.place(&request, &self.state, layout, &self.profiles)
+                self.tapas_placement.place_with(
+                    &request,
+                    &self.state,
+                    layout,
+                    &self.profiles,
+                    &mut self.planner,
+                )
             } else {
                 baseline.place(&request, &self.state, layout, &self.profiles)
             };
@@ -211,17 +441,7 @@ impl ClusterSimulator {
                                 .get(endpoint)
                                 .map(|e| e.default_config)
                                 .unwrap_or_else(InstanceConfig::default_70b);
-                            self.instances.insert(
-                                vm.id,
-                                InstanceRuntime {
-                                    endpoint,
-                                    config: default,
-                                    utilization: 0.0,
-                                    outstanding: 0,
-                                    recent_customers: VecDeque::new(),
-                                    transition_until: None,
-                                },
-                            );
+                            self.registry.insert(vm.id, server, endpoint, default, &self.profiles);
                             Some(default)
                         }
                         VmKind::Iaas { .. } => None,
@@ -229,6 +449,7 @@ impl ClusterSimulator {
                     self.state
                         .place(vm, server, request.predicted_peak_load, config)
                         .expect("chosen server is free");
+                    self.planner.on_place(server, request.predicted_peak_load, &self.profiles);
                     self.report.events.record_kind(
                         now,
                         EventKind::VmPlaced,
@@ -252,7 +473,9 @@ impl ClusterSimulator {
 
     fn retire_vms(&mut self, now: SimTime) {
         for retired in self.state.retire_expired(now) {
-            self.instances.remove(&retired.vm.id);
+            self.registry.remove(retired.vm.id);
+            self.planner
+                .on_remove(retired.server, retired.predicted_peak_load, &self.profiles);
             self.report.events.record_kind(
                 now,
                 EventKind::VmRetired,
@@ -265,75 +488,54 @@ impl ClusterSimulator {
 
     /// Routes this step's requests for every endpoint, updating instance utilization and
     /// recording latency/quality samples.
+    ///
+    /// Routing operates directly on the registry's per-endpoint columns: each quantum picks
+    /// a candidate index, and the chosen column entries are updated in place — no snapshot
+    /// rebuild, no clone, no linear search.
     fn route_requests(&mut self, now: SimTime, outside: Celsius) {
         let step_minutes = self.config.step.as_minutes() as f64;
-        let router_tapas = TapasRouter::default();
-        let router_baseline = BaselineRouter;
-        let context = RoutingContext {
-            outside_temp: outside,
-            dc_load: self.prev_dc_load,
-            row_power: self.prev_row_power.clone(),
-            aisle_airflow: self.prev_aisle_airflow.clone(),
-        };
+        self.routing_context.outside_temp = outside;
+        self.routing_context.dc_load = self.prev_dc_load;
+        self.prepared_routing.refresh(
+            &self.routing_context,
+            &self.router_tapas.config,
+            &self.profiles,
+        );
+        self.router_scratch.begin_step(self.profiles.server_count());
+        self.registry.begin_step(now);
+        let routing_enabled = self.config.policy.routing_enabled();
+        let step_seconds = step_minutes * 60.0;
 
-        // Reset per-step offered load.
-        let mut offered_requests: BTreeMap<VmId, f64> = BTreeMap::new();
-
-        let endpoint_ids: Vec<EndpointId> = self.catalog.endpoints().iter().map(|e| e.id).collect();
-        for endpoint_id in endpoint_ids {
-            let endpoint = self.catalog.get(endpoint_id).expect("known endpoint").clone();
-            let pattern = &self.endpoint_patterns[&endpoint_id];
+        for endpoint in self.catalog.endpoints() {
+            let pattern = &self.endpoint_patterns[endpoint.id.0 as usize];
             let rate_per_minute = endpoint.peak_requests_per_minute * pattern.load_at(now);
             let total_requests = rate_per_minute * step_minutes;
             if total_requests <= 0.0 {
                 continue;
             }
-
-            // Snapshots of this endpoint's instances.
-            let snapshots: Vec<InstanceSnapshot> = self
-                .instances
-                .iter()
-                .filter(|(_, runtime)| runtime.endpoint == endpoint_id)
-                .filter_map(|(&vm_id, runtime)| {
-                    self.state.server_of(vm_id).map(|server| InstanceSnapshot {
-                        vm: vm_id,
-                        server,
-                        outstanding_requests: runtime.outstanding,
-                        utilization: runtime.utilization,
-                        recent_customers: runtime.recent_customers.iter().copied().collect(),
-                        config: runtime.config,
-                        in_transition: runtime
-                            .transition_until
-                            .map(|until| until > now)
-                            .unwrap_or(false),
-                    })
-                })
-                .collect();
-            if snapshots.is_empty() {
+            let Some(pool) = self.registry.pools.get_mut(endpoint.id.0 as usize) else {
+                continue;
+            };
+            if pool.len() == 0 {
                 continue;
             }
 
             // Route the step's load in quanta to keep routing cost bounded while still
-            // exercising the policy's ordering.
-            let quanta = (snapshots.len() * 2).clamp(1, 64);
+            // exercising the policy's ordering. Risk flags are computed once per endpoint
+            // per step; each quantum then refreshes only the flag of the instance it loaded.
+            if routing_enabled {
+                let mut risky = std::mem::take(&mut pool.risky);
+                self.router_tapas.fill_risk_flags(
+                    &pool.view(),
+                    &self.profiles,
+                    &self.prepared_routing,
+                    &mut self.router_scratch,
+                    &mut risky,
+                );
+                pool.risky = risky;
+            }
+            let quanta = (pool.len() * 2).clamp(1, 64);
             let requests_per_quantum = total_requests / quanta as f64;
-            // Per-instance request capacity for this step, so live snapshots can track how
-            // much utilization each routed quantum adds.
-            let capacity_requests: BTreeMap<VmId, f64> = snapshots
-                .iter()
-                .map(|s| {
-                    let goodput = self
-                        .profiles
-                        .llm
-                        .profiles
-                        .iter()
-                        .find(|p| p.config == s.config)
-                        .map(|p| p.goodput_tokens_per_s)
-                        .unwrap_or(1000.0);
-                    (s.vm, (goodput * step_minutes * 60.0 / MEAN_TOKENS_PER_REQUEST).max(1.0))
-                })
-                .collect();
-            let mut live_snapshots = snapshots.clone();
             for _ in 0..quanta {
                 let customer = CustomerId(self.rng.next_u64() % endpoint.customers.max(1));
                 let request = InferenceRequest {
@@ -344,85 +546,85 @@ impl ClusterSimulator {
                     output_tokens: 200,
                 };
                 self.next_request_id += 1;
-                let choice = if self.config.policy.routing_enabled() {
-                    router_tapas.route(&request, &live_snapshots, &self.profiles, &context)
+                let choice = if routing_enabled {
+                    self.router_tapas.route_prescored(&request, &pool.view(), &pool.risky)
                 } else {
-                    router_baseline.route(&request, &live_snapshots, &self.profiles, &context)
+                    BaselineRouter.route_view(&pool.view())
                 };
-                let Some(vm_id) = choice else { continue };
-                *offered_requests.entry(vm_id).or_insert(0.0) += requests_per_quantum;
-                // Update the live snapshot so subsequent quanta see the added load (both the
+                let Some(index) = choice else { continue };
+                // Update the live columns so subsequent quanta see the added load (both the
                 // outstanding count and the utilization the quantum will cause).
-                if let Some(snapshot) = live_snapshots.iter_mut().find(|s| s.vm == vm_id) {
-                    snapshot.outstanding_requests += requests_per_quantum.ceil() as usize;
-                    let capacity = capacity_requests.get(&vm_id).copied().unwrap_or(1.0);
-                    snapshot.utilization =
-                        (snapshot.utilization + requests_per_quantum / capacity).min(1.5);
-                    if !snapshot.recent_customers.contains(&customer) {
-                        snapshot.recent_customers.push(customer);
-                    }
-                }
-                if let Some(runtime) = self.instances.get_mut(&vm_id) {
-                    runtime.recent_customers.push_back(customer);
-                    while runtime.recent_customers.len() > 32 {
-                        runtime.recent_customers.pop_front();
-                    }
+                pool.offered[index] += requests_per_quantum;
+                pool.outstanding[index] += requests_per_quantum.ceil() as u32;
+                let goodput = if pool.goodput[index].is_nan() {
+                    FALLBACK_GOODPUT
+                } else {
+                    pool.goodput[index]
+                };
+                let capacity =
+                    (goodput * step_seconds / MEAN_TOKENS_PER_REQUEST).max(1.0);
+                pool.utilization[index] =
+                    (pool.utilization[index] + requests_per_quantum / capacity).min(1.5);
+                pool.recent[index].push(customer);
+                if routing_enabled {
+                    pool.risky[index] = self.router_tapas.candidate_risk(
+                        pool.server[index],
+                        pool.utilization[index],
+                        &self.profiles,
+                        &self.prepared_routing,
+                        &mut self.router_scratch,
+                    );
                 }
             }
         }
 
         // Convert offered load to utilization and record latency/quality samples.
-        let step_seconds = step_minutes * 60.0;
-        for (&vm_id, runtime) in self.instances.iter_mut() {
-            let offered = offered_requests.get(&vm_id).copied().unwrap_or(0.0);
-            let offered_tokens_per_s = offered * MEAN_TOKENS_PER_REQUEST / step_seconds;
-            let goodput = self
-                .profiles
-                .llm
-                .profiles
-                .iter()
-                .find(|p| p.config == runtime.config)
-                .map(|p| p.goodput_tokens_per_s)
-                .unwrap_or(1.0)
-                .max(1.0);
-            let in_transition = runtime
-                .transition_until
-                .map(|until| until > now)
-                .unwrap_or(false);
-            let effective_goodput = if in_transition { goodput * 0.5 } else { goodput };
-            let utilization = (offered_tokens_per_s / effective_goodput).min(1.5);
-            runtime.utilization = utilization.min(1.0);
-            runtime.outstanding = offered.ceil() as usize;
-
-            if offered > 0.0 {
-                let latency_factor = if utilization >= 1.0 {
-                    OVERLOAD_LATENCY_FACTOR
+        for pool in &mut self.registry.pools {
+            for i in 0..pool.len() {
+                let offered = pool.offered[i];
+                let offered_tokens_per_s = offered * MEAN_TOKENS_PER_REQUEST / step_seconds;
+                let goodput = if pool.goodput[i].is_nan() {
+                    1.0
                 } else {
-                    (1.0 / (1.0 - utilization)).min(OVERLOAD_LATENCY_FACTOR)
-                };
-                let quality = runtime.config.quality();
-                let requests = offered.round().max(1.0) as u64;
-                self.report.requests_served += requests;
-                if latency_factor > SLO_LATENCY_FACTOR {
-                    self.report.slo_violations += requests;
-                    self.report.events.record_kind(
-                        now,
-                        EventKind::SloViolation,
-                        vm_id.to_string(),
-                        latency_factor,
-                        "",
-                    );
+                    pool.goodput[i]
                 }
-                self.report.latency_factors.push(latency_factor);
-                self.report.request_quality.push(quality);
-                if quality < 0.99 {
-                    self.report.events.record_kind(
-                        now,
-                        EventKind::QualityDegraded,
-                        vm_id.to_string(),
-                        quality,
-                        "",
-                    );
+                .max(1.0);
+                let in_transition = pool.in_transition[i];
+                let effective_goodput = if in_transition { goodput * 0.5 } else { goodput };
+                let utilization = (offered_tokens_per_s / effective_goodput).min(1.5);
+                pool.utilization[i] = utilization.min(1.0);
+                pool.outstanding[i] = offered.ceil() as u32;
+
+                if offered > 0.0 {
+                    let latency_factor = if utilization >= 1.0 {
+                        OVERLOAD_LATENCY_FACTOR
+                    } else {
+                        (1.0 / (1.0 - utilization)).min(OVERLOAD_LATENCY_FACTOR)
+                    };
+                    let quality = pool.config[i].quality();
+                    let requests = offered.round().max(1.0) as u64;
+                    self.report.requests_served += requests;
+                    if latency_factor > SLO_LATENCY_FACTOR {
+                        self.report.slo_violations += requests;
+                        self.report.events.record_kind(
+                            now,
+                            EventKind::SloViolation,
+                            pool.vm[i].to_string(),
+                            latency_factor,
+                            "",
+                        );
+                    }
+                    self.report.latency_factors.push(latency_factor);
+                    self.report.request_quality.push(quality);
+                    if quality < 0.99 {
+                        self.report.events.record_kind(
+                            now,
+                            EventKind::QualityDegraded,
+                            pool.vm[i].to_string(),
+                            quality,
+                            "",
+                        );
+                    }
                 }
             }
         }
@@ -434,126 +636,121 @@ impl ClusterSimulator {
             return;
         }
         let configurator = InstanceConfigurator::new(0.9);
-        let layout = self.dc.layout().clone();
+        let layout = self.dc.layout();
 
         // Count SaaS instances per row to share row headroom.
-        let mut saas_per_row: BTreeMap<RowId, usize> = BTreeMap::new();
-        for (&vm_id, _) in self.instances.iter() {
-            if let Some(server) = self.state.server_of(vm_id) {
-                *saas_per_row.entry(layout.server(server).row).or_insert(0) += 1;
+        self.saas_per_row.fill(0);
+        for pool in &self.registry.pools {
+            for &server in &pool.server {
+                self.saas_per_row[layout.server(server).row.index()] += 1;
             }
         }
 
-        let vm_ids: Vec<VmId> = self.instances.keys().copied().collect();
-        for vm_id in vm_ids {
-            let Some(server) = self.state.server_of(vm_id) else { continue };
-            let runtime = self.instances.get(&vm_id).expect("known instance").clone();
-            let profile = self.profiles.server(server);
-            let row = layout.server(server).row;
+        for endpoint_index in 0..self.registry.pools.len() {
+            for position in 0..self.registry.pools[endpoint_index].len() {
+                let pool = &self.registry.pools[endpoint_index];
+                let vm_id = pool.vm[position];
+                let server = pool.server[position];
+                let current_config = pool.config[position];
+                let utilization = pool.utilization[position];
+                let cached_goodput = pool.goodput[position];
+                let profile = self.profiles.server(server);
+                let row = profile.row;
 
-            // Thermal headroom -> per-GPU power budget.
-            let inlet = profile.predicted_inlet(outside, self.prev_dc_load);
-            let max_gpu_power =
-                profile.gpu_power_budget(inlet, self.profiles.thermal_headroom_target);
+                // Thermal headroom -> per-GPU power budget.
+                let inlet = profile.predicted_inlet(outside, self.prev_dc_load);
+                let max_gpu_power =
+                    profile.gpu_power_budget(inlet, self.profiles.thermal_headroom_target);
 
-            // Row power headroom -> per-instance server power budget.
-            let row_budget = self.profiles.budgets.row_power[&row];
-            let row_now = self
-                .prev_row_power
-                .get(&row)
-                .copied()
-                .unwrap_or(Kilowatts::ZERO);
-            let headroom = row_budget * 0.97 - row_now;
-            let share = headroom / saas_per_row.get(&row).copied().unwrap_or(1).max(1) as f64;
-            let current_power = profile.predicted_power(runtime.utilization);
-            let max_server_power =
-                Kilowatts::new((current_power + share).value().max(0.3));
+                // Row power headroom -> per-instance server power budget.
+                let row_budget = self.profiles.row_budget(row);
+                let row_now = self.routing_context.row_power[row.index()];
+                let headroom = row_budget * 0.97 - row_now;
+                let share =
+                    headroom / self.saas_per_row[row.index()].max(1) as f64;
+                let current_power = profile.predicted_power(utilization);
+                let max_server_power =
+                    Kilowatts::new((current_power + share).value().max(0.3));
 
-            let goodput = self
-                .profiles
-                .llm
-                .profiles
-                .iter()
-                .find(|p| p.config == runtime.config)
-                .map(|p| p.goodput_tokens_per_s)
-                .unwrap_or(1000.0);
-            let limits = InstanceLimits {
-                max_gpu_power: Watts::new(max_gpu_power.value().max(1.0)),
-                max_server_power,
-                demand_tokens_per_s: runtime.utilization * goodput,
-            };
-            let decision = configurator.select(&runtime.config, &limits, &self.profiles);
-            if decision.config != runtime.config {
-                let downtime = decision.cost.downtime_seconds();
-                let runtime_mut = self.instances.get_mut(&vm_id).expect("known instance");
-                runtime_mut.config = decision.config;
-                if downtime > 0.0 {
-                    runtime_mut.transition_until = Some(now + self.config.step);
+                let goodput = if cached_goodput.is_nan() {
+                    FALLBACK_GOODPUT
+                } else {
+                    cached_goodput
+                };
+                let limits = InstanceLimits {
+                    max_gpu_power: Watts::new(max_gpu_power.value().max(1.0)),
+                    max_server_power,
+                    demand_tokens_per_s: utilization * goodput,
+                };
+                let decision = configurator.select(&current_config, &limits, &self.profiles);
+                if decision.config != current_config {
+                    let downtime = decision.cost.downtime_seconds();
+                    let transition_until =
+                        (downtime > 0.0).then(|| now + self.config.step);
+                    self.registry.set_config(
+                        vm_id,
+                        decision.config,
+                        transition_until,
+                        &self.profiles,
+                    );
+                    self.state.set_config(vm_id, decision.config).expect("placed instance");
+                    self.report.events.record_kind(
+                        now,
+                        EventKind::InstanceReconfigured,
+                        vm_id.to_string(),
+                        downtime,
+                        format!("-> {}", decision.config),
+                    );
                 }
-                self.state.set_config(vm_id, decision.config).expect("placed instance");
-                self.report.events.record_kind(
-                    now,
-                    EventKind::InstanceReconfigured,
-                    vm_id.to_string(),
-                    downtime,
-                    format!("-> {}", decision.config),
-                );
             }
         }
     }
 
-    /// Builds the per-server activity for the physics engine.
-    fn build_activity(&self, now: SimTime) -> Vec<ServerActivity> {
+    /// Fills the per-server activity for the physics engine in place.
+    fn fill_activity(&mut self, now: SimTime) {
         let layout = self.dc.layout();
-        layout
-            .servers()
-            .iter()
-            .map(|server| {
-                let gpus = server.spec.gpus_per_server;
-                let carry = self.carryover_freq[server.id.index()];
-                match self.state.vm_on(server.id) {
-                    None => ServerActivity::idle(gpus),
-                    Some(placed) => match placed.vm.kind {
-                        VmKind::Iaas { .. } => {
-                            let load = self.iaas_model.load_at(&placed.vm, now);
-                            ServerActivity {
-                                gpu_utilization: vec![load; gpus],
-                                frequency_scale: vec![carry; gpus],
-                                memory_boundedness: 0.5,
-                            }
-                        }
-                        VmKind::Saas { .. } => {
-                            let Some(runtime) = self.instances.get(&placed.vm.id) else {
-                                return ServerActivity::idle(gpus);
-                            };
-                            let profile = self
-                                .profiles
-                                .llm
-                                .profiles
-                                .iter()
-                                .find(|p| p.config == runtime.config);
-                            let (sat_util, boundedness) = profile
-                                .map(|p| (p.decode.gpu_utilization, p.decode.memory_boundedness))
-                                .unwrap_or((0.6, 0.7));
-                            let active_gpus = runtime.config.parallelism.gpus().min(gpus);
-                            let util = (sat_util * runtime.utilization).clamp(0.0, 1.0);
-                            let freq = runtime.config.frequency.value() * carry;
-                            let mut gpu_utilization = vec![0.0; gpus];
-                            let mut frequency_scale = vec![1.0; gpus];
-                            for slot in 0..active_gpus {
-                                gpu_utilization[slot] = util;
-                                frequency_scale[slot] = freq;
-                            }
-                            ServerActivity {
-                                gpu_utilization,
-                                frequency_scale,
-                                memory_boundedness: boundedness,
-                            }
-                        }
-                    },
+        for server in layout.servers() {
+            let gpus = server.spec.gpus_per_server;
+            let carry = self.carryover_freq[server.id.index()];
+            let activity = &mut self.step_input.activity[server.id.index()];
+            match self.state.vm_on(server.id) {
+                None => {
+                    activity.gpu_utilization.fill(0.0);
+                    activity.frequency_scale.fill(1.0);
+                    activity.memory_boundedness = 0.0;
                 }
-            })
-            .collect()
+                Some(placed) => match placed.vm.kind {
+                    VmKind::Iaas { .. } => {
+                        let load = self.iaas_model.load_at(&placed.vm, now);
+                        activity.gpu_utilization.fill(load);
+                        activity.frequency_scale.fill(carry);
+                        activity.memory_boundedness = 0.5;
+                    }
+                    VmKind::Saas { .. } => {
+                        let Some((endpoint, position)) = self.registry.lookup(placed.vm.id)
+                        else {
+                            activity.gpu_utilization.fill(0.0);
+                            activity.frequency_scale.fill(1.0);
+                            activity.memory_boundedness = 0.0;
+                            continue;
+                        };
+                        let pool = &self.registry.pools[endpoint];
+                        let config = &pool.config[position];
+                        let active_gpus = config.parallelism.gpus().min(gpus);
+                        let util =
+                            (pool.sat_util[position] * pool.utilization[position]).clamp(0.0, 1.0);
+                        let freq = config.frequency.value() * carry;
+                        activity.gpu_utilization.fill(0.0);
+                        activity.frequency_scale.fill(1.0);
+                        for slot in 0..active_gpus {
+                            activity.gpu_utilization[slot] = util;
+                            activity.frequency_scale[slot] = freq;
+                        }
+                        activity.memory_boundedness = pool.boundedness[position];
+                    }
+                },
+            }
+        }
     }
 
     /// One simulation step.
@@ -564,10 +761,11 @@ impl ClusterSimulator {
         self.route_requests(now, outside);
         self.reconfigure_instances(now, outside);
 
-        let activity = self.build_activity(now);
-        let failures = self.config.failures.state_at(now);
-        let input = StepInput { outside_temp: outside, activity, failures };
-        let outcome = self.dc.evaluate(&input);
+        self.fill_activity(now);
+        self.step_input.outside_temp = outside;
+        self.step_input.failures = self.config.failures.state_at(now);
+        self.dc.evaluate_into(&self.step_input, &mut self.workspace);
+        let outcome = &self.workspace.outcome;
 
         // Record metrics.
         self.report
@@ -579,13 +777,9 @@ impl ClusterSimulator {
         self.report
             .datacenter_power
             .push(now, outcome.power.datacenter.draw.value());
-        let mean_saas_util = if self.instances.is_empty() {
-            0.0
-        } else {
-            self.instances.values().map(|r| r.utilization).sum::<f64>()
-                / self.instances.len() as f64
-        };
-        self.report.saas_utilization.push(now, mean_saas_util);
+        self.report
+            .saas_utilization
+            .push(now, self.registry.mean_utilization());
 
         for throttle in &outcome.thermal_throttles {
             self.report.events.record_kind(
@@ -619,36 +813,41 @@ impl ClusterSimulator {
 
         // Carry throttling and capping into the next step's effective frequency, and let
         // unaffected servers recover.
-        let mut next_freq = vec![1.0f64; self.carryover_freq.len()];
+        self.carryover_next.fill(1.0);
         for throttle in &outcome.thermal_throttles {
-            let idx = throttle.gpu.server.index();
-            next_freq[idx] = next_freq[idx].min(throttle.frequency_scale);
+            let slot = &mut self.carryover_next[throttle.gpu.server.index()];
+            *slot = slot.min(throttle.frequency_scale);
         }
         for directive in &outcome.power.capping {
-            let idx = directive.server.index();
-            next_freq[idx] = next_freq[idx].min(directive.power_fraction.cbrt());
+            let slot = &mut self.carryover_next[directive.server.index()];
+            *slot = slot.min(directive.power_fraction.cbrt());
         }
-        self.carryover_freq = next_freq;
+        std::mem::swap(&mut self.carryover_freq, &mut self.carryover_next);
 
         // Infrastructure state the router and configurator will see next step.
-        self.prev_row_power = outcome.row_power();
-        self.prev_aisle_airflow = outcome
-            .aisle_airflow
-            .iter()
-            .map(|(&aisle, assessment)| (aisle, assessment.demand))
-            .collect();
+        for (&row, utilization) in &outcome.power.rows {
+            self.routing_context.row_power[row.index()] = utilization.draw;
+        }
+        for (&aisle, assessment) in &outcome.aisle_airflow {
+            self.routing_context.aisle_airflow[aisle.index()] = assessment.demand;
+        }
         self.prev_dc_load = outcome.datacenter_load;
 
         // Weekly refinement of the row power templates (§4.5).
-        for (row, power) in outcome.row_power() {
-            self.row_history
-                .entry(row)
-                .or_default()
-                .push((now, power.value()));
+        for (&row, utilization) in &outcome.power.rows {
+            self.row_history[row.index()].push((now, utilization.draw.value()));
         }
         if (now - self.last_refinement).as_days() >= 7.0 {
-            self.profiles.refine_row_templates(&self.row_history);
-            self.row_history.clear();
+            let history: std::collections::BTreeMap<dc_sim::ids::RowId, Vec<(SimTime, f64)>> =
+                self.row_history
+                    .iter()
+                    .enumerate()
+                    .map(|(i, samples)| (dc_sim::ids::RowId::new(i), samples.clone()))
+                    .collect();
+            Arc::make_mut(&mut self.profiles).refine_row_templates(&history);
+            for samples in &mut self.row_history {
+                samples.clear();
+            }
             self.last_refinement = now;
         }
     }
@@ -713,5 +912,47 @@ mod tests {
         // cluster, or at least be recorded as events if load is high enough; the run must in
         // any case complete and keep recording.
         assert_eq!(report.max_gpu_temp.len(), 25);
+    }
+
+    #[test]
+    fn registry_tracks_placements_and_retirements() {
+        let mut config = ExperimentConfig::small_smoke_test();
+        config.policy = Policy::Tapas;
+        let mut sim = ClusterSimulator::new(config);
+        let mut clock = SimClock::new(sim.config.step, sim.config.duration);
+        loop {
+            let now = clock.now();
+            sim.step(now);
+            // Registry and cluster state must agree after every step.
+            let saas_in_state = sim.state.placed().filter(|p| p.vm.kind.is_saas()).count();
+            assert_eq!(sim.registry.instance_count(), saas_in_state);
+            for (endpoint_index, pool) in sim.registry.pools.iter().enumerate() {
+                // Every column must stay aligned with the vm column.
+                let n = pool.vm.len();
+                assert_eq!(pool.server.len(), n);
+                assert_eq!(pool.outstanding.len(), n);
+                assert_eq!(pool.utilization.len(), n);
+                assert_eq!(pool.in_transition.len(), n);
+                assert_eq!(pool.recent.len(), n);
+                assert_eq!(pool.config.len(), n);
+                assert_eq!(pool.goodput.len(), n);
+                assert_eq!(pool.sat_util.len(), n);
+                assert_eq!(pool.boundedness.len(), n);
+                assert_eq!(pool.transition_until.len(), n);
+                assert_eq!(pool.offered.len(), n);
+                assert_eq!(pool.risky.len(), n);
+                for (position, &vm) in pool.vm.iter().enumerate() {
+                    assert_eq!(
+                        sim.registry.lookup(vm),
+                        Some((endpoint_index, position)),
+                        "index maps must stay consistent"
+                    );
+                    assert_eq!(sim.state.server_of(vm), Some(pool.server[position]));
+                }
+            }
+            if clock.tick().is_none() {
+                break;
+            }
+        }
     }
 }

@@ -96,59 +96,100 @@ impl InstanceConfigurator {
         profiles: &ProfileStore,
     ) -> ConfigDecision {
         let all = &profiles.llm.profiles;
-        let fitting: Vec<&ConfigProfile> =
-            all.iter().filter(|p| Self::fits(p, limits)).collect();
 
-        let pick = |candidates: &[&ConfigProfile]| -> Option<ConfigProfile> {
-            candidates
-                .iter()
-                .max_by(|a, b| {
-                    let meets_demand_a = a.goodput_tokens_per_s >= limits.demand_tokens_per_s;
-                    let meets_demand_b = b.goodput_tokens_per_s >= limits.demand_tokens_per_s;
-                    let cost_rank = |p: &ConfigProfile| match current.reconfiguration_cost(&p.config) {
-                        ReconfigurationCost::None => 2,
-                        ReconfigurationCost::Online => 1,
-                        ReconfigurationCost::Reload { .. } => 0,
-                    };
-                    meets_demand_a
-                        .cmp(&meets_demand_b)
-                        .then(cost_rank(a).cmp(&cost_rank(b)))
-                        .then(
-                            a.goodput_tokens_per_s
-                                .partial_cmp(&b.goodput_tokens_per_s)
-                                .expect("finite goodput"),
-                        )
-                        .then(
-                            b.blended_server_power(0.7)
-                                .value()
-                                .partial_cmp(&a.blended_server_power(0.7).value())
-                                .expect("finite power"),
-                        )
-                })
-                .map(|p| **p)
-        };
+        // Fast path: when the current configuration fits the limits, meets the demand and
+        // satisfies the quality SLO, no candidate can beat it — `meets_demand` ties at best,
+        // and only the current configuration itself has the top `ReconfigurationCost::None`
+        // rank, which dominates the remaining criteria. This is the steady state for most
+        // instances on most steps, so the sweep scan only runs under actual pressure.
+        if let Some(current_profile) = profiles.profile_for(current) {
+            if Self::fits(current_profile, limits)
+                && current_profile.goodput_tokens_per_s >= limits.demand_tokens_per_s
+                && current_profile.quality >= self.quality_slo
+            {
+                return ConfigDecision {
+                    config: current_profile.config,
+                    cost: ReconfigurationCost::None,
+                    quality_degraded: false,
+                    profile: *current_profile,
+                };
+            }
+        }
 
-        // First try within the quality SLO.
-        let within_quality: Vec<&ConfigProfile> = fitting
-            .iter()
-            .copied()
-            .filter(|p| p.quality >= self.quality_slo)
-            .collect();
-        if let Some(profile) = pick(&within_quality) {
+        // Preference key, compared lexicographically: (1) meets the offered demand, (2)
+        // cheaper reconfiguration (no change, then online changes, then model reloads — the
+        // paper's "last resort" rule), (3) higher goodput, (4) lower blended power. On exact
+        // ties the later profile in sweep order wins, matching `Iterator::max_by`.
+        #[derive(Clone, Copy, PartialEq)]
+        struct Key {
+            meets_demand: bool,
+            cost_rank: u8,
+            goodput: f64,
+            power: f64,
+        }
+        impl Key {
+            fn at_least(&self, other: &Key) -> bool {
+                match self.meets_demand.cmp(&other.meets_demand) {
+                    std::cmp::Ordering::Less => return false,
+                    std::cmp::Ordering::Greater => return true,
+                    std::cmp::Ordering::Equal => {}
+                }
+                match self.cost_rank.cmp(&other.cost_rank) {
+                    std::cmp::Ordering::Less => return false,
+                    std::cmp::Ordering::Greater => return true,
+                    std::cmp::Ordering::Equal => {}
+                }
+                if self.goodput != other.goodput {
+                    return self.goodput > other.goodput;
+                }
+                // Lower power is better.
+                self.power <= other.power
+            }
+        }
+
+        // One pass over the sweep, tracking the best fitting profile within the quality SLO
+        // and the best fitting profile overall (the quality-degraded fallback).
+        let mut best_quality: Option<(Key, &ConfigProfile)> = None;
+        let mut best_any: Option<(Key, &ConfigProfile)> = None;
+        for profile in all {
+            if !Self::fits(profile, limits) {
+                continue;
+            }
+            let key = Key {
+                meets_demand: profile.goodput_tokens_per_s >= limits.demand_tokens_per_s,
+                cost_rank: match current.reconfiguration_cost(&profile.config) {
+                    ReconfigurationCost::None => 2,
+                    ReconfigurationCost::Online => 1,
+                    ReconfigurationCost::Reload { .. } => 0,
+                },
+                goodput: profile.goodput_tokens_per_s,
+                power: profile.blended_server_power(0.7).value(),
+            };
+            let replace =
+                |best: &Option<(Key, &ConfigProfile)>| best.is_none_or(|(k, _)| key.at_least(&k));
+            if replace(&best_any) {
+                best_any = Some((key, profile));
+            }
+            if profile.quality >= self.quality_slo && replace(&best_quality) {
+                best_quality = Some((key, profile));
+            }
+        }
+
+        // First try within the quality SLO; otherwise degrade quality (last resort).
+        if let Some((_, profile)) = best_quality {
             return ConfigDecision {
                 config: profile.config,
                 cost: current.reconfiguration_cost(&profile.config),
                 quality_degraded: false,
-                profile,
+                profile: *profile,
             };
         }
-        // Quality SLO cannot be met within the limits: degrade quality (last resort).
-        if let Some(profile) = pick(&fitting) {
+        if let Some((_, profile)) = best_any {
             return ConfigDecision {
                 config: profile.config,
                 cost: current.reconfiguration_cost(&profile.config),
                 quality_degraded: true,
-                profile,
+                profile: *profile,
             };
         }
         // Nothing fits at all: run the lowest-power configuration available.

@@ -34,8 +34,13 @@ pub mod state;
 
 pub use configurator::{ConfigDecision, InstanceConfigurator, InstanceLimits};
 pub use emergency::{EmergencyPlan, EmergencyResponder};
-pub use placement::{BaselinePlacement, PlacementRequest, TapasPlacement, VmPlacementPolicy};
+pub use placement::{
+    BaselinePlacement, PlacementPlanner, PlacementRequest, TapasPlacement, VmPlacementPolicy,
+};
 pub use policy::Policy;
 pub use profiles::{ProfileStore, ServerProfile};
-pub use routing::{BaselineRouter, InstanceSnapshot, RequestRouterPolicy, RoutingContext, TapasRouter};
-pub use state::{ClusterState, PlacedVm};
+pub use routing::{
+    BaselineRouter, CandidateSource, CandidateView, InstanceSnapshot, PreparedRoutingContext,
+    RecentWindow, RequestRouterPolicy, RouterScratch, RoutingContext, TapasRouter,
+};
+pub use state::{ClusterState, PlacedVm, VmSlotMap};

@@ -73,11 +73,118 @@ impl VmPlacementPolicy for BaselinePlacement {
         _layout: &Layout,
         _profiles: &ProfileStore,
     ) -> Option<ServerId> {
-        state.free_servers().into_iter().next()
+        state.first_free()
     }
 
     fn name(&self) -> &'static str {
         "baseline-placement"
+    }
+}
+
+/// Incrementally maintained placement aggregates plus reusable scratch buffers.
+///
+/// The TAPAS validator compares each candidate row's/aisle's *predicted peak* power and
+/// airflow against its provisioning. Recomputing those aggregates scans every server per
+/// placement decision; the planner instead carries them as dense vectors updated in O(1) on
+/// every place/retire event the caller reports, and caches each server's predicted inlet at
+/// the design conditions (a per-server constant).
+#[derive(Debug, Clone)]
+pub struct PlacementPlanner {
+    design: DesignConditions,
+    /// Predicted peak power per row (kW), counting idle power for empty servers.
+    row_power_kw: Vec<f64>,
+    /// Predicted peak airflow per aisle (CFM), counting idle airflow for empty servers.
+    aisle_airflow_cfm: Vec<f64>,
+    /// Predicted inlet temperature per server at the design conditions.
+    design_inlet_c: Vec<f64>,
+    /// Scratch: validated candidate servers.
+    candidates: Vec<ServerId>,
+    /// Scratch: `(server, predicted peak temperature)` pairs, sorted by temperature.
+    temps: Vec<(ServerId, f64)>,
+}
+
+impl PlacementPlanner {
+    /// Builds the planner from the current cluster state.
+    #[must_use]
+    pub fn new(
+        state: &ClusterState,
+        layout: &Layout,
+        profiles: &ProfileStore,
+        design: DesignConditions,
+    ) -> Self {
+        let mut row_power_kw = vec![0.0; layout.rows().len()];
+        let mut aisle_airflow_cfm = vec![0.0; layout.aisles().len()];
+        for server in layout.servers() {
+            let profile = profiles.server(server.id);
+            let (power, airflow) = match state.vm_on(server.id) {
+                Some(placed) => (
+                    profile.predicted_power(placed.predicted_peak_load).value(),
+                    profile.predicted_airflow(placed.predicted_peak_load).value(),
+                ),
+                None => (
+                    profile.spec.idle_power.value(),
+                    profile.spec.idle_airflow.value(),
+                ),
+            };
+            row_power_kw[server.row.index()] += power;
+            aisle_airflow_cfm[server.aisle.index()] += airflow;
+        }
+        let design_inlet_c = layout
+            .servers()
+            .iter()
+            .map(|server| {
+                profiles
+                    .server(server.id)
+                    .predicted_inlet(design.design_outside_temp, design.design_dc_load)
+                    .value()
+            })
+            .collect();
+        Self {
+            design,
+            row_power_kw,
+            aisle_airflow_cfm,
+            design_inlet_c,
+            candidates: Vec::new(),
+            temps: Vec::new(),
+        }
+    }
+
+    /// The design conditions the planner assumes.
+    #[must_use]
+    pub fn design(&self) -> DesignConditions {
+        self.design
+    }
+
+    /// Records that a VM with `predicted_peak_load` was placed on `server`.
+    pub fn on_place(&mut self, server: ServerId, predicted_peak_load: f64, profiles: &ProfileStore) {
+        let profile = profiles.server(server);
+        let load = predicted_peak_load.clamp(0.0, 1.0);
+        self.row_power_kw[profile.row.index()] +=
+            profile.predicted_power(load).value() - profile.spec.idle_power.value();
+        self.aisle_airflow_cfm[profile.aisle.index()] +=
+            profile.predicted_airflow(load).value() - profile.spec.idle_airflow.value();
+    }
+
+    /// Records that the VM previously placed on `server` (with the given predicted peak)
+    /// retired.
+    pub fn on_remove(
+        &mut self,
+        server: ServerId,
+        predicted_peak_load: f64,
+        profiles: &ProfileStore,
+    ) {
+        let profile = profiles.server(server);
+        let load = predicted_peak_load.clamp(0.0, 1.0);
+        self.row_power_kw[profile.row.index()] -=
+            profile.predicted_power(load).value() - profile.spec.idle_power.value();
+        self.aisle_airflow_cfm[profile.aisle.index()] -=
+            profile.predicted_airflow(load).value() - profile.spec.idle_airflow.value();
+    }
+
+    /// Predicted peak power of a row (kW).
+    #[must_use]
+    pub fn row_power_kw(&self, row: dc_sim::ids::RowId) -> f64 {
+        self.row_power_kw[row.index()]
     }
 }
 
@@ -111,35 +218,20 @@ impl Default for TapasPlacementConfig {
 
 /// The TAPAS thermal- and power-aware placement policy.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
 pub struct TapasPlacement {
     /// Tuning parameters.
     pub config: TapasPlacementConfig,
 }
 
-impl Default for TapasPlacement {
-    fn default() -> Self {
-        Self { config: TapasPlacementConfig::default() }
-    }
-}
 
 impl TapasPlacement {
-    /// Predicted peak power added to a row if a VM with `peak_load` runs on `server`.
-    fn marginal_power(profiles: &ProfileStore, server: ServerId, peak_load: f64) -> Kilowatts {
-        profiles.server(server).predicted_power(peak_load)
-    }
-
-    /// Predicted peak airflow added to an aisle if a VM with `peak_load` runs on `server`.
-    fn marginal_airflow(
-        profiles: &ProfileStore,
-        server: ServerId,
-        peak_load: f64,
-    ) -> CubicFeetPerMinute {
-        profiles.server(server).predicted_airflow(peak_load)
-    }
-
     /// Current predicted peak power per row from already-placed VMs (idle power for empty
     /// servers).
-    fn predicted_row_power(
+    ///
+    /// Reference implementation of the aggregate [`PlacementPlanner`] maintains
+    /// incrementally; used by tests and audits.
+    pub fn predicted_row_power(
         state: &ClusterState,
         layout: &Layout,
         profiles: &ProfileStore,
@@ -164,7 +256,10 @@ impl TapasPlacement {
     }
 
     /// Current predicted peak airflow per aisle from already-placed VMs.
-    fn predicted_aisle_airflow(
+    ///
+    /// Reference implementation of the aggregate [`PlacementPlanner`] maintains
+    /// incrementally; used by tests and audits.
+    pub fn predicted_aisle_airflow(
         state: &ClusterState,
         layout: &Layout,
         profiles: &ProfileStore,
@@ -190,7 +285,7 @@ impl TapasPlacement {
 
     /// Classifies every server's thermal tendency: the predicted worst-GPU temperature at the
     /// design conditions and the VM's predicted load. Returns the temperature per server.
-    fn thermal_estimate(
+    pub fn thermal_estimate(
         &self,
         profiles: &ProfileStore,
         server: ServerId,
@@ -207,55 +302,70 @@ impl TapasPlacement {
     }
 }
 
-impl VmPlacementPolicy for TapasPlacement {
-    fn place(
+impl TapasPlacement {
+    /// Chooses a server using the planner's incrementally maintained aggregates and scratch
+    /// buffers (the allocation-free hot path; [`VmPlacementPolicy::place`] wraps it with a
+    /// transient planner).
+    #[must_use]
+    pub fn place_with(
         &self,
         request: &PlacementRequest,
         state: &ClusterState,
         layout: &Layout,
         profiles: &ProfileStore,
+        planner: &mut PlacementPlanner,
     ) -> Option<ServerId> {
-        let free = state.free_servers();
-        if free.is_empty() {
+        if state.free_count() == 0 {
             return None;
         }
         let peak_load = request.predicted_peak_load.clamp(0.0, 1.0);
-        let row_power = Self::predicted_row_power(state, layout, profiles);
-        let aisle_airflow = Self::predicted_aisle_airflow(state, layout, profiles);
 
         // Validator rule: filter servers whose row power or aisle airflow would exceed the
         // (safety-scaled) provisioning if the VM peaked there.
-        let mut candidates: Vec<ServerId> = free
-            .iter()
-            .copied()
-            .filter(|&s| {
-                let server = layout.server(s);
-                let row_budget = profiles.budgets.row_power[&server.row]
-                    * self.config.power_safety_fraction;
-                let aisle_budget = profiles.budgets.aisle_airflow[&server.aisle]
-                    * self.config.airflow_safety_fraction;
-                let new_row_power = row_power[&server.row]
-                    - profiles.server(s).spec.idle_power
-                    + Self::marginal_power(profiles, s, peak_load);
-                let new_aisle_airflow = aisle_airflow[&server.aisle]
-                    - profiles.server(s).spec.idle_airflow
-                    + Self::marginal_airflow(profiles, s, peak_load);
-                new_row_power.value() <= row_budget.value()
-                    && new_aisle_airflow.value() <= aisle_budget.value()
-            })
-            .collect();
-        if candidates.is_empty() {
-            // Fall back to the least-bad row rather than rejecting outright: pick the free
-            // server whose row has the most power headroom.
-            candidates = free.clone();
+        let PlacementPlanner {
+            row_power_kw,
+            aisle_airflow_cfm,
+            design_inlet_c,
+            candidates,
+            temps,
+            ..
+        } = planner;
+        candidates.clear();
+        for server_id in state.free_iter() {
+            let profile = profiles.server(server_id);
+            let row_budget = profiles.row_budget(profile.row).value()
+                * self.config.power_safety_fraction;
+            let aisle_budget = profiles.aisle_budget(profile.aisle).value()
+                * self.config.airflow_safety_fraction;
+            let new_row_power = row_power_kw[profile.row.index()]
+                - profile.spec.idle_power.value()
+                + profile.predicted_power(peak_load).value();
+            let new_aisle_airflow = aisle_airflow_cfm[profile.aisle.index()]
+                - profile.spec.idle_airflow.value()
+                + profile.predicted_airflow(peak_load).value();
+            if new_row_power <= row_budget && new_aisle_airflow <= aisle_budget {
+                candidates.push(server_id);
+            }
         }
 
-        // Thermal terciles over the *whole* fleet (so the classification is stable): estimate
-        // each candidate's peak temperature and rank.
-        let mut temps: Vec<(ServerId, f64)> = candidates
-            .iter()
-            .map(|&s| (s, self.thermal_estimate(profiles, s, peak_load).value()))
-            .collect();
+        // Thermal terciles over the candidates (so the classification is stable): estimate
+        // each candidate's peak temperature and rank. When the validator rejected everything,
+        // fall back to every free server rather than rejecting outright.
+        temps.clear();
+        let estimate = |server: ServerId| -> f64 {
+            let profile = profiles.server(server);
+            let inlet = Celsius::new(design_inlet_c[server.index()]);
+            let gpu_max = profile.spec.gpu_max_power.to_watts().value();
+            let gpu_share = (gpu_max * (0.15 + 0.85 * peak_load)).min(gpu_max);
+            profile
+                .predicted_worst_gpu_temp(inlet, simkit::units::Watts::new(gpu_share))
+                .value()
+        };
+        if candidates.is_empty() {
+            temps.extend(state.free_iter().map(|s| (s, estimate(s))));
+        } else {
+            temps.extend(candidates.iter().map(|&s| (s, estimate(s))));
+        }
         temps.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite temperatures"));
         let n = temps.len();
         let tercile_of = |rank: usize| -> usize {
@@ -286,7 +396,7 @@ impl VmPlacementPolicy for TapasPlacement {
                 1.0 - tercile as f64 / 2.0
             };
             // Preference 2: improve the IaaS/SaaS balance of the row.
-            let row = layout.server(server).row;
+            let row = profiles.server(server).row;
             let (iaas, saas) = state.row_mix(layout, row);
             let balance_score = {
                 let (new_iaas, new_saas) =
@@ -305,6 +415,19 @@ impl VmPlacementPolicy for TapasPlacement {
             // Every candidate predicted a thermal violation for a SaaS VM: pick the coolest.
             temps.first().map(|&(s, _)| s)
         })
+    }
+}
+
+impl VmPlacementPolicy for TapasPlacement {
+    fn place(
+        &self,
+        request: &PlacementRequest,
+        state: &ClusterState,
+        layout: &Layout,
+        profiles: &ProfileStore,
+    ) -> Option<ServerId> {
+        let mut planner = PlacementPlanner::new(state, layout, profiles, self.config.design);
+        self.place_with(request, state, layout, profiles, &mut planner)
     }
 
     fn name(&self) -> &'static str {

@@ -22,7 +22,8 @@ use llm_sim::profile::ConfigProfile;
 use serde::{Deserialize, Serialize};
 use simkit::regression::{LinearModel, PiecewisePolynomial, Polynomial};
 use simkit::units::{Celsius, CubicFeetPerMinute, Kilowatts, Watts};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex, OnceLock};
 use workload::prediction::PowerTemplate;
 
 /// Per-server fitted thermal and power models.
@@ -115,6 +116,84 @@ impl LlmProfiles {
             .collect();
         Self { profiles, frontier, frontier_by_model }
     }
+
+    /// Process-wide shared profile of a GPU generation.
+    ///
+    /// The sweep is a pure function of the hardware parameters, so repeated simulator
+    /// constructions (parameter sweeps, benches) share one `Arc` instead of re-profiling
+    /// the full configuration space every time.
+    #[must_use]
+    pub fn shared(gpu: &GpuHardware) -> Arc<Self> {
+        static CACHE: OnceLock<Mutex<HashMap<u64, Arc<LlmProfiles>>>> = OnceLock::new();
+        let key = gpu_fingerprint(gpu);
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(hit) = cache.lock().expect("llm profile cache").get(&key) {
+            return Arc::clone(hit);
+        }
+        // Profile outside the lock: sweeps are independent and this keeps the critical
+        // section tiny.
+        let fresh = Arc::new(Self::profile(gpu));
+        Arc::clone(
+            cache
+                .lock()
+                .expect("llm profile cache")
+                .entry(key)
+                .or_insert(fresh),
+        )
+    }
+}
+
+/// FNV-1a digest of the hardware parameters that determine a profiling sweep.
+fn gpu_fingerprint(gpu: &GpuHardware) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in gpu.name.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    let mut mix = |value: u64| {
+        for byte in value.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    mix(gpu.peak_fp16_tflops.to_bits());
+    mix(gpu.memory_bandwidth_gbps.to_bits());
+    mix(gpu.memory_capacity_gb.to_bits());
+    mix(gpu.max_power_w.to_bits());
+    mix(gpu.compute_efficiency.to_bits());
+    mix(gpu.bandwidth_efficiency.to_bits());
+    mix(gpu.gpus_per_server as u64);
+    hash
+}
+
+/// A hashable identity of an [`llm_sim::config::InstanceConfig`], used to index the profile
+/// sweep without scanning it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ConfigKey {
+    size: u8,
+    quant: u8,
+    parallelism: u8,
+    batch: u16,
+    frequency_bits: u64,
+}
+
+fn config_key(config: &llm_sim::config::InstanceConfig) -> ConfigKey {
+    let size = ModelSize::ALL
+        .iter()
+        .position(|&s| s == config.variant.size)
+        .unwrap_or(usize::MAX) as u8;
+    let quant = llm_sim::model::Quantization::ALL
+        .iter()
+        .position(|&q| q == config.variant.quantization)
+        .unwrap_or(usize::MAX) as u8;
+    let parallelism = config.parallelism.gpus() as u8;
+    ConfigKey {
+        size,
+        quant,
+        parallelism,
+        batch: config.max_batch_size as u16,
+        frequency_bits: config.frequency.value().to_bits(),
+    }
 }
 
 /// Budgets of the rows and aisles (public provisioning data).
@@ -135,14 +214,20 @@ pub struct InfrastructureBudgets {
 pub struct ProfileStore {
     /// Per-server fitted models, indexed by `ServerId::index`.
     pub servers: Vec<ServerProfile>,
-    /// LLM configuration profiles and frontiers.
-    pub llm: LlmProfiles,
+    /// LLM configuration profiles and frontiers (shared across stores for one GPU model).
+    pub llm: Arc<LlmProfiles>,
     /// Row/aisle budgets.
     pub budgets: InfrastructureBudgets,
     /// Weekly-refined row power templates (absent until the first refinement).
     pub row_templates: BTreeMap<RowId, PowerTemplate>,
     /// GPU throttle limit minus a safety margin; the controllers aim to stay below this.
     pub thermal_headroom_target: Celsius,
+    /// Row power budgets as a dense vector indexed by `RowId::index`.
+    row_budget_dense: Vec<Kilowatts>,
+    /// Aisle airflow provisioning as a dense vector indexed by `AisleId::index`.
+    aisle_budget_dense: Vec<CubicFeetPerMinute>,
+    /// Position of each profiled configuration in `llm.profiles`.
+    config_slots: Arc<HashMap<ConfigKey, u32>>,
 }
 
 impl ProfileStore {
@@ -241,15 +326,55 @@ impl ProfileStore {
                 .collect(),
         };
 
+        let llm = LlmProfiles::shared(gpu);
+        let config_slots: Arc<HashMap<ConfigKey, u32>> = Arc::new(
+            llm.profiles
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (config_key(&p.config), i as u32))
+                .collect(),
+        );
         Self {
             servers,
-            llm: LlmProfiles::profile(gpu),
+            llm,
+            row_budget_dense: layout.rows().iter().map(|r| r.power_budget).collect(),
+            aisle_budget_dense: layout
+                .aisles()
+                .iter()
+                .map(|a| a.airflow_provisioned)
+                .collect(),
+            config_slots,
             budgets,
             row_templates: BTreeMap::new(),
             thermal_headroom_target: Celsius::new(
                 layout.servers()[0].spec.gpu_throttle_temp_c - 3.0,
             ),
         }
+    }
+
+    /// Process-wide shared offline profiling.
+    ///
+    /// Profiling is a pure function of the datacenter's generative models (identified by
+    /// [`Datacenter::fingerprint`]) and the GPU generation, mirroring how the real system
+    /// profiles a datacenter once at deployment and reuses the store across controllers.
+    /// Repeated simulator constructions over the same cluster share one `Arc`.
+    #[must_use]
+    pub fn offline_profiling_shared(dc: &Datacenter, gpu: &GpuHardware) -> Arc<Self> {
+        type StoreCache = Mutex<HashMap<(u64, u64), Arc<ProfileStore>>>;
+        static CACHE: OnceLock<StoreCache> = OnceLock::new();
+        let key = (dc.fingerprint(), gpu_fingerprint(gpu));
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(hit) = cache.lock().expect("profile store cache").get(&key) {
+            return Arc::clone(hit);
+        }
+        let fresh = Arc::new(Self::offline_profiling(dc, gpu));
+        Arc::clone(
+            cache
+                .lock()
+                .expect("profile store cache")
+                .entry(key)
+                .or_insert(fresh),
+        )
     }
 
     /// The profile of a server.
@@ -260,6 +385,49 @@ impl ProfileStore {
     pub fn server(&self, id: ServerId) -> &ServerProfile {
         &self.servers[id.index()]
     }
+
+    /// The power budget of a row (dense O(1) lookup).
+    ///
+    /// # Panics
+    /// Panics if the row id is out of range.
+    #[must_use]
+    pub fn row_budget(&self, row: RowId) -> Kilowatts {
+        self.row_budget_dense[row.index()]
+    }
+
+    /// The airflow provisioning of an aisle (dense O(1) lookup).
+    ///
+    /// # Panics
+    /// Panics if the aisle id is out of range.
+    #[must_use]
+    pub fn aisle_budget(&self, aisle: AisleId) -> CubicFeetPerMinute {
+        self.aisle_budget_dense[aisle.index()]
+    }
+
+    /// Number of rows in the profiled layout.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.row_budget_dense.len()
+    }
+
+    /// Number of aisles in the profiled layout.
+    #[must_use]
+    pub fn aisle_count(&self) -> usize {
+        self.aisle_budget_dense.len()
+    }
+
+    /// The profile of an instance configuration, if it was part of the sweep (O(1) instead of
+    /// scanning the profile list).
+    #[must_use]
+    pub fn profile_for(
+        &self,
+        config: &llm_sim::config::InstanceConfig,
+    ) -> Option<&ConfigProfile> {
+        self.config_slots
+            .get(&config_key(config))
+            .map(|&slot| &self.llm.profiles[slot as usize])
+    }
+
 
     /// Number of profiled servers.
     #[must_use]

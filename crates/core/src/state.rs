@@ -4,12 +4,21 @@
 //! partial assignment of VMs to servers plus, for SaaS VMs, their current instance
 //! configuration. Both the allocator and the router read this state; the cluster simulator
 //! mutates it as VMs arrive, retire and get reconfigured.
+//!
+//! # Data layout
+//!
+//! The state is index-based rather than map-based so the scheduling hot path never walks a
+//! tree: a dense server arena (`Vec<Option<PlacedVm>>` indexed by [`ServerId::index`]), a
+//! dense `VmId → server` slot index ([`VmSlotMap`]), a free-server bitmap for O(words)
+//! first-fit queries, and — when built [`ClusterState::with_layout`] — cached per-row
+//! IaaS/SaaS counts and per-endpoint instance lists maintained incrementally on every
+//! place/remove.
 
 use dc_sim::ids::{AisleId, RowId, ServerId};
 use dc_sim::topology::Layout;
 use llm_sim::config::InstanceConfig;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use workload::endpoints::EndpointId;
 use workload::vm::{Vm, VmId, VmKind};
 
 /// A VM placed on a server.
@@ -48,18 +57,186 @@ impl std::fmt::Display for StateError {
 
 impl std::error::Error for StateError {}
 
+const NO_SLOT: u32 = u32::MAX;
+
+/// A dense map from [`VmId`] to a `u32` slot, grown on demand.
+///
+/// VM ids are assigned sequentially by the arrival generators, so a flat vector indexed by
+/// the id is both smaller and much faster than a `BTreeMap` on the placement/routing hot
+/// path. Absent entries hold a sentinel.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct VmSlotMap {
+    slots: Vec<u32>,
+    len: usize,
+}
+
+impl VmSlotMap {
+    /// Creates an empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of mapped VMs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no VM is mapped.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The slot of a VM, if mapped.
+    #[must_use]
+    pub fn get(&self, vm: VmId) -> Option<u32> {
+        match self.slots.get(vm.0 as usize) {
+            Some(&slot) if slot != NO_SLOT => Some(slot),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the VM is mapped.
+    #[must_use]
+    pub fn contains(&self, vm: VmId) -> bool {
+        self.get(vm).is_some()
+    }
+
+    /// Maps a VM to a slot, replacing any previous mapping.
+    pub fn insert(&mut self, vm: VmId, slot: u32) {
+        let index = vm.0 as usize;
+        if index >= self.slots.len() {
+            self.slots.resize(index + 1, NO_SLOT);
+        }
+        if self.slots[index] == NO_SLOT {
+            self.len += 1;
+        }
+        self.slots[index] = slot;
+    }
+
+    /// Removes a VM's mapping, returning its former slot.
+    pub fn remove(&mut self, vm: VmId) -> Option<u32> {
+        let entry = self.slots.get_mut(vm.0 as usize)?;
+        if *entry == NO_SLOT {
+            return None;
+        }
+        let slot = *entry;
+        *entry = NO_SLOT;
+        self.len -= 1;
+        Some(slot)
+    }
+}
+
+/// A fixed-capacity bitmap over server indices with fast first-set and ordered iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct FreeSet {
+    words: Vec<u64>,
+    capacity: usize,
+    count: usize,
+}
+
+impl FreeSet {
+    fn all_free(capacity: usize) -> Self {
+        let word_count = capacity.div_ceil(64);
+        let mut words = vec![u64::MAX; word_count];
+        if !capacity.is_multiple_of(64) {
+            if let Some(last) = words.last_mut() {
+                *last = (1u64 << (capacity % 64)) - 1;
+            }
+        }
+        Self { words, capacity, count: capacity }
+    }
+
+    fn set(&mut self, index: usize) {
+        let mask = 1u64 << (index % 64);
+        let word = &mut self.words[index / 64];
+        if *word & mask == 0 {
+            *word |= mask;
+            self.count += 1;
+        }
+    }
+
+    fn clear(&mut self, index: usize) {
+        let mask = 1u64 << (index % 64);
+        let word = &mut self.words[index / 64];
+        if *word & mask != 0 {
+            *word &= !mask;
+            self.count -= 1;
+        }
+    }
+
+    fn first(&self) -> Option<usize> {
+        for (w, &word) in self.words.iter().enumerate() {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let bit = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(w * 64 + bit)
+            })
+        })
+    }
+}
+
+/// Cached topology indices enabling O(1) row-mix and per-endpoint queries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct TopologyCache {
+    /// Row index per server.
+    row_of: Vec<u32>,
+    /// Aisle index per server.
+    aisle_of: Vec<u32>,
+    /// `(iaas, saas)` VM counts per row, maintained incrementally.
+    row_mix: Vec<(u32, u32)>,
+}
+
 /// The assignment of VMs to servers.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterState {
     occupancy: Vec<Option<PlacedVm>>,
-    by_vm: BTreeMap<VmId, ServerId>,
+    by_vm: VmSlotMap,
+    free: FreeSet,
+    topology: Option<TopologyCache>,
+    /// VM ids per endpoint (SaaS only), maintained incrementally; indexed by endpoint id.
+    endpoint_vms: Vec<Vec<VmId>>,
 }
 
 impl ClusterState {
     /// Creates an empty state for a cluster of `server_count` servers.
     #[must_use]
     pub fn new(server_count: usize) -> Self {
-        Self { occupancy: vec![None; server_count], by_vm: BTreeMap::new() }
+        Self {
+            occupancy: vec![None; server_count],
+            by_vm: VmSlotMap::new(),
+            free: FreeSet::all_free(server_count),
+            topology: None,
+            endpoint_vms: Vec::new(),
+        }
+    }
+
+    /// Creates an empty state with cached topology indices, enabling O(1) [`Self::row_mix`]
+    /// queries on the placement hot path.
+    #[must_use]
+    pub fn with_layout(layout: &Layout) -> Self {
+        let mut state = Self::new(layout.server_count());
+        state.topology = Some(TopologyCache {
+            row_of: layout.servers().iter().map(|s| s.row.index() as u32).collect(),
+            aisle_of: layout.servers().iter().map(|s| s.aisle.index() as u32).collect(),
+            row_mix: vec![(0, 0); layout.rows().len()],
+        });
+        state
     }
 
     /// Number of servers.
@@ -89,23 +266,77 @@ impl ClusterState {
     /// The server hosting a VM, if it is placed.
     #[must_use]
     pub fn server_of(&self, vm: VmId) -> Option<ServerId> {
-        self.by_vm.get(&vm).copied()
+        self.by_vm.get(vm).map(|slot| ServerId::new(slot as usize))
+    }
+
+    /// The lowest-numbered free server, if any.
+    #[must_use]
+    pub fn first_free(&self) -> Option<ServerId> {
+        self.free.first().map(ServerId::new)
+    }
+
+    /// Number of free servers.
+    #[must_use]
+    pub fn free_count(&self) -> usize {
+        self.free.count
+    }
+
+    /// Iterates over free servers in id order without allocating.
+    pub fn free_iter(&self) -> impl Iterator<Item = ServerId> + '_ {
+        self.free.iter().map(ServerId::new)
     }
 
     /// All free servers.
     #[must_use]
     pub fn free_servers(&self) -> Vec<ServerId> {
-        self.occupancy
-            .iter()
-            .enumerate()
-            .filter(|(_, slot)| slot.is_none())
-            .map(|(i, _)| ServerId::new(i))
-            .collect()
+        self.free_iter().collect()
     }
 
     /// Iterates over all placed VMs.
     pub fn placed(&self) -> impl Iterator<Item = &PlacedVm> + '_ {
         self.occupancy.iter().filter_map(|slot| slot.as_ref())
+    }
+
+    /// SaaS VM ids of an endpoint, in placement order (empty for unknown endpoints).
+    #[must_use]
+    pub fn endpoint_instances(&self, endpoint: EndpointId) -> &[VmId] {
+        self.endpoint_vms
+            .get(endpoint.0 as usize)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    fn track_place(&mut self, vm: &Vm, server: ServerId) {
+        if let Some(topology) = &mut self.topology {
+            let row = topology.row_of[server.index()] as usize;
+            match vm.kind {
+                VmKind::Iaas { .. } => topology.row_mix[row].0 += 1,
+                VmKind::Saas { .. } => topology.row_mix[row].1 += 1,
+            }
+        }
+        if let VmKind::Saas { endpoint } = vm.kind {
+            let index = endpoint.0 as usize;
+            if index >= self.endpoint_vms.len() {
+                self.endpoint_vms.resize_with(index + 1, Vec::new);
+            }
+            self.endpoint_vms[index].push(vm.id);
+        }
+    }
+
+    fn track_remove(&mut self, vm: &Vm, server: ServerId) {
+        if let Some(topology) = &mut self.topology {
+            let row = topology.row_of[server.index()] as usize;
+            match vm.kind {
+                VmKind::Iaas { .. } => topology.row_mix[row].0 -= 1,
+                VmKind::Saas { .. } => topology.row_mix[row].1 -= 1,
+            }
+        }
+        if let VmKind::Saas { endpoint } = vm.kind {
+            if let Some(members) = self.endpoint_vms.get_mut(endpoint.0 as usize) {
+                if let Some(position) = members.iter().position(|&id| id == vm.id) {
+                    members.remove(position);
+                }
+            }
+        }
     }
 
     /// Places a VM on a server.
@@ -119,7 +350,7 @@ impl ClusterState {
         predicted_peak_load: f64,
         config: Option<InstanceConfig>,
     ) -> Result<(), StateError> {
-        if self.by_vm.contains_key(&vm.id) {
+        if self.by_vm.contains(vm.id) {
             return Err(StateError::AlreadyPlaced(vm.id));
         }
         if self.occupancy[server.index()].is_some() {
@@ -127,7 +358,9 @@ impl ClusterState {
         }
         self.occupancy[server.index()] =
             Some(PlacedVm { vm, server, predicted_peak_load, config });
-        self.by_vm.insert(vm.id, server);
+        self.by_vm.insert(vm.id, server.index() as u32);
+        self.free.clear(server.index());
+        self.track_place(&vm, server);
         Ok(())
     }
 
@@ -136,8 +369,13 @@ impl ClusterState {
     /// # Errors
     /// Returns an error if the VM is not placed.
     pub fn remove(&mut self, vm: VmId) -> Result<PlacedVm, StateError> {
-        let server = self.by_vm.remove(&vm).ok_or(StateError::NotPlaced(vm))?;
-        Ok(self.occupancy[server.index()].take().expect("occupancy consistent with index"))
+        let slot = self.by_vm.remove(vm).ok_or(StateError::NotPlaced(vm))?;
+        let placed = self.occupancy[slot as usize]
+            .take()
+            .expect("occupancy consistent with index");
+        self.free.set(slot as usize);
+        self.track_remove(&placed.vm, placed.server);
+        Ok(placed)
     }
 
     /// Updates the configuration of a placed SaaS VM.
@@ -145,8 +383,8 @@ impl ClusterState {
     /// # Errors
     /// Returns an error if the VM is not placed.
     pub fn set_config(&mut self, vm: VmId, config: InstanceConfig) -> Result<(), StateError> {
-        let server = self.by_vm.get(&vm).copied().ok_or(StateError::NotPlaced(vm))?;
-        let placed = self.occupancy[server.index()]
+        let slot = self.by_vm.get(vm).ok_or(StateError::NotPlaced(vm))?;
+        let placed = self.occupancy[slot as usize]
             .as_mut()
             .expect("occupancy consistent with index");
         placed.config = Some(config);
@@ -154,8 +392,14 @@ impl ClusterState {
     }
 
     /// Counts `(iaas, saas)` VMs in a row.
+    ///
+    /// O(1) when the state was built [`Self::with_layout`]; otherwise scans the row.
     #[must_use]
     pub fn row_mix(&self, layout: &Layout, row: RowId) -> (usize, usize) {
+        if let Some(topology) = &self.topology {
+            let (iaas, saas) = topology.row_mix[row.index()];
+            return (iaas as usize, saas as usize);
+        }
         let mut iaas = 0;
         let mut saas = 0;
         for &server in &layout.rows()[row.index()].servers {
@@ -191,15 +435,21 @@ impl ClusterState {
 
     /// Retires every VM whose lifetime has expired at `now`, returning the retired VMs.
     pub fn retire_expired(&mut self, now: simkit::time::SimTime) -> Vec<PlacedVm> {
-        let expired: Vec<VmId> = self
-            .placed()
-            .filter(|p| !p.vm.is_alive_at(now) && p.vm.departure() <= now)
-            .map(|p| p.vm.id)
-            .collect();
-        expired
-            .into_iter()
-            .map(|id| self.remove(id).expect("listed as placed"))
-            .collect()
+        let mut retired = Vec::new();
+        for slot in 0..self.occupancy.len() {
+            let expired = match &self.occupancy[slot] {
+                Some(p) => !p.vm.is_alive_at(now) && p.vm.departure() <= now,
+                None => false,
+            };
+            if expired {
+                let placed = self.occupancy[slot].take().expect("checked above");
+                self.by_vm.remove(placed.vm.id);
+                self.free.set(slot);
+                self.track_remove(&placed.vm, placed.server);
+                retired.push(placed);
+            }
+        }
+        retired
     }
 }
 
@@ -280,6 +530,52 @@ mod tests {
         assert_eq!((iaas1, saas1), (1, 0));
         assert_eq!(state.vms_in_row(&layout, RowId::new(0)).len(), 2);
         assert_eq!(state.vms_in_aisle(&layout, AisleId::new(0)).len(), 3);
+    }
+
+    #[test]
+    fn cached_row_mix_matches_scan() {
+        let layout = LayoutConfig::small_test_cluster().build();
+        let mut cached = ClusterState::with_layout(&layout);
+        let mut scanned = ClusterState::new(layout.server_count());
+        for (i, server) in [0usize, 1, 4, 6].into_iter().enumerate() {
+            let v = vm(i as u64, i % 2 == 0);
+            cached.place(v, ServerId::new(server), 0.5, None).unwrap();
+            scanned.place(v, ServerId::new(server), 0.5, None).unwrap();
+        }
+        cached.remove(VmId(1)).unwrap();
+        scanned.remove(VmId(1)).unwrap();
+        for row in layout.rows() {
+            assert_eq!(cached.row_mix(&layout, row.id), scanned.row_mix(&layout, row.id));
+        }
+    }
+
+    #[test]
+    fn endpoint_instances_track_saas_membership() {
+        let layout = LayoutConfig::small_test_cluster().build();
+        let mut state = ClusterState::with_layout(&layout);
+        state.place(vm(1, true), ServerId::new(0), 0.5, None).unwrap();
+        state.place(vm(2, true), ServerId::new(1), 0.5, None).unwrap();
+        state.place(vm(3, false), ServerId::new(2), 0.5, None).unwrap();
+        assert_eq!(state.endpoint_instances(EndpointId(0)), &[VmId(1), VmId(2)]);
+        assert!(state.endpoint_instances(EndpointId(9)).is_empty());
+        state.remove(VmId(1)).unwrap();
+        assert_eq!(state.endpoint_instances(EndpointId(0)), &[VmId(2)]);
+    }
+
+    #[test]
+    fn free_set_iterates_in_id_order() {
+        let mut state = ClusterState::new(130);
+        state.place(vm(1, false), ServerId::new(0), 0.5, None).unwrap();
+        state.place(vm(2, false), ServerId::new(64), 0.5, None).unwrap();
+        state.place(vm(3, false), ServerId::new(129), 0.5, None).unwrap();
+        assert_eq!(state.first_free(), Some(ServerId::new(1)));
+        assert_eq!(state.free_count(), 127);
+        let free = state.free_servers();
+        assert_eq!(free.len(), 127);
+        assert!(free.windows(2).all(|w| w[0] < w[1]), "free list must be ordered");
+        assert!(!free.contains(&ServerId::new(64)));
+        state.remove(VmId(1)).unwrap();
+        assert_eq!(state.first_free(), Some(ServerId::new(0)));
     }
 
     #[test]

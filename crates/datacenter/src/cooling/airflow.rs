@@ -49,6 +49,7 @@ impl AirflowModel {
     ///
     /// Linear interpolation between the idle and maximum airflow of the server spec, as
     /// measured in §2.1.
+    #[inline]
     #[must_use]
     pub fn server_airflow(&self, spec: &ServerSpec, load: f64) -> CubicFeetPerMinute {
         let load = load.clamp(0.0, 1.0);

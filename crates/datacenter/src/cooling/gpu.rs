@@ -35,6 +35,26 @@ pub struct GpuThermalCoefficients {
     pub mem_offset_computebound_c: f64,
 }
 
+impl GpuThermalCoefficients {
+    /// The inlet-dependent part of the GPU temperature: `a · T_inlet + c`. Single source of
+    /// the linear model shared by [`GpuThermalModel::temperatures`] and the engine's fused
+    /// per-row pass (which adds `b · P_gpu + offset` per slot).
+    #[inline]
+    #[must_use]
+    pub fn base_terms(&self, inlet: Celsius) -> f64 {
+        self.inlet_coeff * inlet.value() + self.intercept
+    }
+
+    /// Memory temperature offset relative to the GPU for a given memory-boundedness.
+    #[inline]
+    #[must_use]
+    pub fn memory_offset(&self, memory_boundedness: f64) -> f64 {
+        let mem_frac = memory_boundedness.clamp(0.0, 1.0);
+        self.mem_offset_computebound_c
+            + (self.mem_offset_membound_c - self.mem_offset_computebound_c) * mem_frac
+    }
+}
+
 impl Default for GpuThermalCoefficients {
     fn default() -> Self {
         Self {
@@ -59,11 +79,15 @@ pub struct GpuTemperatures {
 }
 
 /// Per-GPU thermal model with layout and process-variation offsets.
+///
+/// Offsets are stored flat (server-major) so per-row physics can walk contiguous slices.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GpuThermalModel {
     coeffs: GpuThermalCoefficients,
-    /// Offsets indexed by `[server][slot]`.
-    offsets: Vec<Vec<f64>>,
+    /// Per-GPU offsets, server-major.
+    offsets: Vec<f64>,
+    /// Start of each server's offset run in `offsets` (length `servers + 1`).
+    starts: Vec<u32>,
 }
 
 impl GpuThermalModel {
@@ -71,23 +95,21 @@ impl GpuThermalModel {
     #[must_use]
     pub fn for_layout(layout: &Layout, coeffs: GpuThermalCoefficients, seed: u64) -> Self {
         let mut rng = SimRng::seed_from(seed).derive("gpu-thermal");
-        let offsets = layout
-            .servers()
-            .iter()
-            .map(|server| {
-                (0..server.spec.gpus_per_server)
-                    .map(|slot| {
-                        let layout_offset = if slot % 2 == 0 {
-                            0.0
-                        } else {
-                            coeffs.layout_penalty_c
-                        };
-                        layout_offset + rng.normal(0.0, coeffs.process_variation_std_c)
-                    })
-                    .collect()
-            })
-            .collect();
-        Self { coeffs, offsets }
+        let mut offsets = Vec::with_capacity(layout.gpu_count());
+        let mut starts = Vec::with_capacity(layout.server_count() + 1);
+        starts.push(0);
+        for server in layout.servers() {
+            for slot in 0..server.spec.gpus_per_server {
+                let layout_offset = if slot % 2 == 0 {
+                    0.0
+                } else {
+                    coeffs.layout_penalty_c
+                };
+                offsets.push(layout_offset + rng.normal(0.0, coeffs.process_variation_std_c));
+            }
+            starts.push(offsets.len() as u32);
+        }
+        Self { coeffs, offsets, starts }
     }
 
     /// The model coefficients.
@@ -102,7 +124,18 @@ impl GpuThermalModel {
     /// Panics if the GPU id is out of range.
     #[must_use]
     pub fn offset(&self, gpu: GpuId) -> f64 {
-        self.offsets[gpu.server.index()][gpu.slot]
+        self.server_offsets(gpu.server)[gpu.slot]
+    }
+
+    /// The static offsets of every GPU in a server, as a contiguous slice.
+    ///
+    /// # Panics
+    /// Panics if the server id is out of range.
+    #[must_use]
+    pub fn server_offsets(&self, server: crate::ids::ServerId) -> &[f64] {
+        let start = self.starts[server.index()] as usize;
+        let end = self.starts[server.index() + 1] as usize;
+        &self.offsets[start..end]
     }
 
     /// GPU and memory temperatures given the server inlet temperature, this GPU's power draw
@@ -117,13 +150,8 @@ impl GpuThermalModel {
         memory_boundedness: f64,
     ) -> GpuTemperatures {
         let c = &self.coeffs;
-        let base = c.inlet_coeff * inlet.value()
-            + c.power_coeff * gpu_power.value()
-            + c.intercept
-            + self.offset(gpu);
-        let mem_frac = memory_boundedness.clamp(0.0, 1.0);
-        let mem_offset = c.mem_offset_computebound_c
-            + (c.mem_offset_membound_c - c.mem_offset_computebound_c) * mem_frac;
+        let base = c.base_terms(inlet) + c.power_coeff * gpu_power.value() + self.offset(gpu);
+        let mem_offset = c.memory_offset(memory_boundedness);
         GpuTemperatures {
             gpu: Celsius::new(base),
             memory: Celsius::new(base + mem_offset),
@@ -143,7 +171,8 @@ impl GpuThermalModel {
         limit: Celsius,
     ) -> Watts {
         let c = &self.coeffs;
-        let worst_offset = self.offsets[server.index()]
+        let worst_offset = self
+            .server_offsets(server)
             .iter()
             .copied()
             .fold(f64::MIN, f64::max);
@@ -155,7 +184,7 @@ impl GpuThermalModel {
     /// Number of servers covered.
     #[must_use]
     pub fn server_count(&self) -> usize {
-        self.offsets.len()
+        self.starts.len() - 1
     }
 }
 

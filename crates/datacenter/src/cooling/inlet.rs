@@ -51,6 +51,7 @@ impl Default for InletCurve {
 
 impl InletCurve {
     /// Base inlet temperature (before spatial offsets and load) for an outside temperature.
+    #[inline]
     #[must_use]
     pub fn base(&self, outside: Celsius) -> f64 {
         let t = outside.value();

@@ -192,6 +192,7 @@ impl StepOutcome {
 
 /// Tunable model parameters for a [`Datacenter`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
 pub struct DatacenterModels {
     /// Inlet-temperature curve (Eq. 1).
     pub inlet_curve: InletCurve,
@@ -203,16 +204,6 @@ pub struct DatacenterModels {
     pub power: ServerPowerModel,
 }
 
-impl Default for DatacenterModels {
-    fn default() -> Self {
-        Self {
-            inlet_curve: InletCurve::default(),
-            gpu_thermal: GpuThermalCoefficients::default(),
-            airflow: AirflowModel::default(),
-            power: ServerPowerModel::default(),
-        }
-    }
-}
 
 /// The datacenter physics engine.
 #[derive(Debug, Clone)]
@@ -223,6 +214,7 @@ pub struct Datacenter {
     airflow_model: AirflowModel,
     power_model: ServerPowerModel,
     hierarchy: PowerHierarchy,
+    fingerprint: u64,
 }
 
 impl Datacenter {
@@ -239,6 +231,7 @@ impl Datacenter {
         let inlet_model = InletModel::for_layout(&layout, models.inlet_curve, seed);
         let gpu_model = GpuThermalModel::for_layout(&layout, models.gpu_thermal, seed);
         let hierarchy = PowerHierarchy::from_layout(&layout);
+        let fingerprint = Self::fingerprint_of(&layout, &models, seed);
         Self {
             layout,
             inlet_model,
@@ -246,7 +239,70 @@ impl Datacenter {
             airflow_model: models.airflow,
             power_model: models.power,
             hierarchy,
+            fingerprint,
         }
+    }
+
+    /// A deterministic digest of `(layout, models, seed)` identifying this datacenter's
+    /// generative models. Two datacenters with equal fingerprints produce identical physics,
+    /// so derived artifacts (e.g. offline profiles) can be shared between them.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    fn fingerprint_of(layout: &Layout, models: &DatacenterModels, seed: u64) -> u64 {
+        // FNV-1a over the structural parameters; deterministic across processes.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |value: u64| {
+            for byte in value.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        mix(seed);
+        mix(layout.server_count() as u64);
+        mix(layout.rows().len() as u64);
+        mix(layout.aisles().len() as u64);
+        mix(layout.racks().len() as u64);
+        mix(layout.pdus().len() as u64);
+        mix(layout.upses().len() as u64);
+        // Every server spec participates (mixed fleets must not collide).
+        for server in layout.servers() {
+            mix(server.spec.gpus_per_server as u64);
+            mix(server.spec.max_power.value().to_bits());
+            mix(server.spec.idle_power.value().to_bits());
+            mix(server.spec.gpu_max_power.value().to_bits());
+            mix(server.spec.idle_airflow.value().to_bits());
+            mix(server.spec.max_airflow.value().to_bits());
+            mix(server.spec.gpu_throttle_temp_c.to_bits());
+            mix(server.spec.mem_throttle_temp_c.to_bits());
+        }
+        for row in layout.rows() {
+            mix(row.power_budget.value().to_bits());
+            mix(row.servers.len() as u64);
+        }
+        for aisle in layout.aisles() {
+            mix(aisle.airflow_provisioned.value().to_bits());
+            mix(aisle.ahu_count as u64);
+        }
+        // Every tunable of every model participates.
+        mix(models.inlet_curve.floor_c.to_bits());
+        mix(models.inlet_curve.floor_until_outside_c.to_bits());
+        mix(models.inlet_curve.mid_slope.to_bits());
+        mix(models.inlet_curve.hot_from_outside_c.to_bits());
+        mix(models.inlet_curve.hot_slope.to_bits());
+        mix(models.inlet_curve.load_sensitivity_c.to_bits());
+        mix(models.gpu_thermal.inlet_coeff.to_bits());
+        mix(models.gpu_thermal.power_coeff.to_bits());
+        mix(models.gpu_thermal.intercept.to_bits());
+        mix(models.gpu_thermal.layout_penalty_c.to_bits());
+        mix(models.gpu_thermal.process_variation_std_c.to_bits());
+        mix(models.gpu_thermal.mem_offset_membound_c.to_bits());
+        mix(models.gpu_thermal.mem_offset_computebound_c.to_bits());
+        mix(models.airflow.recirculation_penalty_c_per_10pct.to_bits());
+        mix(models.power.linear_weight.to_bits());
+        hash
     }
 
     /// The physical layout.
@@ -285,125 +341,423 @@ impl Datacenter {
         &self.hierarchy
     }
 
-    /// Evaluates one step.
+    /// Evaluates one step, allocating a fresh [`StepWorkspace`].
+    ///
+    /// Callers on the hot loop should hold a persistent workspace and use
+    /// [`Self::evaluate_into`] instead, which reuses every intermediate and output buffer
+    /// across steps.
     ///
     /// # Panics
     /// Panics if `input.activity` does not have exactly one entry per server, or if a
     /// server's activity has a different GPU count than its spec.
     #[must_use]
     pub fn evaluate(&self, input: &StepInput) -> StepOutcome {
+        let mut workspace = StepWorkspace::new(&self.layout);
+        self.evaluate_into(input, &mut workspace);
+        workspace.outcome
+    }
+
+    /// Evaluates one step into a reusable workspace (allocation-free after the first step).
+    ///
+    /// Per-server physics (airflow, power split, GPU temperatures, throttle detection) runs
+    /// on contiguous per-row slices; with the `parallel` feature enabled and a large enough
+    /// cluster, rows are processed concurrently with identical results (all reductions happen
+    /// in fixed row order).
+    ///
+    /// # Panics
+    /// Panics if `input.activity` does not have exactly one entry per server, or if a
+    /// server's activity has a different GPU count than its spec.
+    pub fn evaluate_into(&self, input: &StepInput, workspace: &mut StepWorkspace) {
         assert_eq!(
             input.activity.len(),
             self.layout.server_count(),
             "activity must cover every server"
         );
+        workspace.reset(&self.layout);
+        let server_count = self.layout.server_count();
+        let servers = self.layout.servers();
+        let row_ranges = &workspace.row_ranges;
 
-        // 1. Per-server loads, airflow demand and power.
-        let mut server_airflow = Vec::with_capacity(self.layout.server_count());
-        let mut server_power = Vec::with_capacity(self.layout.server_count());
-        let mut per_gpu_power: Vec<Vec<Watts>> = Vec::with_capacity(self.layout.server_count());
-        let mut total_load = 0.0;
-        for (server, activity) in self.layout.servers().iter().zip(&input.activity) {
-            assert_eq!(
-                activity.gpu_utilization.len(),
-                server.spec.gpus_per_server,
-                "activity GPU count must match the server spec"
-            );
-            let mean_load = activity.mean_utilization();
-            total_load += mean_load;
-            server_airflow.push(self.airflow_model.server_airflow(&server.spec, mean_load));
-            let (gpu_power, overhead) = self.power_model.split_server_power(
-                &server.spec,
-                &activity.gpu_utilization,
-                &activity.frequency_scale,
-            );
-            let total: Watts = gpu_power.iter().copied().sum::<Watts>() + overhead;
-            server_power.push(total.to_kilowatts());
-            per_gpu_power.push(gpu_power);
+        // 1. Per-server loads, airflow demand and power, processed per contiguous row slice.
+        let parallel = parallel_active(server_count, row_ranges.len());
+        {
+            let outcome = &mut workspace.outcome;
+            let mut airflow_rest = outcome.server_airflow.as_mut_slice();
+            let mut power_rest = outcome.server_power.as_mut_slice();
+            let mut gpu_power_rest = workspace.gpu_power_flat.as_mut_slice();
+            let mut load_rest = workspace.row_load.as_mut_slice();
+            let mut tasks: Vec<RowPowerTask<'_>> = Vec::new();
+            if parallel {
+                tasks.reserve(row_ranges.len());
+            }
+            for range in row_ranges {
+                let row_len = range.end - range.start;
+                let gpu_len = workspace.gpu_offsets[range.end] - workspace.gpu_offsets[range.start];
+                let (airflow, rest) = airflow_rest.split_at_mut(row_len);
+                airflow_rest = rest;
+                let (power, rest) = power_rest.split_at_mut(row_len);
+                power_rest = rest;
+                let (gpu_power, rest) = gpu_power_rest.split_at_mut(gpu_len);
+                gpu_power_rest = rest;
+                let (load, rest) = load_rest.split_at_mut(1);
+                load_rest = rest;
+                let mut task = RowPowerTask {
+                    servers: &servers[range.clone()],
+                    activity: &input.activity[range.clone()],
+                    airflow,
+                    power,
+                    gpu_power,
+                    row_load: &mut load[0],
+                };
+                if parallel {
+                    tasks.push(task);
+                } else {
+                    task.run(&self.airflow_model, &self.power_model);
+                }
+            }
+            run_row_tasks(&mut tasks, |task| {
+                task.run(&self.airflow_model, &self.power_model);
+            });
         }
-        let datacenter_load = if self.layout.server_count() > 0 {
-            total_load / self.layout.server_count() as f64
-        } else {
-            0.0
-        };
+        // Fixed-order reduction keeps the total identical with and without `parallel`.
+        let total_load: f64 = workspace.row_load.iter().sum();
+        let datacenter_load =
+            if server_count > 0 { total_load / server_count as f64 } else { 0.0 };
+        workspace.outcome.datacenter_load = datacenter_load;
 
         // 2. Aisle airflow assessment and recirculation penalties.
-        let mut aisle_airflow = BTreeMap::new();
-        let mut aisle_penalty: BTreeMap<AisleId, f64> = BTreeMap::new();
+        workspace.outcome.aisle_airflow.clear();
         for aisle in self.layout.aisles() {
             let fraction = input
                 .failures
                 .aisle_airflow_fraction(aisle.id, aisle.ahu_count);
+            let server_airflow = &workspace.outcome.server_airflow;
             let assessment = self.airflow_model.assess_aisle(
                 aisle,
                 |s: ServerId| server_airflow[s.index()],
                 fraction,
             );
-            aisle_penalty.insert(aisle.id, assessment.recirculation_penalty_c);
-            aisle_airflow.insert(aisle.id, assessment);
+            workspace.aisle_penalty[aisle.id.index()] = assessment.recirculation_penalty_c;
+            workspace.outcome.aisle_airflow.insert(aisle.id, assessment);
         }
 
-        // 3. Inlet temperatures.
-        let inlet_temps: Vec<Celsius> = self
-            .layout
-            .servers()
-            .iter()
-            .map(|server| {
-                let penalty = aisle_penalty.get(&server.aisle).copied().unwrap_or(0.0);
-                self.inlet_model.inlet_temp(
-                    server.id,
-                    input.outside_temp,
-                    datacenter_load,
-                    penalty,
-                )
-            })
-            .collect();
-
-        // 4. GPU temperatures and thermal throttles.
-        let mut gpu_temps = Vec::with_capacity(self.layout.server_count());
-        let mut thermal_throttles = Vec::new();
-        for (server, activity) in self.layout.servers().iter().zip(&input.activity) {
-            let inlet = inlet_temps[server.id.index()];
-            let mut temps = Vec::with_capacity(server.spec.gpus_per_server);
-            for slot in 0..server.spec.gpus_per_server {
-                let gpu_id = GpuId::new(server.id, slot);
-                let t = self.gpu_model.temperatures(
-                    gpu_id,
-                    inlet,
-                    per_gpu_power[server.id.index()][slot],
-                    activity.memory_boundedness,
-                );
-                let limit = server.spec.gpu_throttle_temp_c;
-                if t.gpu.value() > limit {
-                    // The hardware reduces clocks proportionally to the overshoot, with a
-                    // floor of 50 % of nominal frequency (matching observed DVFS behaviour).
-                    let overshoot = t.gpu.value() - limit;
-                    let frequency_scale = (1.0 - 0.05 * overshoot).clamp(0.5, 0.95);
-                    thermal_throttles.push(ThermalThrottleDirective {
-                        gpu: gpu_id,
-                        temperature: t.gpu,
-                        frequency_scale,
-                    });
-                }
-                temps.push(t);
+        // 3./4. Inlet and GPU temperatures plus thermal throttles, per contiguous row slice.
+        {
+            let outcome = &mut workspace.outcome;
+            let mut inlet_rest = outcome.inlet_temps.as_mut_slice();
+            let mut temps_rest = outcome.gpu_temps.as_mut_slice();
+            let mut throttles_rest = workspace.row_throttles.as_mut_slice();
+            let mut tasks: Vec<RowThermalTask<'_>> = Vec::new();
+            if parallel {
+                tasks.reserve(row_ranges.len());
             }
-            gpu_temps.push(temps);
+            for range in row_ranges {
+                let row_len = range.end - range.start;
+                let gpu_start = workspace.gpu_offsets[range.start];
+                let gpu_end = workspace.gpu_offsets[range.end];
+                let (inlets, rest) = inlet_rest.split_at_mut(row_len);
+                inlet_rest = rest;
+                let (temps, rest) = temps_rest.split_at_mut(row_len);
+                temps_rest = rest;
+                let (throttles, rest) = throttles_rest.split_at_mut(1);
+                throttles_rest = rest;
+                let mut task = RowThermalTask {
+                    servers: &servers[range.clone()],
+                    activity: &input.activity[range.clone()],
+                    gpu_power: &workspace.gpu_power_flat[gpu_start..gpu_end],
+                    aisle_penalty: &workspace.aisle_penalty,
+                    outside_temp: input.outside_temp,
+                    datacenter_load,
+                    inlets,
+                    temps,
+                    throttles: &mut throttles[0],
+                };
+                if parallel {
+                    tasks.push(task);
+                } else {
+                    task.run(&self.inlet_model, &self.gpu_model);
+                }
+            }
+            run_row_tasks(&mut tasks, |task| {
+                task.run(&self.inlet_model, &self.gpu_model);
+            });
+        }
+        workspace.outcome.thermal_throttles.clear();
+        for row in &mut workspace.row_throttles {
+            workspace.outcome.thermal_throttles.append(row);
         }
 
         // 5. Power hierarchy assessment and capping.
         let capacity = input.failures.capacity_state(&self.layout);
-        let power = self.hierarchy.assess(&server_power, &capacity);
+        workspace.outcome.power = self.hierarchy.assess_with_scratch(
+            &workspace.outcome.server_power,
+            &capacity,
+            &mut workspace.hierarchy_scratch,
+        );
+    }
+}
 
-        StepOutcome {
-            inlet_temps,
-            gpu_temps,
-            server_power,
-            server_airflow,
-            aisle_airflow,
-            power,
-            thermal_throttles,
-            datacenter_load,
+/// Reusable buffers for [`Datacenter::evaluate_into`], including the output
+/// [`StepOutcome`] whose vectors are cleared and refilled in place each step.
+#[derive(Debug)]
+pub struct StepWorkspace {
+    /// The most recent step's outcome.
+    pub outcome: StepOutcome,
+    /// Contiguous `[start, end)` server-index range per row.
+    row_ranges: Vec<std::ops::Range<usize>>,
+    /// Prefix sums of GPU counts: GPU-flat offset per server index (length `servers + 1`).
+    gpu_offsets: Vec<usize>,
+    /// Flat per-GPU power, server-major.
+    gpu_power_flat: Vec<Watts>,
+    /// Recirculation penalty per aisle index.
+    aisle_penalty: Vec<f64>,
+    /// Sum of mean server loads per row.
+    row_load: Vec<f64>,
+    /// Per-row throttle staging buffers (concatenated in row order for determinism).
+    row_throttles: Vec<Vec<ThermalThrottleDirective>>,
+    hierarchy_scratch: crate::power::hierarchy::HierarchyScratch,
+}
+
+impl StepWorkspace {
+    /// Creates a workspace sized for a layout.
+    ///
+    /// # Panics
+    /// Panics if the layout's rows are not contiguous server-index ranges (the builder
+    /// always produces contiguous rows).
+    #[must_use]
+    pub fn new(layout: &Layout) -> Self {
+        let server_count = layout.server_count();
+        let mut gpu_offsets = Vec::with_capacity(server_count + 1);
+        let mut total_gpus = 0usize;
+        gpu_offsets.push(0);
+        for server in layout.servers() {
+            total_gpus += server.spec.gpus_per_server;
+            gpu_offsets.push(total_gpus);
         }
+        let row_ranges: Vec<std::ops::Range<usize>> = layout
+            .rows()
+            .iter()
+            .map(|row| {
+                let start = row.servers.iter().map(|s| s.index()).min().unwrap_or(0);
+                let end = row.servers.iter().map(|s| s.index() + 1).max().unwrap_or(0);
+                assert_eq!(
+                    end - start,
+                    row.servers.len(),
+                    "rows must cover contiguous server-index ranges"
+                );
+                start..end
+            })
+            .collect();
+        let outcome = StepOutcome {
+            inlet_temps: vec![Celsius::ZERO; server_count],
+            gpu_temps: layout
+                .servers()
+                .iter()
+                .map(|s| Vec::with_capacity(s.spec.gpus_per_server))
+                .collect(),
+            server_power: vec![Kilowatts::ZERO; server_count],
+            server_airflow: vec![CubicFeetPerMinute::ZERO; server_count],
+            aisle_airflow: BTreeMap::new(),
+            power: PowerAssessment {
+                rows: BTreeMap::new(),
+                pdus: BTreeMap::new(),
+                upses: BTreeMap::new(),
+                datacenter: crate::power::hierarchy::LevelUtilization::empty(),
+                capping: Vec::new(),
+            },
+            thermal_throttles: Vec::new(),
+            datacenter_load: 0.0,
+        };
+        Self {
+            outcome,
+            row_ranges,
+            gpu_offsets,
+            gpu_power_flat: vec![Watts::ZERO; total_gpus],
+            aisle_penalty: vec![0.0; layout.aisles().len()],
+            row_load: vec![0.0; layout.rows().len()],
+            row_throttles: vec![Vec::new(); layout.rows().len()],
+            hierarchy_scratch: crate::power::hierarchy::HierarchyScratch::default(),
+        }
+    }
+
+    fn reset(&mut self, layout: &Layout) {
+        debug_assert_eq!(self.outcome.inlet_temps.len(), layout.server_count());
+        for temps in &mut self.outcome.gpu_temps {
+            temps.clear();
+        }
+        for penalty in &mut self.aisle_penalty {
+            *penalty = 0.0;
+        }
+    }
+}
+
+struct RowPowerTask<'a> {
+    servers: &'a [crate::topology::Server],
+    activity: &'a [ServerActivity],
+    airflow: &'a mut [CubicFeetPerMinute],
+    power: &'a mut [Kilowatts],
+    gpu_power: &'a mut [Watts],
+    row_load: &'a mut f64,
+}
+
+impl RowPowerTask<'_> {
+    fn run(&mut self, airflow_model: &AirflowModel, power_model: &ServerPowerModel) {
+        let mut load_sum = 0.0;
+        let mut gpu_offset = 0usize;
+        for (i, (server, activity)) in self.servers.iter().zip(self.activity).enumerate() {
+            assert_eq!(
+                activity.gpu_utilization.len(),
+                server.spec.gpus_per_server,
+                "activity GPU count must match the server spec"
+            );
+            // Fused per-server pass: one walk over the GPUs computes the utilization sum and
+            // the per-GPU powers (`ServerPowerModel::gpu_power` with its terms hoisted), with
+            // two accumulators so the float additions pipeline instead of forming one serial
+            // dependency chain.
+            let spec = &server.spec;
+            let (static_power, dynamic_coeff) = power_model.gpu_power_terms(spec);
+            let gpu_slice =
+                &mut self.gpu_power[gpu_offset..gpu_offset + spec.gpus_per_server];
+            let mut util_acc = [0.0f64; 2];
+            let mut power_acc = [0.0f64; 2];
+            for (slot, ((out, &u), &f)) in gpu_slice
+                .iter_mut()
+                .zip(&activity.gpu_utilization)
+                .zip(&activity.frequency_scale)
+                .enumerate()
+            {
+                let utilization = u.clamp(0.0, 1.0);
+                let frequency = f.clamp(0.1, 1.0);
+                let f3 = (frequency * frequency) * frequency;
+                let power = static_power + dynamic_coeff * utilization * f3;
+                util_acc[slot & 1] += u;
+                power_acc[slot & 1] += power;
+                *out = Watts::new(power);
+            }
+            let gpu_sum = power_acc[0] + power_acc[1];
+            let mean_load = if spec.gpus_per_server == 0 {
+                0.0
+            } else {
+                (util_acc[0] + util_acc[1]) / spec.gpus_per_server as f64
+            };
+            load_sum += mean_load;
+            self.airflow[i] = airflow_model.server_airflow(spec, mean_load);
+            // Total = Σ per-GPU + overhead, where overhead = max(f_power(mean) − Σ, 0); this
+            // collapses to the larger of the two without re-walking the slice.
+            let total = power_model
+                .server_power(spec, mean_load)
+                .to_watts()
+                .value()
+                .max(gpu_sum);
+            self.power[i] = Watts::new(total).to_kilowatts();
+            gpu_offset += spec.gpus_per_server;
+        }
+        *self.row_load = load_sum;
+    }
+}
+
+struct RowThermalTask<'a> {
+    servers: &'a [crate::topology::Server],
+    activity: &'a [ServerActivity],
+    gpu_power: &'a [Watts],
+    aisle_penalty: &'a [f64],
+    outside_temp: Celsius,
+    datacenter_load: f64,
+    inlets: &'a mut [Celsius],
+    temps: &'a mut [Vec<GpuTemperatures>],
+    throttles: &'a mut Vec<ThermalThrottleDirective>,
+}
+
+impl RowThermalTask<'_> {
+    fn run(&mut self, inlet_model: &InletModel, gpu_model: &GpuThermalModel) {
+        self.throttles.clear();
+        let coeffs = *gpu_model.coefficients();
+        let mut gpu_offset = 0usize;
+        for (i, (server, activity)) in self.servers.iter().zip(self.activity).enumerate() {
+            let penalty = self.aisle_penalty[server.aisle.index()];
+            let inlet = inlet_model.inlet_temp(
+                server.id,
+                self.outside_temp,
+                self.datacenter_load,
+                penalty,
+            );
+            self.inlets[i] = inlet;
+            let limit = server.spec.gpu_throttle_temp_c;
+            // `GpuThermalModel::temperatures`, evaluated over the server's contiguous offset
+            // slice with the per-server terms hoisted through the shared helpers.
+            let base_common = coeffs.base_terms(inlet);
+            let mem_offset = coeffs.memory_offset(activity.memory_boundedness);
+            let offsets = gpu_model.server_offsets(server.id);
+            let powers = &self.gpu_power[gpu_offset..gpu_offset + offsets.len()];
+            for (slot, (&offset, &power)) in offsets.iter().zip(powers).enumerate() {
+                let base = base_common + coeffs.power_coeff * power.value() + offset;
+                let t = GpuTemperatures {
+                    gpu: Celsius::new(base),
+                    memory: Celsius::new(base + mem_offset),
+                };
+                if base > limit {
+                    // The hardware reduces clocks proportionally to the overshoot, with a
+                    // floor of 50 % of nominal frequency (matching observed DVFS behaviour).
+                    let overshoot = base - limit;
+                    let frequency_scale = (1.0 - 0.05 * overshoot).clamp(0.5, 0.95);
+                    self.throttles.push(ThermalThrottleDirective {
+                        gpu: GpuId::new(server.id, slot),
+                        temperature: t.gpu,
+                        frequency_scale,
+                    });
+                }
+                self.temps[i].push(t);
+            }
+            gpu_offset += offsets.len();
+        }
+    }
+}
+
+/// Minimum cluster size below which per-row threading costs more than it saves.
+#[cfg(feature = "parallel")]
+const PARALLEL_MIN_SERVERS: usize = 256;
+
+/// Returns `true` when per-row tasks should be dispatched to threads. Always `false`
+/// without the `parallel` feature; with it, requires a large enough cluster and available
+/// cores. When this returns `false`, rows are processed inline in row order with no task
+/// staging at all.
+#[cfg(feature = "parallel")]
+fn parallel_active(server_count: usize, row_count: usize) -> bool {
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    server_count >= PARALLEL_MIN_SERVERS && threads >= 2 && row_count >= 2
+}
+
+#[cfg(not(feature = "parallel"))]
+fn parallel_active(_server_count: usize, _row_count: usize) -> bool {
+    false
+}
+
+/// Runs staged per-row tasks concurrently (only called with a non-empty task list when
+/// [`parallel_active`] returned `true`). Each task owns disjoint output slices, and every
+/// cross-row reduction downstream happens in fixed row order, so results are bit-identical
+/// with and without threads.
+#[cfg(feature = "parallel")]
+fn run_row_tasks<T: Send>(tasks: &mut [T], run: impl Fn(&mut T) + Sync) {
+    if tasks.is_empty() {
+        return;
+    }
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let chunk = tasks.len().div_ceil(threads.min(tasks.len()));
+    std::thread::scope(|scope| {
+        for group in tasks.chunks_mut(chunk) {
+            scope.spawn(|| {
+                for task in group {
+                    run(task);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(not(feature = "parallel"))]
+fn run_row_tasks<T>(tasks: &mut [T], run: impl Fn(&mut T)) {
+    for task in tasks {
+        run(task);
     }
 }
 

@@ -33,6 +33,12 @@ pub struct LevelUtilization {
 }
 
 impl LevelUtilization {
+    /// A zero-draw, zero-budget placeholder (used to pre-size reusable outcomes).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self { draw: Kilowatts::ZERO, budget: Kilowatts::ZERO, utilization: 0.0 }
+    }
+
     fn new(draw: Kilowatts, budget: Kilowatts) -> Self {
         let utilization = if budget.value() > 0.0 {
             draw / budget
@@ -203,11 +209,33 @@ impl PowerHierarchy {
         server_power: &[Kilowatts],
         capacity: &CapacityState,
     ) -> PowerAssessment {
+        self.assess_with_scratch(server_power, capacity, &mut HierarchyScratch::default())
+    }
+
+    /// [`Self::assess`] with caller-provided scratch buffers, avoiding per-step allocation
+    /// of the dense intermediates. All bookkeeping is index-based: rows, PDUs and UPSes are
+    /// stored in id order, so member references resolve by `id.index()` instead of a linear
+    /// search.
+    ///
+    /// # Panics
+    /// Panics if `server_power` has fewer entries than the layout has servers.
+    #[must_use]
+    pub fn assess_with_scratch(
+        &self,
+        server_power: &[Kilowatts],
+        capacity: &CapacityState,
+        scratch: &mut HierarchyScratch,
+    ) -> PowerAssessment {
+        scratch.row_draw.clear();
+        scratch.pdu_draw.clear();
+        scratch.caps.clear();
+        scratch.caps.resize(server_power.len(), 1.0);
+
         let mut rows = BTreeMap::new();
-        let mut row_draw: BTreeMap<RowId, Kilowatts> = BTreeMap::new();
         for (row_id, servers, budget, _) in &self.layout_rows {
+            debug_assert_eq!(row_id.index(), scratch.row_draw.len(), "rows stored in id order");
             let draw: Kilowatts = servers.iter().map(|s| server_power[s.index()]).sum();
-            row_draw.insert(*row_id, draw);
+            scratch.row_draw.push(draw);
             rows.insert(
                 *row_id,
                 LevelUtilization::new(draw, *budget * capacity.row(*row_id)),
@@ -215,35 +243,36 @@ impl PowerHierarchy {
         }
 
         let mut pdus = BTreeMap::new();
-        let mut pdu_draw: BTreeMap<PduId, Kilowatts> = BTreeMap::new();
         for (pdu_id, member_rows, budget, _) in &self.layout_pdus {
-            let draw: Kilowatts = member_rows.iter().map(|r| row_draw[r]).sum();
-            pdu_draw.insert(*pdu_id, draw);
+            debug_assert_eq!(pdu_id.index(), scratch.pdu_draw.len(), "pdus stored in id order");
+            let draw: Kilowatts =
+                member_rows.iter().map(|r| scratch.row_draw[r.index()]).sum();
+            scratch.pdu_draw.push(draw);
             pdus.insert(*pdu_id, LevelUtilization::new(draw, *budget));
         }
 
         let mut upses = BTreeMap::new();
-        let mut ups_draw: BTreeMap<UpsId, Kilowatts> = BTreeMap::new();
+        let mut dc_draw = Kilowatts::ZERO;
         for (ups_id, member_pdus, budget) in &self.layout_upses {
-            let draw: Kilowatts = member_pdus.iter().map(|p| pdu_draw[p]).sum();
-            ups_draw.insert(*ups_id, draw);
+            let draw: Kilowatts =
+                member_pdus.iter().map(|p| scratch.pdu_draw[p.index()]).sum();
+            dc_draw += draw;
             upses.insert(
                 *ups_id,
                 LevelUtilization::new(draw, *budget * capacity.ups(*ups_id)),
             );
         }
 
-        let dc_draw: Kilowatts = ups_draw.values().copied().sum();
         let datacenter = LevelUtilization::new(
             dc_draw,
             self.datacenter_budget * capacity.datacenter_capacity,
         );
 
-        // Compute the most restrictive cap per server.
-        let mut caps: BTreeMap<ServerId, f64> = BTreeMap::new();
+        // Compute the most restrictive cap per server in the dense scratch vector.
+        let caps = &mut scratch.caps;
         let mut apply_cap = |servers: &[ServerId], fraction: f64| {
             for &s in servers {
-                let entry = caps.entry(s).or_insert(1.0);
+                let entry = &mut caps[s.index()];
                 *entry = entry.min(fraction);
             }
         };
@@ -259,13 +288,7 @@ impl PowerHierarchy {
             if util.is_over_budget() {
                 let fraction = 1.0 / util.utilization;
                 for row in member_rows {
-                    let servers = &self
-                        .layout_rows
-                        .iter()
-                        .find(|(id, ..)| id == row)
-                        .expect("row referenced by pdu exists")
-                        .1;
-                    apply_cap(servers, fraction);
+                    apply_cap(&self.layout_rows[row.index()].1, fraction);
                 }
             }
         }
@@ -274,20 +297,8 @@ impl PowerHierarchy {
             if util.is_over_budget() {
                 let fraction = 1.0 / util.utilization;
                 for pdu in member_pdus {
-                    let member_rows = &self
-                        .layout_pdus
-                        .iter()
-                        .find(|(id, ..)| id == pdu)
-                        .expect("pdu referenced by ups exists")
-                        .1;
-                    for row in member_rows {
-                        let servers = &self
-                            .layout_rows
-                            .iter()
-                            .find(|(id, ..)| id == row)
-                            .expect("row referenced by pdu exists")
-                            .1;
-                        apply_cap(servers, fraction);
+                    for row in &self.layout_pdus[pdu.index()].1 {
+                        apply_cap(&self.layout_rows[row.index()].1, fraction);
                     }
                 }
             }
@@ -299,14 +310,27 @@ impl PowerHierarchy {
             }
         }
 
-        let capping: Vec<CappingDirective> = caps
-            .into_iter()
-            .filter(|(_, fraction)| *fraction < 1.0)
-            .map(|(server, power_fraction)| CappingDirective { server, power_fraction })
+        let capping: Vec<CappingDirective> = scratch
+            .caps
+            .iter()
+            .enumerate()
+            .filter(|(_, &fraction)| fraction < 1.0)
+            .map(|(index, &power_fraction)| CappingDirective {
+                server: ServerId::new(index),
+                power_fraction,
+            })
             .collect();
 
         PowerAssessment { rows, pdus, upses, datacenter, capping }
     }
+}
+
+/// Reusable dense intermediates for [`PowerHierarchy::assess_with_scratch`].
+#[derive(Debug, Default, Clone)]
+pub struct HierarchyScratch {
+    row_draw: Vec<Kilowatts>,
+    pdu_draw: Vec<Kilowatts>,
+    caps: Vec<f64>,
 }
 
 #[cfg(test)]

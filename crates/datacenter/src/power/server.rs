@@ -31,6 +31,7 @@ impl Default for ServerPowerModel {
 
 impl ServerPowerModel {
     /// Total server power at a normalized GPU load in `[0, 1]` (mean across the GPUs).
+    #[inline]
     #[must_use]
     pub fn server_power(&self, spec: &ServerSpec, load: f64) -> Kilowatts {
         let load = load.clamp(0.0, 1.0);
@@ -40,18 +41,28 @@ impl ServerPowerModel {
         spec.idle_power + (spec.max_power - spec.idle_power) * dynamic
     }
 
+    /// The `(static floor, dynamic coefficient)` of the per-GPU power formula in watts: one
+    /// GPU draws `static + dynamic · clamp(u) · clamp(f)³`. Single source of the formula's
+    /// constants for [`Self::gpu_power`] and the engine's fused per-row pass.
+    #[inline]
+    #[must_use]
+    pub fn gpu_power_terms(&self, spec: &ServerSpec) -> (f64, f64) {
+        let max = spec.gpu_max_power.to_watts().value();
+        (0.15 * max, 0.85 * max)
+    }
+
     /// Power drawn by a single GPU running at the given utilization and frequency scale.
     ///
     /// `frequency_scale` in `(0, 1]` models DVFS: power scales roughly with `f³` for the
     /// dynamic part (voltage tracks frequency) on top of a static floor.
+    #[inline]
     #[must_use]
     pub fn gpu_power(&self, spec: &ServerSpec, utilization: f64, frequency_scale: f64) -> Watts {
+        let (static_power, dynamic_coeff) = self.gpu_power_terms(spec);
         let utilization = utilization.clamp(0.0, 1.0);
         let f = frequency_scale.clamp(0.1, 1.0);
-        let max = spec.gpu_max_power.to_watts().value();
-        let static_power = 0.15 * max;
-        let dynamic_power = 0.85 * max * utilization * f.powi(3);
-        Watts::new(static_power + dynamic_power)
+        let f3 = (f * f) * f;
+        Watts::new(static_power + dynamic_coeff * utilization * f3)
     }
 
     /// Splits a server's total power into per-GPU draws plus the shared overhead, given each
@@ -68,25 +79,55 @@ impl ServerPowerModel {
         gpu_utilization: &[f64],
         frequency_scale: &[f64],
     ) -> (Vec<Watts>, Watts) {
+        let mut per_gpu = vec![Watts::ZERO; gpu_utilization.len()];
+        let overhead =
+            self.split_server_power_into(spec, gpu_utilization, frequency_scale, &mut per_gpu);
+        (per_gpu, overhead)
+    }
+
+    /// Allocation-free variant of [`Self::split_server_power`]: writes the per-GPU draws into
+    /// `per_gpu` and returns the shared overhead power.
+    ///
+    /// # Panics
+    /// Panics if the three slices do not have equal length.
+    #[must_use]
+    pub fn split_server_power_into(
+        &self,
+        spec: &ServerSpec,
+        gpu_utilization: &[f64],
+        frequency_scale: &[f64],
+        per_gpu: &mut [Watts],
+    ) -> Watts {
         assert_eq!(
             gpu_utilization.len(),
             frequency_scale.len(),
             "utilization and frequency slices must have equal length"
         );
-        let per_gpu: Vec<Watts> = gpu_utilization
-            .iter()
-            .zip(frequency_scale)
-            .map(|(&u, &f)| self.gpu_power(spec, u, f))
-            .collect();
+        assert_eq!(
+            gpu_utilization.len(),
+            per_gpu.len(),
+            "utilization and frequency slices must have equal length"
+        );
+        // `Self::gpu_power` with the per-spec constants hoisted so the loop vectorizes.
+        let (static_power, dynamic_coeff) = self.gpu_power_terms(spec);
+        let mut gpu_sum = 0.0;
+        let mut load_sum = 0.0;
+        for ((out, &u), &f) in per_gpu.iter_mut().zip(gpu_utilization).zip(frequency_scale) {
+            let utilization = u.clamp(0.0, 1.0);
+            let frequency = f.clamp(0.1, 1.0);
+            let f3 = (frequency * frequency) * frequency;
+            let power = static_power + dynamic_coeff * utilization * f3;
+            gpu_sum += power;
+            load_sum += u;
+            *out = Watts::new(power);
+        }
         let mean_load = if gpu_utilization.is_empty() {
             0.0
         } else {
-            gpu_utilization.iter().sum::<f64>() / gpu_utilization.len() as f64
+            load_sum / gpu_utilization.len() as f64
         };
         let total = self.server_power(spec, mean_load).to_watts();
-        let gpu_sum: Watts = per_gpu.iter().copied().sum();
-        let overhead = Watts::new((total.value() - gpu_sum.value()).max(0.0));
-        (per_gpu, overhead)
+        Watts::new((total.value() - gpu_sum).max(0.0))
     }
 }
 

@@ -71,8 +71,10 @@ fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>
         b.swap(col, pivot_row);
         for row in (col + 1)..n {
             let factor = a[row][col] / a[col][col];
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+            let (pivot_rows, tail) = a.split_at_mut(row);
+            let pivot = &pivot_rows[col];
+            for (target, &coeff) in tail[0][col..n].iter_mut().zip(&pivot[col..n]) {
+                *target -= factor * coeff;
             }
             b[row] -= factor * b[col];
         }

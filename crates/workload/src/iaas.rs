@@ -148,7 +148,7 @@ mod tests {
         let a = iaas_vm(0, 7);
         let b = iaas_vm(1, 7);
         let c = iaas_vm(2, 23);
-        let times: Vec<SimTime> = (0..48).map(|h| SimTime::from_hours(h)).collect();
+        let times: Vec<SimTime> = (0..48).map(SimTime::from_hours).collect();
         let load = |vm: &Vm| -> Vec<f64> { times.iter().map(|&t| model.load_at(vm, t)).collect() };
         let la = load(&a);
         let lb = load(&b);

@@ -132,7 +132,9 @@ mod tests {
     /// Two weeks of a noisy diurnal row-power-like signal: week 1 is history, week 2 is the
     /// evaluation window. Row power aggregates dozens of servers, so the hour-to-hour noise is
     /// small relative to the diurnal swing.
-    fn signal(seed: u64) -> (Vec<(SimTime, f64)>, Vec<(SimTime, f64)>) {
+    type WeekSeries = Vec<(SimTime, f64)>;
+
+    fn signal(seed: u64) -> (WeekSeries, WeekSeries) {
         let mut rng = SimRng::seed_from(seed).derive("signal-noise");
         let sample = |minute: u64, rng: &mut SimRng| {
             let t = SimTime::from_minutes(minute);

@@ -1,0 +1,204 @@
+//! Offline vendored shim of the subset of the `rand` 0.8 API this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace vendors the trait surface
+//! (`RngCore`, `SeedableRng`, `Rng`) it relies on. The implementations are self-consistent and
+//! deterministic but make no attempt to be bit-compatible with upstream `rand`; every consumer
+//! in this workspace only requires reproducibility against itself.
+
+#![allow(clippy::module_name_repetitions)]
+
+use std::ops::Range;
+
+/// A source of random bits.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// A random number generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a fixed-size byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64` seed, expanding it with SplitMix64.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (dst, src) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *dst = src;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for f64 {}
+    impl Sealed for f32 {}
+    impl Sealed for u64 {}
+    impl Sealed for u32 {}
+    impl Sealed for bool {}
+}
+
+/// Types that can be sampled uniformly from a generator (`Rng::gen`).
+pub trait Standard: sealed::Sealed + Sized {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniformly distributed mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that can be sampled uniformly (`Rng::gen_range`).
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one sample from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "empty range");
+        let span = (self.end - self.start) as u64;
+        // Unbiased bounded sampling by rejection over the widest multiple of `span`.
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let v = rng.next_u64();
+            if v < zone {
+                return self.start + (v % span) as usize;
+            }
+        }
+    }
+}
+
+impl SampleRange for Range<u64> {
+    type Output = u64;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        let span = self.end - self.start;
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let v = rng.next_u64();
+            if v < zone {
+                return self.start + v % span;
+            }
+        }
+    }
+}
+
+/// Convenience sampling methods layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a sample of `T` from the standard distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws a uniform sample from a range.
+    fn gen_range<Rg: SampleRange>(&mut self, range: Rg) -> Rg::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                for (d, s) in chunk.iter_mut().zip(bytes) {
+                    *d = s;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f64_samples_stay_in_unit_interval() {
+        let mut rng = Counter(1);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(2);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3.0..7.0);
+            assert!((3.0..7.0).contains(&v));
+            let i = rng.gen_range(5usize..9);
+            assert!((5..9).contains(&i));
+        }
+    }
+}

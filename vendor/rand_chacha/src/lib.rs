@@ -1,0 +1,153 @@
+//! Offline vendored ChaCha8-based RNG.
+//!
+//! Implements the real ChaCha8 stream cipher keystream (IETF variant with a 64-bit block
+//! counter and zero nonce) behind the `rand` shim traits. Deterministic and portable; not
+//! guaranteed bit-compatible with the upstream `rand_chacha` crate, which this workspace does
+//! not require — only self-consistent reproducibility.
+
+use rand::{RngCore, SeedableRng};
+
+const BLOCK_WORDS: usize = 16;
+/// "expand 32-byte k" in little-endian words.
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// A ChaCha stream with 8 rounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    seed: [u8; 32],
+    key: [u32; 8],
+    counter: u64,
+    buffer: [u32; BLOCK_WORDS],
+    /// Next unread 32-bit word in `buffer`; `BLOCK_WORDS` means the buffer is exhausted.
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// The 32-byte seed this stream was created from.
+    #[must_use]
+    pub fn get_seed(&self) -> [u8; 32] {
+        self.seed
+    }
+
+    fn refill(&mut self) {
+        let mut state = [0u32; BLOCK_WORDS];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = 0;
+        state[15] = 0;
+        let initial = state;
+        for _ in 0..4 {
+            // Column rounds.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, init) in state.iter_mut().zip(initial) {
+            *out = out.wrapping_add(init);
+        }
+        self.buffer = state;
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        Self { seed, key, counter: 0, buffer: [0; BLOCK_WORDS], index: BLOCK_WORDS }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BLOCK_WORDS {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        lo | (hi << 32)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let bytes = self.next_u32().to_le_bytes();
+            for (d, s) in chunk.iter_mut().zip(bytes) {
+                *d = s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..256 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let matches = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(matches < 2);
+    }
+
+    #[test]
+    fn seed_round_trips() {
+        let rng = ChaCha8Rng::seed_from_u64(7);
+        let seed = rng.get_seed();
+        let mut c = ChaCha8Rng::from_seed(seed);
+        let mut d = ChaCha8Rng::seed_from_u64(7);
+        assert_eq!(c.next_u64(), d.next_u64());
+    }
+
+    #[test]
+    fn output_looks_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut ones = 0u32;
+        for _ in 0..1024 {
+            ones += rng.next_u64().count_ones();
+        }
+        let total = 1024 * 64;
+        let fraction = f64::from(ones) / f64::from(total);
+        assert!((fraction - 0.5).abs() < 0.01, "bit balance {fraction}");
+    }
+}

@@ -1,0 +1,405 @@
+//! Offline vendored serde facade.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a small,
+//! self-consistent serialization framework under the `serde` name. Instead of upstream
+//! serde's visitor-based data model, types convert to and from a single [`Value`] tree; the
+//! companion `serde_json` shim renders and parses that tree as JSON. The derive macros in
+//! `serde_derive` generate the same struct/enum encodings upstream serde uses (externally
+//! tagged enums, transparent newtypes), so JSON produced here is shaped like real serde JSON
+//! for the types this workspace serializes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// A dynamically typed serialization tree (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A floating point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map of string keys to values.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in a map value.
+    ///
+    /// # Errors
+    /// Returns an error if `self` is not a map or the key is missing.
+    pub fn get(&self, key: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::new(format!("missing field `{key}`"))),
+            other => Err(Error::new(format!("expected map for `{key}`, got {}", other.kind()))),
+        }
+    }
+
+    /// The sequence elements, if `self` is a sequence.
+    ///
+    /// # Errors
+    /// Returns an error if `self` is not a sequence.
+    pub fn as_seq(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Seq(items) => Ok(items),
+            other => Err(Error::new(format!("expected sequence, got {}", other.kind()))),
+        }
+    }
+
+    /// A short name of the variant, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// A serialization or deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with a message.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a value tree.
+    ///
+    /// # Errors
+    /// Returns an error if the tree does not match the expected shape.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! int_impls {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                #[allow(unused_comparisons, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+                if *self >= 0 {
+                    Value::U64(*self as u64)
+                } else {
+                    Value::I64(*self as i64)
+                }
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+                match value {
+                    Value::U64(v) => <$ty>::try_from(*v)
+                        .map_err(|_| Error::new("integer out of range")),
+                    Value::I64(v) => <$ty>::try_from(*v)
+                        .map_err(|_| Error::new("integer out of range")),
+                    other => Err(Error::new(format!(
+                        "expected integer, got {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        #[allow(clippy::cast_precision_loss)]
+        match value {
+            Value::F64(v) => Ok(*v),
+            Value::U64(v) => Ok(*v as f64),
+            Value::I64(v) => Ok(*v as f64),
+            other => Err(Error::new(format!("expected number, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        #[allow(clippy::cast_possible_truncation)]
+        f64::from_value(value).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(v) => Ok(*v),
+            other => Err(Error::new(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(v) => Ok(v.clone()),
+            other => Err(Error::new(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_seq()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_seq()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value.as_seq()?;
+        if items.len() != 2 {
+            return Err(Error::new("expected a 2-element sequence"));
+        }
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value.as_seq()?;
+        if items.len() != 3 {
+            return Err(Error::new("expected a 3-element sequence"));
+        }
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?, C::from_value(&items[2])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize, D: Serialize> Serialize for (A, B, C, D) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+            self.3.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize, D: Deserialize> Deserialize
+    for (A, B, C, D)
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value.as_seq()?;
+        if items.len() != 4 {
+            return Err(Error::new("expected a 4-element sequence"));
+        }
+        Ok((
+            A::from_value(&items[0])?,
+            B::from_value(&items[1])?,
+            C::from_value(&items[2])?,
+            D::from_value(&items[3])?,
+        ))
+    }
+}
+
+// Maps are encoded as sequences of `[key, value]` pairs so that non-string keys (e.g. the
+// id newtypes of this workspace) round-trip without a string conversion.
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq()?
+            .iter()
+            .map(|entry| {
+                let pair = entry.as_seq()?;
+                if pair.len() != 2 {
+                    return Err(Error::new("expected a [key, value] pair"));
+                }
+                Ok((K::from_value(&pair[0])?, V::from_value(&pair[1])?))
+            })
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&v.to_value()).unwrap(), v);
+        let mut m = BTreeMap::new();
+        m.insert(3u64, "x".to_string());
+        assert_eq!(BTreeMap::<u64, String>::from_value(&m.to_value()).unwrap(), m);
+        let pair = (1u64, 2.5f64);
+        assert_eq!(<(u64, f64)>::from_value(&pair.to_value()).unwrap(), pair);
+    }
+
+    #[test]
+    fn errors_name_the_problem() {
+        let err = Value::Str("x".into()).get("field").unwrap_err();
+        assert!(err.to_string().contains("expected map"));
+        let err = u64::from_value(&Value::Str("x".into())).unwrap_err();
+        assert!(err.to_string().contains("expected integer"));
+    }
+}

@@ -1,0 +1,426 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the serde facade.
+//!
+//! Implements the derive by walking the raw token stream directly (the build environment has
+//! no `syn`/`quote`), supporting the item shapes this workspace uses: structs with named
+//! fields, tuple structs (serialized transparently when they have one field, as upstream
+//! serde does for newtypes), and enums with unit, newtype-tuple and struct variants encoded
+//! with external tagging. Generic items are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the item being derived.
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().expect("valid compile_error")
+}
+
+/// Skips a run of outer attributes (`#[...]`), returning the index of the next token.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, …).
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(ident)) = tokens.get(i) {
+        if ident.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Splits a token list on top-level commas, tracking angle-bracket depth so commas inside
+/// generic arguments (e.g. `BTreeMap<K, V>`) do not split.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for token in tokens {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    parts.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(token.clone());
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+/// Parses named fields from the tokens inside a brace group. Returns field names.
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for part in split_top_level_commas(tokens) {
+        let mut i = skip_attrs(&part, 0);
+        i = skip_vis(&part, i);
+        match part.get(i) {
+            Some(TokenTree::Ident(ident)) => names.push(ident.to_string()),
+            Some(other) => return Err(format!("unexpected token in field list: {other}")),
+            None => {}
+        }
+    }
+    Ok(names)
+}
+
+fn parse_item(input: &TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.clone().into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("generic item `{name}` is not supported by the vendored derive"));
+        }
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Item::NamedStruct { name, fields: parse_named_fields(&body)? })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Item::TupleStruct { name, arity: split_top_level_commas(&body).len() })
+            }
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut variants = Vec::new();
+                for part in split_top_level_commas(&body) {
+                    let j = skip_attrs(&part, 0);
+                    let Some(TokenTree::Ident(ident)) = part.get(j) else {
+                        if part.is_empty() {
+                            continue;
+                        }
+                        return Err(format!("unexpected variant tokens: {part:?}"));
+                    };
+                    let variant_name = ident.to_string();
+                    let kind = match part.get(j + 1) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                            VariantKind::Struct(parse_named_fields(&inner)?)
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                            VariantKind::Tuple(split_top_level_commas(&inner).len())
+                        }
+                        _ => VariantKind::Unit,
+                    };
+                    variants.push(Variant { name: variant_name, kind });
+                }
+                Ok(Item::Enum { name, variants })
+            }
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Generates the `Serialize` implementation.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(&input) {
+        Ok(item) => item,
+        Err(message) => return compile_error(&message),
+    };
+    let code = match item {
+        Item::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from({vname:?}))"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|i| format!("f{i}")).collect();
+                            let inner = if *arity == 1 {
+                                "::serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!(
+                                    "::serde::Value::Seq(::std::vec![{}])",
+                                    items.join(", ")
+                                )
+                            };
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from({vname:?}), {inner})])",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from({vname:?}), \
+                                 ::serde::Value::Map(::std::vec![{}]))])",
+                                fields.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Generates the `Deserialize` implementation.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(&input) {
+        Ok(item) => item,
+        Err(message) => return compile_error(&message),
+    };
+    let code = match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(value.get({f:?})?)?")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok(Self {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if arity == 1 {
+                "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(value)?))"
+                    .to_string()
+            } else {
+                let elems: Vec<String> = (0..arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "let items = value.as_seq()?;\n\
+                     if items.len() != {arity} {{\n\
+                         return ::std::result::Result::Err(::serde::Error::new(\
+                             \"wrong tuple arity\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok(Self({}))",
+                    elems.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname})"
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Tuple(arity) if *arity == 1 => format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(inner)?))"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let elems: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&items[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "{vname:?} => {{\n\
+                                     let items = inner.as_seq()?;\n\
+                                     if items.len() != {arity} {{\n\
+                                         return ::std::result::Result::Err(\
+                                             ::serde::Error::new(\"wrong variant arity\"));\n\
+                                     }}\n\
+                                     ::std::result::Result::Ok({name}::{vname}({}))\n\
+                                 }}",
+                                elems.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         inner.get({f:?})?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{vname:?} => ::std::result::Result::Ok(\
+                                 {name}::{vname} {{ {} }})",
+                                inits.join(", ")
+                            )
+                        }
+                        VariantKind::Unit => unreachable!("filtered above"),
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                                 {}\n\
+                                 other => ::std::result::Result::Err(::serde::Error::new(\
+                                     ::std::format!(\"unknown variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, inner) = &entries[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {}\n\
+                                     other => ::std::result::Result::Err(::serde::Error::new(\
+                                         ::std::format!(\"unknown variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => ::std::result::Result::Err(::serde::Error::new(\
+                                 ::std::format!(\"expected enum, got {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                if unit_arms.is_empty() {
+                    "#[allow(unreachable_patterns)] _ if false => ::std::unreachable!(),"
+                        .to_string()
+                } else {
+                    unit_arms.join(",\n") + ","
+                },
+                if tagged_arms.is_empty() {
+                    "#[allow(unreachable_patterns)] _ if false => ::std::unreachable!(),"
+                        .to_string()
+                } else {
+                    tagged_arms.join(",\n") + ","
+                }
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
