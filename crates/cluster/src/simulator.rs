@@ -14,8 +14,10 @@
 //! place/retire/reconfigure and mutated per routing quantum through the index the router
 //! returns, so routing never rebuilds or clones snapshot lists. All carry-over state
 //! (row power, aisle airflow, carry-over frequencies, row histories) lives in dense vectors
-//! indexed by the id newtypes, and the physics engine runs through a persistent
-//! [`StepWorkspace`], making the steady-state step loop allocation-free.
+//! indexed by the id newtypes, the physics engine runs through a persistent
+//! [`StepWorkspace`] whose telemetry grids (`TempGrid`, per-level `OrdinalMap`s) are
+//! ordinal-aligned with those vectors, and metric recording walks the grids without any
+//! map lookups — the steady-state step loop is allocation-free end to end.
 
 use crate::experiment::ExperimentConfig;
 use crate::metrics::RunReport;
@@ -343,7 +345,7 @@ impl ClusterSimulator {
         let prepared_routing =
             PreparedRoutingContext::new(&routing_context, &router_tapas.config, &profiles);
         let step_input = StepInput::idle(dc.layout(), Celsius::new(20.0));
-        let workspace = StepWorkspace::new(dc.layout());
+        let workspace = StepWorkspace::for_topology(Arc::clone(dc.topology()));
         Self {
             rng: SimRng::seed_from(config.seed).derive("cluster-sim"),
             profiles,
@@ -763,7 +765,7 @@ impl ClusterSimulator {
 
         self.fill_activity(now);
         self.step_input.outside_temp = outside;
-        self.step_input.failures = self.config.failures.state_at(now);
+        self.config.failures.state_into(now, &mut self.step_input.failures);
         self.dc.evaluate_into(&self.step_input, &mut self.workspace);
         let outcome = &self.workspace.outcome;
 
@@ -790,16 +792,18 @@ impl ClusterSimulator {
                 "",
             );
         }
-        for row in outcome.power.over_budget_rows() {
-            self.report.events.record_kind(
-                now,
-                EventKind::PowerCap,
-                row.to_string(),
-                outcome.power.rows[&row].utilization,
-                "",
-            );
+        for (row, utilization) in outcome.power.rows.iter() {
+            if utilization.is_over_budget() {
+                self.report.events.record_kind(
+                    now,
+                    EventKind::PowerCap,
+                    row.to_string(),
+                    utilization.utilization,
+                    "",
+                );
+            }
         }
-        for (aisle, assessment) in &outcome.aisle_airflow {
+        for (aisle, assessment) in outcome.aisle_airflow.iter() {
             if assessment.is_violated() {
                 self.report.events.record_kind(
                     now,
@@ -824,27 +828,36 @@ impl ClusterSimulator {
         }
         std::mem::swap(&mut self.carryover_freq, &mut self.carryover_next);
 
-        // Infrastructure state the router and configurator will see next step.
-        for (&row, utilization) in &outcome.power.rows {
-            self.routing_context.row_power[row.index()] = utilization.draw;
+        // Infrastructure state the router and configurator will see next step: straight
+        // ordinal-aligned copies out of the dense assessment grids.
+        for (carry, utilization) in self
+            .routing_context
+            .row_power
+            .iter_mut()
+            .zip(outcome.power.rows.values())
+        {
+            *carry = utilization.draw;
         }
-        for (&aisle, assessment) in &outcome.aisle_airflow {
-            self.routing_context.aisle_airflow[aisle.index()] = assessment.demand;
+        for (carry, assessment) in self
+            .routing_context
+            .aisle_airflow
+            .iter_mut()
+            .zip(outcome.aisle_airflow.values())
+        {
+            *carry = assessment.demand;
         }
         self.prev_dc_load = outcome.datacenter_load;
 
-        // Weekly refinement of the row power templates (§4.5).
-        for (&row, utilization) in &outcome.power.rows {
-            self.row_history[row.index()].push((now, utilization.draw.value()));
+        // Weekly refinement of the row power templates (§4.5). The history is accumulated
+        // directly in row-ordinal order, so the refinement consumes it without any
+        // per-step or per-week map rebuilds.
+        for (history, utilization) in
+            self.row_history.iter_mut().zip(outcome.power.rows.values())
+        {
+            history.push((now, utilization.draw.value()));
         }
         if (now - self.last_refinement).as_days() >= 7.0 {
-            let history: std::collections::BTreeMap<dc_sim::ids::RowId, Vec<(SimTime, f64)>> =
-                self.row_history
-                    .iter()
-                    .enumerate()
-                    .map(|(i, samples)| (dc_sim::ids::RowId::new(i), samples.clone()))
-                    .collect();
-            Arc::make_mut(&mut self.profiles).refine_row_templates(&history);
+            Arc::make_mut(&mut self.profiles).refine_row_templates(&self.row_history);
             for samples in &mut self.row_history {
                 samples.clear();
             }

@@ -570,7 +570,7 @@ mod tests {
         }
         let row_power = TapasPlacement::predicted_row_power(&state, &layout, &profiles);
         for row in layout.rows() {
-            let budget = profiles.budgets.row_power[&row.id];
+            let budget = profiles.budgets.row_power[row.id];
             assert!(
                 row_power[&row.id].value() <= budget.value() * 1.001,
                 "row {} predicted peak {} exceeds budget {}",

@@ -14,6 +14,7 @@
 
 use dc_sim::engine::Datacenter;
 use dc_sim::ids::{AisleId, GpuId, RowId, ServerId};
+use dc_sim::index::OrdinalMap;
 use dc_sim::topology::ServerSpec;
 use llm_sim::hardware::GpuHardware;
 use llm_sim::model::ModelSize;
@@ -196,17 +197,18 @@ fn config_key(config: &llm_sim::config::InstanceConfig) -> ConfigKey {
     }
 }
 
-/// Budgets of the rows and aisles (public provisioning data).
+/// Budgets of the rows and aisles (public provisioning data), stored as dense
+/// ordinal-indexed grids covering every row/aisle of the profiled layout.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InfrastructureBudgets {
-    /// Row power budgets.
-    pub row_power: BTreeMap<RowId, Kilowatts>,
-    /// Aisle airflow provisioning.
-    pub aisle_airflow: BTreeMap<AisleId, CubicFeetPerMinute>,
-    /// Servers per row.
-    pub row_servers: BTreeMap<RowId, Vec<ServerId>>,
-    /// Servers per aisle.
-    pub aisle_servers: BTreeMap<AisleId, Vec<ServerId>>,
+    /// Row power budgets, indexed by [`RowId`].
+    pub row_power: OrdinalMap<RowId, Kilowatts>,
+    /// Aisle airflow provisioning, indexed by [`AisleId`].
+    pub aisle_airflow: OrdinalMap<AisleId, CubicFeetPerMinute>,
+    /// Servers per row, indexed by [`RowId`].
+    pub row_servers: OrdinalMap<RowId, Vec<ServerId>>,
+    /// Servers per aisle, indexed by [`AisleId`].
+    pub aisle_servers: OrdinalMap<AisleId, Vec<ServerId>>,
 }
 
 /// The complete profile store TAPAS consults at run time.
@@ -218,14 +220,11 @@ pub struct ProfileStore {
     pub llm: Arc<LlmProfiles>,
     /// Row/aisle budgets.
     pub budgets: InfrastructureBudgets,
-    /// Weekly-refined row power templates (absent until the first refinement).
-    pub row_templates: BTreeMap<RowId, PowerTemplate>,
+    /// Weekly-refined row power templates, indexed by [`RowId`] (`None` until the first
+    /// refinement of that row).
+    pub row_templates: OrdinalMap<RowId, Option<PowerTemplate>>,
     /// GPU throttle limit minus a safety margin; the controllers aim to stay below this.
     pub thermal_headroom_target: Celsius,
-    /// Row power budgets as a dense vector indexed by `RowId::index`.
-    row_budget_dense: Vec<Kilowatts>,
-    /// Aisle airflow provisioning as a dense vector indexed by `AisleId::index`.
-    aisle_budget_dense: Vec<CubicFeetPerMinute>,
     /// Position of each profiled configuration in `llm.profiles`.
     config_slots: Arc<HashMap<ConfigKey, u32>>,
 }
@@ -307,22 +306,20 @@ impl ProfileStore {
             });
         }
 
+        // Budgets are dense grids in ordinal order (the layout builder emits rows and
+        // aisles in id order).
         let budgets = InfrastructureBudgets {
-            row_power: layout.rows().iter().map(|r| (r.id, r.power_budget)).collect(),
+            row_power: layout.rows().iter().map(|r| r.power_budget).collect(),
             aisle_airflow: layout
                 .aisles()
                 .iter()
-                .map(|a| (a.id, a.airflow_provisioned))
+                .map(|a| a.airflow_provisioned)
                 .collect(),
-            row_servers: layout
-                .rows()
-                .iter()
-                .map(|r| (r.id, r.servers.clone()))
-                .collect(),
+            row_servers: layout.rows().iter().map(|r| r.servers.clone()).collect(),
             aisle_servers: layout
                 .aisles()
                 .iter()
-                .map(|a| (a.id, a.servers.clone()))
+                .map(|a| a.servers.clone())
                 .collect(),
         };
 
@@ -337,15 +334,9 @@ impl ProfileStore {
         Self {
             servers,
             llm,
-            row_budget_dense: layout.rows().iter().map(|r| r.power_budget).collect(),
-            aisle_budget_dense: layout
-                .aisles()
-                .iter()
-                .map(|a| a.airflow_provisioned)
-                .collect(),
             config_slots,
+            row_templates: OrdinalMap::filled(layout.rows().len(), None),
             budgets,
-            row_templates: BTreeMap::new(),
             thermal_headroom_target: Celsius::new(
                 layout.servers()[0].spec.gpu_throttle_temp_c - 3.0,
             ),
@@ -392,7 +383,7 @@ impl ProfileStore {
     /// Panics if the row id is out of range.
     #[must_use]
     pub fn row_budget(&self, row: RowId) -> Kilowatts {
-        self.row_budget_dense[row.index()]
+        self.budgets.row_power[row]
     }
 
     /// The airflow provisioning of an aisle (dense O(1) lookup).
@@ -401,19 +392,19 @@ impl ProfileStore {
     /// Panics if the aisle id is out of range.
     #[must_use]
     pub fn aisle_budget(&self, aisle: AisleId) -> CubicFeetPerMinute {
-        self.aisle_budget_dense[aisle.index()]
+        self.budgets.aisle_airflow[aisle]
     }
 
     /// Number of rows in the profiled layout.
     #[must_use]
     pub fn row_count(&self) -> usize {
-        self.row_budget_dense.len()
+        self.budgets.row_power.len()
     }
 
     /// Number of aisles in the profiled layout.
     #[must_use]
     pub fn aisle_count(&self) -> usize {
-        self.aisle_budget_dense.len()
+        self.budgets.aisle_airflow.len()
     }
 
     /// The profile of an instance configuration, if it was part of the sweep (O(1) instead of
@@ -436,17 +427,13 @@ impl ProfileStore {
     }
 
     /// The weekly refinement step (§4.5): fits a conservative P99 template per row from the
-    /// previous week's observed row power.
-    pub fn refine_row_templates(
-        &mut self,
-        history: &BTreeMap<RowId, Vec<(simkit::time::SimTime, f64)>>,
-    ) {
-        for (&row, samples) in history {
+    /// previous week's observed row power. `history` is indexed by row ordinal (the shape
+    /// the simulator accumulates); rows with no samples keep their previous template.
+    pub fn refine_row_templates(&mut self, history: &[Vec<(simkit::time::SimTime, f64)>]) {
+        for (ordinal, samples) in history.iter().enumerate() {
             if !samples.is_empty() {
-                self.row_templates.insert(
-                    row,
-                    PowerTemplate::fit(workload::prediction::TemplateKind::P99, samples),
-                );
+                self.row_templates[RowId::new(ordinal)] =
+                    Some(PowerTemplate::fit(workload::prediction::TemplateKind::P99, samples));
             }
         }
     }
@@ -455,9 +442,9 @@ impl ProfileStore {
     /// otherwise the provisioned budget (the conservative assumption of §4.1).
     #[must_use]
     pub fn predicted_row_peak(&self, row: RowId) -> Kilowatts {
-        match self.row_templates.get(&row) {
+        match self.row_templates.get(row).and_then(Option::as_ref) {
             Some(template) => Kilowatts::new(template.predicted_peak()),
-            None => self.budgets.row_power.get(&row).copied().unwrap_or(Kilowatts::ZERO),
+            None => self.budgets.row_power.get(row).copied().unwrap_or(Kilowatts::ZERO),
         }
     }
 }
@@ -572,18 +559,16 @@ mod tests {
     fn row_peak_prediction_prefers_refined_templates() {
         let (_, mut store) = store();
         let row = RowId::new(0);
-        let budget = store.budgets.row_power[&row];
+        let budget = store.budgets.row_power[row];
         assert_eq!(store.predicted_row_peak(row), budget);
-        // Refine with a history peaking at half the budget.
+        // Refine with a row-ordinal-indexed history peaking at half the budget for row 0.
         let history: Vec<(SimTime, f64)> = (0..7 * 24)
             .map(|h| (SimTime::from_hours(h), budget.value() * 0.5))
             .collect();
-        let mut all = BTreeMap::new();
-        all.insert(row, history);
-        store.refine_row_templates(&all);
+        store.refine_row_templates(&[history]);
         let refined = store.predicted_row_peak(row);
         assert!((refined.value() - budget.value() * 0.5).abs() < 1e-6);
         // Rows without history keep the conservative budget.
-        assert_eq!(store.predicted_row_peak(RowId::new(1)), store.budgets.row_power[&RowId::new(1)]);
+        assert_eq!(store.predicted_row_peak(RowId::new(1)), store.budgets.row_power[RowId::new(1)]);
     }
 }

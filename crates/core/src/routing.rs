@@ -841,7 +841,7 @@ mod tests {
         // Row 0 is right at its budget; row 1 is calm. Instance 1 sits in row 0 (server 0),
         // instance 2 in row 1 (server 40).
         let row0 = profiles.server(ServerId::new(0)).row;
-        let budget = profiles.budgets.row_power[&row0];
+        let budget = profiles.budgets.row_power[row0];
         ctx.row_power[row0.index()] = budget * 0.99;
         let instances = vec![snapshot(1, 0, 1, 0.5), snapshot(2, 40, 5, 0.5)];
         let choice = router.route(&request(0), &instances, &profiles, &ctx);
@@ -909,7 +909,7 @@ mod tests {
         let router = TapasRouter::default();
         let mut ctx = calm_context(&profiles);
         let aisle = profiles.server(ServerId::new(0)).aisle;
-        let provisioned = profiles.budgets.aisle_airflow[&aisle];
+        let provisioned = profiles.budgets.aisle_airflow[aisle];
         ctx.aisle_airflow[aisle.index()] = provisioned * 0.999;
         // Both instances are in the same (only) aisle, so the filter rejects both and the
         // fallback still routes the request.
@@ -1013,13 +1013,13 @@ mod tests {
         assert_eq!(ctx.row_power.len(), profiles.budgets.row_power.len());
         let row0 = RowId::new(0);
         assert!(
-            (ctx.row_power[0].value() - profiles.budgets.row_power[&row0].value() * 0.8).abs()
+            (ctx.row_power[0].value() - profiles.budgets.row_power[row0].value() * 0.8).abs()
                 < 1e-9
         );
         let aisle0 = AisleId::new(0);
         assert!(
             (ctx.aisle_airflow[0].value()
-                - profiles.budgets.aisle_airflow[&aisle0].value() * 0.6)
+                - profiles.budgets.aisle_airflow[aisle0].value() * 0.6)
                 .abs()
                 < 1e-9
         );

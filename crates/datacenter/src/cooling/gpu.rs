@@ -9,7 +9,8 @@
 //! process variation (Fig. 8–9). GPU memory tracks the GPU temperature, running slightly
 //! hotter under memory-intensive (decode-dominated) load and slightly cooler otherwise.
 
-use crate::ids::GpuId;
+use crate::ids::{GpuId, ServerId};
+use crate::index::TopologyIndex;
 use crate::topology::Layout;
 use serde::{Deserialize, Serialize};
 use simkit::rng::SimRng;
@@ -76,6 +77,119 @@ pub struct GpuTemperatures {
     pub gpu: Celsius,
     /// GPU memory (HBM) temperature.
     pub memory: Celsius,
+}
+
+/// One step's GPU temperatures for a whole datacenter: a contiguous server-major grid.
+///
+/// Replaces the jagged `Vec<Vec<GpuTemperatures>>` shape — one flat allocation,
+/// stride-indexed through the server-major GPU offsets of a [`TopologyIndex`], so
+/// datacenter-wide scans (hottest GPU, fleet aggregation) walk one cache-friendly slice
+/// and per-server views are O(1) subslices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TempGrid {
+    /// Flat per-GPU temperatures, server-major.
+    temps: Vec<GpuTemperatures>,
+    /// Server-major GPU prefix sums (length `servers + 1`), copied from the topology index
+    /// that shaped the grid.
+    offsets: Vec<u32>,
+}
+
+impl Default for TempGrid {
+    fn default() -> Self {
+        Self { temps: Vec::new(), offsets: vec![0] }
+    }
+}
+
+impl TempGrid {
+    /// A zeroed grid shaped for one datacenter's topology.
+    #[must_use]
+    pub fn for_topology(topology: &TopologyIndex) -> Self {
+        let zero = GpuTemperatures { gpu: Celsius::ZERO, memory: Celsius::ZERO };
+        Self {
+            temps: vec![zero; topology.gpu_count()],
+            offsets: topology.gpu_offsets().to_vec(),
+        }
+    }
+
+    /// Number of servers covered.
+    #[must_use]
+    pub fn server_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of GPUs covered.
+    #[must_use]
+    pub fn gpu_count(&self) -> usize {
+        self.temps.len()
+    }
+
+    /// Returns `true` if the grid covers no GPUs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.temps.is_empty()
+    }
+
+    /// The temperatures of every GPU in one server, as a contiguous slice.
+    ///
+    /// # Panics
+    /// Panics if the server ordinal is out of range.
+    #[must_use]
+    pub fn server(&self, server: ServerId) -> &[GpuTemperatures] {
+        let start = self.offsets[server.index()] as usize;
+        let end = self.offsets[server.index() + 1] as usize;
+        &self.temps[start..end]
+    }
+
+    /// The temperatures of one GPU.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn get(&self, gpu: GpuId) -> GpuTemperatures {
+        self.server(gpu.server)[gpu.slot]
+    }
+
+    /// Iterates every GPU's temperatures in server-major order.
+    pub fn iter(&self) -> std::slice::Iter<'_, GpuTemperatures> {
+        self.temps.iter()
+    }
+
+    /// Iterates `(server, per-GPU slice)` pairs in server order.
+    pub fn iter_servers(&self) -> impl Iterator<Item = (ServerId, &[GpuTemperatures])> + '_ {
+        self.offsets.windows(2).enumerate().map(|(i, w)| {
+            (ServerId::new(i), &self.temps[w[0] as usize..w[1] as usize])
+        })
+    }
+
+    /// The whole grid as one flat server-major slice.
+    #[must_use]
+    pub fn flat(&self) -> &[GpuTemperatures] {
+        &self.temps
+    }
+
+    /// Mutable access to the flat server-major slice (for the engine's per-row tasks).
+    #[must_use]
+    pub fn flat_mut(&mut self) -> &mut [GpuTemperatures] {
+        &mut self.temps
+    }
+
+    /// The hottest GPU junction temperature in the grid.
+    #[must_use]
+    pub fn max_gpu(&self) -> Celsius {
+        self.temps
+            .iter()
+            .map(|t| t.gpu)
+            .fold(Celsius::new(f64::MIN), Celsius::max)
+    }
+
+    /// The hottest GPU-memory temperature in the grid.
+    #[must_use]
+    pub fn max_mem(&self) -> Celsius {
+        self.temps
+            .iter()
+            .map(|t| t.memory)
+            .fold(Celsius::new(f64::MIN), Celsius::max)
+    }
 }
 
 /// Per-GPU thermal model with layout and process-variation offsets.
@@ -307,6 +421,36 @@ mod tests {
         // An unreachable limit yields zero power rather than a negative one.
         let impossible = m.power_for_temp_limit(server, Celsius::new(90.0), Celsius::new(20.0));
         assert_eq!(impossible.value(), 0.0);
+    }
+
+    #[test]
+    fn temp_grid_views_agree_with_flat_storage() {
+        let layout = LayoutConfig::small_test_cluster().build();
+        let topology = TopologyIndex::from_layout(&layout);
+        let mut grid = TempGrid::for_topology(&topology);
+        assert_eq!(grid.server_count(), 8);
+        assert_eq!(grid.gpu_count(), 64);
+        assert!(!grid.is_empty());
+        for (i, t) in grid.flat_mut().iter_mut().enumerate() {
+            t.gpu = Celsius::new(i as f64);
+            t.memory = Celsius::new(i as f64 + 0.5);
+        }
+        // Per-server slices are the right windows of the flat storage.
+        let second = grid.server(ServerId::new(1));
+        assert_eq!(second.len(), 8);
+        assert_eq!(second[3].gpu.value(), 11.0);
+        assert_eq!(grid.get(GpuId::new(ServerId::new(1), 3)).memory.value(), 11.5);
+        assert_eq!(grid.iter().count(), 64);
+        let servers: Vec<ServerId> = grid.iter_servers().map(|(s, _)| s).collect();
+        assert_eq!(servers.len(), 8);
+        assert_eq!(servers[7], ServerId::new(7));
+        assert_eq!(grid.max_gpu().value(), 63.0);
+        assert_eq!(grid.max_mem().value(), 63.5);
+        // Serde round trip preserves shape and values.
+        use serde::{Deserialize as _, Serialize as _};
+        let back = TempGrid::from_value(&grid.to_value()).unwrap();
+        assert_eq!(back, grid);
+        assert!(TempGrid::default().is_empty());
     }
 
     #[test]

@@ -17,16 +17,17 @@
 //! how real telemetry-driven control loops behave.
 
 use crate::cooling::airflow::{AirflowModel, AisleAirflowAssessment};
-use crate::cooling::gpu::{GpuTemperatures, GpuThermalCoefficients, GpuThermalModel};
+use crate::cooling::gpu::{GpuTemperatures, GpuThermalCoefficients, GpuThermalModel, TempGrid};
 use crate::cooling::inlet::{InletCurve, InletModel};
 use crate::failures::FailureState;
 use crate::ids::{AisleId, GpuId, RowId, ServerId};
-use crate::power::hierarchy::{PowerAssessment, PowerHierarchy};
+use crate::index::{OrdinalMap, TopologyIndex};
+use crate::power::hierarchy::{CapacityState, PowerAssessment, PowerHierarchy};
 use crate::power::server::ServerPowerModel;
 use crate::topology::Layout;
 use serde::{Deserialize, Serialize};
 use simkit::units::{Celsius, CubicFeetPerMinute, Kilowatts, Watts};
-use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Activity of one server during a step.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -124,18 +125,24 @@ pub struct ThermalThrottleDirective {
 }
 
 /// Everything the engine derives for one step.
+///
+/// All fields are dense, topology-ordinal grids: per-server vectors indexed by
+/// [`ServerId::index`], the flat server-major [`TempGrid`], and one [`OrdinalMap`] per
+/// aggregation level. The shapes are frozen by the [`TopologyIndex`] of the datacenter that
+/// produced the outcome, so fleet-level consumers can aggregate across datacenters with
+/// O(1) per-cell access.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StepOutcome {
     /// Per-server inlet temperature.
     pub inlet_temps: Vec<Celsius>,
-    /// Per-server, per-GPU temperatures.
-    pub gpu_temps: Vec<Vec<GpuTemperatures>>,
+    /// Per-GPU temperatures: one contiguous server-major grid.
+    pub gpu_temps: TempGrid,
     /// Per-server total power.
     pub server_power: Vec<Kilowatts>,
     /// Per-server airflow demand.
     pub server_airflow: Vec<CubicFeetPerMinute>,
-    /// Per-aisle airflow assessment.
-    pub aisle_airflow: BTreeMap<AisleId, AisleAirflowAssessment>,
+    /// Per-aisle airflow assessment, indexed by [`AisleId`].
+    pub aisle_airflow: OrdinalMap<AisleId, AisleAirflowAssessment>,
     /// Power-hierarchy assessment, including power capping directives.
     pub power: PowerAssessment,
     /// GPUs above their thermal limit and the throttle the hardware applies.
@@ -148,21 +155,13 @@ impl StepOutcome {
     /// The hottest GPU temperature across the datacenter.
     #[must_use]
     pub fn max_gpu_temp(&self) -> Celsius {
-        self.gpu_temps
-            .iter()
-            .flatten()
-            .map(|t| t.gpu)
-            .fold(Celsius::new(f64::MIN), Celsius::max)
+        self.gpu_temps.max_gpu()
     }
 
     /// The hottest GPU-memory temperature across the datacenter.
     #[must_use]
     pub fn max_mem_temp(&self) -> Celsius {
-        self.gpu_temps
-            .iter()
-            .flatten()
-            .map(|t| t.memory)
-            .fold(Celsius::new(f64::MIN), Celsius::max)
+        self.gpu_temps.max_mem()
     }
 
     /// The peak row power.
@@ -171,10 +170,9 @@ impl StepOutcome {
         self.power.peak_row_power()
     }
 
-    /// Per-row power draw.
-    #[must_use]
-    pub fn row_power(&self) -> BTreeMap<RowId, Kilowatts> {
-        self.power.rows.iter().map(|(&id, util)| (id, util.draw)).collect()
+    /// Per-row power draw, in row order (allocation-free compatibility accessor).
+    pub fn row_power(&self) -> impl ExactSizeIterator<Item = (RowId, Kilowatts)> + '_ {
+        self.power.row_power()
     }
 
     /// Number of GPUs currently thermally throttled.
@@ -209,6 +207,7 @@ pub struct DatacenterModels {
 #[derive(Debug, Clone)]
 pub struct Datacenter {
     layout: Layout,
+    topology: Arc<TopologyIndex>,
     inlet_model: InletModel,
     gpu_model: GpuThermalModel,
     airflow_model: AirflowModel,
@@ -231,9 +230,11 @@ impl Datacenter {
         let inlet_model = InletModel::for_layout(&layout, models.inlet_curve, seed);
         let gpu_model = GpuThermalModel::for_layout(&layout, models.gpu_thermal, seed);
         let hierarchy = PowerHierarchy::from_layout(&layout);
+        let topology = Arc::new(TopologyIndex::from_layout(&layout));
         let fingerprint = Self::fingerprint_of(&layout, &models, seed);
         Self {
             layout,
+            topology,
             inlet_model,
             gpu_model,
             airflow_model: models.airflow,
@@ -311,6 +312,13 @@ impl Datacenter {
         &self.layout
     }
 
+    /// The frozen ordinal geometry of this datacenter. Clone the `Arc` to share the handle
+    /// with workspaces or fleet-level aggregation.
+    #[must_use]
+    pub fn topology(&self) -> &Arc<TopologyIndex> {
+        &self.topology
+    }
+
     /// The inlet-temperature model.
     #[must_use]
     pub fn inlet_model(&self) -> &InletModel {
@@ -352,7 +360,7 @@ impl Datacenter {
     /// server's activity has a different GPU count than its spec.
     #[must_use]
     pub fn evaluate(&self, input: &StepInput) -> StepOutcome {
-        let mut workspace = StepWorkspace::new(&self.layout);
+        let mut workspace = StepWorkspace::for_topology(Arc::clone(&self.topology));
         self.evaluate_into(input, &mut workspace);
         workspace.outcome
     }
@@ -376,7 +384,9 @@ impl Datacenter {
         workspace.reset(&self.layout);
         let server_count = self.layout.server_count();
         let servers = self.layout.servers();
-        let row_ranges = &workspace.row_ranges;
+        let topology = Arc::clone(&workspace.topology);
+        let row_ranges = topology.row_ranges();
+        let gpu_offsets = topology.gpu_offsets();
 
         // 1. Per-server loads, airflow demand and power, processed per contiguous row slice.
         let parallel = parallel_active(server_count, row_ranges.len());
@@ -392,7 +402,8 @@ impl Datacenter {
             }
             for range in row_ranges {
                 let row_len = range.end - range.start;
-                let gpu_len = workspace.gpu_offsets[range.end] - workspace.gpu_offsets[range.start];
+                let gpu_len =
+                    (gpu_offsets[range.end] - gpu_offsets[range.start]) as usize;
                 let (airflow, rest) = airflow_rest.split_at_mut(row_len);
                 airflow_rest = rest;
                 let (power, rest) = power_rest.split_at_mut(row_len);
@@ -425,8 +436,8 @@ impl Datacenter {
             if server_count > 0 { total_load / server_count as f64 } else { 0.0 };
         workspace.outcome.datacenter_load = datacenter_load;
 
-        // 2. Aisle airflow assessment and recirculation penalties.
-        workspace.outcome.aisle_airflow.clear();
+        // 2. Aisle airflow assessment and recirculation penalties, written into the
+        // pre-sized per-aisle grid.
         for aisle in self.layout.aisles() {
             let fraction = input
                 .failures
@@ -438,14 +449,15 @@ impl Datacenter {
                 fraction,
             );
             workspace.aisle_penalty[aisle.id.index()] = assessment.recirculation_penalty_c;
-            workspace.outcome.aisle_airflow.insert(aisle.id, assessment);
+            workspace.outcome.aisle_airflow[aisle.id] = assessment;
         }
 
-        // 3./4. Inlet and GPU temperatures plus thermal throttles, per contiguous row slice.
+        // 3./4. Inlet and GPU temperatures plus thermal throttles, per contiguous row slice
+        // of the flat temperature grid.
         {
             let outcome = &mut workspace.outcome;
             let mut inlet_rest = outcome.inlet_temps.as_mut_slice();
-            let mut temps_rest = outcome.gpu_temps.as_mut_slice();
+            let mut temps_rest = outcome.gpu_temps.flat_mut();
             let mut throttles_rest = workspace.row_throttles.as_mut_slice();
             let mut tasks: Vec<RowThermalTask<'_>> = Vec::new();
             if parallel {
@@ -453,11 +465,11 @@ impl Datacenter {
             }
             for range in row_ranges {
                 let row_len = range.end - range.start;
-                let gpu_start = workspace.gpu_offsets[range.start];
-                let gpu_end = workspace.gpu_offsets[range.end];
+                let gpu_start = gpu_offsets[range.start] as usize;
+                let gpu_end = gpu_offsets[range.end] as usize;
                 let (inlets, rest) = inlet_rest.split_at_mut(row_len);
                 inlet_rest = rest;
-                let (temps, rest) = temps_rest.split_at_mut(row_len);
+                let (temps, rest) = temps_rest.split_at_mut(gpu_end - gpu_start);
                 temps_rest = rest;
                 let (throttles, rest) = throttles_rest.split_at_mut(1);
                 throttles_rest = rest;
@@ -487,26 +499,30 @@ impl Datacenter {
             workspace.outcome.thermal_throttles.append(row);
         }
 
-        // 5. Power hierarchy assessment and capping.
-        let capacity = input.failures.capacity_state(&self.layout);
-        workspace.outcome.power = self.hierarchy.assess_with_scratch(
+        // 5. Power hierarchy assessment and capping, written into the reusable dense grids.
+        input
+            .failures
+            .capacity_state_into(&self.layout, &mut workspace.capacity);
+        self.hierarchy.assess_into(
             &workspace.outcome.server_power,
-            &capacity,
+            &workspace.capacity,
+            &mut workspace.outcome.power,
             &mut workspace.hierarchy_scratch,
         );
     }
 }
 
 /// Reusable buffers for [`Datacenter::evaluate_into`], including the output
-/// [`StepOutcome`] whose vectors are cleared and refilled in place each step.
+/// [`StepOutcome`] whose grids are overwritten in place each step.
+///
+/// The workspace is shaped by a [`TopologyIndex`] handle (shared with the engine via
+/// `Arc`), which freezes the grid strides every buffer follows.
 #[derive(Debug)]
 pub struct StepWorkspace {
     /// The most recent step's outcome.
     pub outcome: StepOutcome,
-    /// Contiguous `[start, end)` server-index range per row.
-    row_ranges: Vec<std::ops::Range<usize>>,
-    /// Prefix sums of GPU counts: GPU-flat offset per server index (length `servers + 1`).
-    gpu_offsets: Vec<usize>,
+    /// The frozen ordinal geometry the grids follow.
+    topology: Arc<TopologyIndex>,
     /// Flat per-GPU power, server-major.
     gpu_power_flat: Vec<Watts>,
     /// Recirculation penalty per aisle index.
@@ -515,76 +531,65 @@ pub struct StepWorkspace {
     row_load: Vec<f64>,
     /// Per-row throttle staging buffers (concatenated in row order for determinism).
     row_throttles: Vec<Vec<ThermalThrottleDirective>>,
+    /// Reusable power-capacity state derived from the step's failures.
+    capacity: CapacityState,
     hierarchy_scratch: crate::power::hierarchy::HierarchyScratch,
 }
 
 impl StepWorkspace {
-    /// Creates a workspace sized for a layout.
+    /// Creates a workspace sized for a layout (freezing a fresh [`TopologyIndex`]).
+    ///
+    /// Callers that already hold a datacenter should prefer [`Self::for_topology`] with
+    /// [`Datacenter::topology`] so the handle is shared instead of rebuilt.
     ///
     /// # Panics
     /// Panics if the layout's rows are not contiguous server-index ranges (the builder
     /// always produces contiguous rows).
     #[must_use]
     pub fn new(layout: &Layout) -> Self {
-        let server_count = layout.server_count();
-        let mut gpu_offsets = Vec::with_capacity(server_count + 1);
-        let mut total_gpus = 0usize;
-        gpu_offsets.push(0);
-        for server in layout.servers() {
-            total_gpus += server.spec.gpus_per_server;
-            gpu_offsets.push(total_gpus);
-        }
-        let row_ranges: Vec<std::ops::Range<usize>> = layout
-            .rows()
-            .iter()
-            .map(|row| {
-                let start = row.servers.iter().map(|s| s.index()).min().unwrap_or(0);
-                let end = row.servers.iter().map(|s| s.index() + 1).max().unwrap_or(0);
-                assert_eq!(
-                    end - start,
-                    row.servers.len(),
-                    "rows must cover contiguous server-index ranges"
-                );
-                start..end
-            })
-            .collect();
+        Self::for_topology(Arc::new(TopologyIndex::from_layout(layout)))
+    }
+
+    /// Creates a workspace over an existing topology handle.
+    #[must_use]
+    pub fn for_topology(topology: Arc<TopologyIndex>) -> Self {
+        let server_count = topology.server_count();
+        let empty_aisle = AisleAirflowAssessment {
+            demand: CubicFeetPerMinute::ZERO,
+            available: CubicFeetPerMinute::ZERO,
+            utilization: 0.0,
+            recirculation_penalty_c: 0.0,
+        };
         let outcome = StepOutcome {
             inlet_temps: vec![Celsius::ZERO; server_count],
-            gpu_temps: layout
-                .servers()
-                .iter()
-                .map(|s| Vec::with_capacity(s.spec.gpus_per_server))
-                .collect(),
+            gpu_temps: TempGrid::for_topology(&topology),
             server_power: vec![Kilowatts::ZERO; server_count],
             server_airflow: vec![CubicFeetPerMinute::ZERO; server_count],
-            aisle_airflow: BTreeMap::new(),
-            power: PowerAssessment {
-                rows: BTreeMap::new(),
-                pdus: BTreeMap::new(),
-                upses: BTreeMap::new(),
-                datacenter: crate::power::hierarchy::LevelUtilization::empty(),
-                capping: Vec::new(),
-            },
+            aisle_airflow: OrdinalMap::filled(topology.aisle_count(), empty_aisle),
+            power: PowerAssessment::empty(),
             thermal_throttles: Vec::new(),
             datacenter_load: 0.0,
         };
         Self {
             outcome,
-            row_ranges,
-            gpu_offsets,
-            gpu_power_flat: vec![Watts::ZERO; total_gpus],
-            aisle_penalty: vec![0.0; layout.aisles().len()],
-            row_load: vec![0.0; layout.rows().len()],
-            row_throttles: vec![Vec::new(); layout.rows().len()],
+            gpu_power_flat: vec![Watts::ZERO; topology.gpu_count()],
+            aisle_penalty: vec![0.0; topology.aisle_count()],
+            row_load: vec![0.0; topology.row_count()],
+            row_throttles: vec![Vec::new(); topology.row_count()],
+            capacity: CapacityState::healthy(),
             hierarchy_scratch: crate::power::hierarchy::HierarchyScratch::default(),
+            topology,
         }
+    }
+
+    /// The topology handle the workspace grids follow.
+    #[must_use]
+    pub fn topology(&self) -> &Arc<TopologyIndex> {
+        &self.topology
     }
 
     fn reset(&mut self, layout: &Layout) {
         debug_assert_eq!(self.outcome.inlet_temps.len(), layout.server_count());
-        for temps in &mut self.outcome.gpu_temps {
-            temps.clear();
-        }
         for penalty in &mut self.aisle_penalty {
             *penalty = 0.0;
         }
@@ -664,7 +669,8 @@ struct RowThermalTask<'a> {
     outside_temp: Celsius,
     datacenter_load: f64,
     inlets: &'a mut [Celsius],
-    temps: &'a mut [Vec<GpuTemperatures>],
+    /// The row's window of the flat server-major temperature grid.
+    temps: &'a mut [GpuTemperatures],
     throttles: &'a mut Vec<ThermalThrottleDirective>,
 }
 
@@ -689,7 +695,10 @@ impl RowThermalTask<'_> {
             let mem_offset = coeffs.memory_offset(activity.memory_boundedness);
             let offsets = gpu_model.server_offsets(server.id);
             let powers = &self.gpu_power[gpu_offset..gpu_offset + offsets.len()];
-            for (slot, (&offset, &power)) in offsets.iter().zip(powers).enumerate() {
+            let out = &mut self.temps[gpu_offset..gpu_offset + offsets.len()];
+            for (slot, ((&offset, &power), out)) in
+                offsets.iter().zip(powers).zip(out).enumerate()
+            {
                 let base = base_common + coeffs.power_coeff * power.value() + offset;
                 let t = GpuTemperatures {
                     gpu: Celsius::new(base),
@@ -706,7 +715,7 @@ impl RowThermalTask<'_> {
                         frequency_scale,
                     });
                 }
-                self.temps[i].push(t);
+                *out = t;
             }
             gpu_offset += offsets.len();
         }
@@ -782,8 +791,9 @@ mod tests {
         assert!(!outcome.any_airflow_violation());
         assert_eq!(outcome.datacenter_load, 0.0);
         assert_eq!(outcome.inlet_temps.len(), 80);
-        assert_eq!(outcome.gpu_temps.len(), 80);
-        assert_eq!(outcome.gpu_temps[0].len(), 8);
+        assert_eq!(outcome.gpu_temps.server_count(), 80);
+        assert_eq!(outcome.gpu_temps.gpu_count(), 640);
+        assert_eq!(outcome.gpu_temps.server(ServerId::new(0)).len(), 8);
     }
 
     #[test]
@@ -852,8 +862,8 @@ mod tests {
         input.failures = schedule.state_at(SimTime::from_minutes(30));
         let degraded = dc.evaluate(&input);
         // Less airflow available -> higher (or equal) utilization and potentially recirculation.
-        let healthy_util = healthy.aisle_airflow[&AisleId::new(0)].utilization;
-        let degraded_util = degraded.aisle_airflow[&AisleId::new(0)].utilization;
+        let healthy_util = healthy.aisle_airflow[AisleId::new(0)].utilization;
+        let degraded_util = degraded.aisle_airflow[AisleId::new(0)].utilization;
         assert!(degraded_util > healthy_util);
         assert!(degraded.max_gpu_temp().value() >= healthy.max_gpu_temp().value());
     }
@@ -881,7 +891,7 @@ mod tests {
         let spread = simkit::stats::max(&inlets).unwrap() - simkit::stats::min(&inlets).unwrap();
         assert!(spread > 1.0, "inlet spread should reflect spatial heterogeneity: {spread}");
         // GPUs within one server differ because of layout/process variation.
-        let first_server = &outcome.gpu_temps[0];
+        let first_server = outcome.gpu_temps.server(ServerId::new(0));
         let temps: Vec<f64> = first_server.iter().map(|t| t.gpu.value()).collect();
         let gpu_spread = simkit::stats::max(&temps).unwrap() - simkit::stats::min(&temps).unwrap();
         assert!(gpu_spread > 1.0);

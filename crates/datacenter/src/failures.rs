@@ -11,7 +11,6 @@ use crate::power::hierarchy::CapacityState;
 use crate::topology::Layout;
 use serde::{Deserialize, Serialize};
 use simkit::time::SimTime;
-use std::collections::BTreeMap;
 
 /// The kinds of infrastructure failures the simulator injects.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -110,34 +109,49 @@ impl FailureSchedule {
     #[must_use]
     pub fn state_at(&self, time: SimTime) -> FailureState {
         let mut state = FailureState::healthy();
+        self.state_into(time, &mut state);
+        state
+    }
+
+    /// [`Self::state_at`] writing into a reusable state: the failure lists keep their
+    /// allocations across steps, so the steady-state step loop allocates nothing even while
+    /// failure windows are active.
+    ///
+    /// Overlapping windows on the *same* UPS combine to the most severe residual fraction
+    /// (matching how overlaps across different UPSes always combined); previously the
+    /// schedule-order-last window won, which could understate an ongoing severe failure.
+    pub fn state_into(&self, time: SimTime, state: &mut FailureState) {
+        state.clear();
         for window in self.windows.iter().filter(|w| w.is_active(time)) {
             match window.kind {
                 FailureKind::AhuFailure { aisle, failed_units } => {
-                    let entry = state.failed_ahus.entry(aisle).or_insert(0);
-                    *entry += failed_units;
+                    state.fail_ahus(aisle, failed_units);
                 }
                 FailureKind::CoolingDeviceFailure { capacity_fraction } => {
                     state.global_cooling_fraction =
                         state.global_cooling_fraction.min(capacity_fraction.clamp(0.0, 1.0));
                 }
                 FailureKind::UpsFailure { ups, capacity_fraction } => {
-                    state.failed_upses.insert(ups, capacity_fraction.clamp(0.0, 1.0));
+                    state.fail_ups(ups, capacity_fraction.clamp(0.0, 1.0));
                 }
             }
         }
-        state
     }
 }
 
 /// The set of failures active at one instant.
+///
+/// The failed-entity lists are small sparse vectors (a handful of entries during an
+/// emergency, none otherwise), kept sorted by id for deterministic iteration and
+/// serialization.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FailureState {
-    /// Number of failed AHUs per aisle.
-    pub failed_ahus: BTreeMap<AisleId, usize>,
+    /// Number of failed AHUs per affected aisle, sorted by aisle id.
+    failed_ahus: Vec<(AisleId, usize)>,
     /// Global cooling capacity fraction (1.0 when healthy).
     pub global_cooling_fraction: f64,
-    /// Failed UPSes and the residual power capacity fraction they impose.
-    pub failed_upses: BTreeMap<UpsId, f64>,
+    /// Failed UPSes and the residual power capacity fraction they impose, sorted by UPS id.
+    failed_upses: Vec<(UpsId, f64)>,
 }
 
 impl FailureState {
@@ -145,10 +159,49 @@ impl FailureState {
     #[must_use]
     pub fn healthy() -> Self {
         Self {
-            failed_ahus: BTreeMap::new(),
+            failed_ahus: Vec::new(),
             global_cooling_fraction: 1.0,
-            failed_upses: BTreeMap::new(),
+            failed_upses: Vec::new(),
         }
+    }
+
+    /// Clears all failures back to healthy, keeping the list allocations.
+    pub fn clear(&mut self) {
+        self.failed_ahus.clear();
+        self.failed_upses.clear();
+        self.global_cooling_fraction = 1.0;
+    }
+
+    /// Records `failed_units` additional failed AHUs in an aisle.
+    pub fn fail_ahus(&mut self, aisle: AisleId, failed_units: usize) {
+        match self.failed_ahus.binary_search_by_key(&aisle, |&(id, _)| id) {
+            Ok(slot) => self.failed_ahus[slot].1 += failed_units,
+            Err(slot) => self.failed_ahus.insert(slot, (aisle, failed_units)),
+        }
+    }
+
+    /// Records a UPS failure leaving `capacity_fraction` of power capacity. Repeated
+    /// failures of the same UPS keep the most severe fraction.
+    pub fn fail_ups(&mut self, ups: UpsId, capacity_fraction: f64) {
+        match self.failed_upses.binary_search_by_key(&ups, |&(id, _)| id) {
+            Ok(slot) => {
+                let entry = &mut self.failed_upses[slot].1;
+                *entry = entry.min(capacity_fraction);
+            }
+            Err(slot) => self.failed_upses.insert(slot, (ups, capacity_fraction)),
+        }
+    }
+
+    /// The failed AHU counts per affected aisle, sorted by aisle id.
+    #[must_use]
+    pub fn failed_ahus(&self) -> &[(AisleId, usize)] {
+        &self.failed_ahus
+    }
+
+    /// The failed UPSes and their residual capacity fractions, sorted by UPS id.
+    #[must_use]
+    pub fn failed_upses(&self) -> &[(UpsId, f64)] {
+        &self.failed_upses
     }
 
     /// Returns `true` if nothing is failed.
@@ -163,7 +216,11 @@ impl FailureState {
     /// fraction of that aisle's AHUs that are still running.
     #[must_use]
     pub fn aisle_airflow_fraction(&self, aisle: AisleId, ahu_count: usize) -> f64 {
-        let failed = self.failed_ahus.get(&aisle).copied().unwrap_or(0);
+        let failed = self
+            .failed_ahus
+            .binary_search_by_key(&aisle, |&(id, _)| id)
+            .map(|slot| self.failed_ahus[slot].1)
+            .unwrap_or(0);
         let running = ahu_count.saturating_sub(failed);
         let ahu_fraction = if ahu_count == 0 {
             0.0
@@ -181,20 +238,28 @@ impl FailureState {
     #[must_use]
     pub fn capacity_state(&self, layout: &Layout) -> CapacityState {
         let mut capacity = CapacityState::healthy();
-        if let Some(&min_fraction) = self
+        self.capacity_state_into(layout, &mut capacity);
+        capacity
+    }
+
+    /// [`Self::capacity_state`] writing into a reusable state whose dense per-level grids
+    /// keep their allocations across steps.
+    pub fn capacity_state_into(&self, layout: &Layout, capacity: &mut CapacityState) {
+        capacity.reset();
+        if let Some(min_fraction) = self
             .failed_upses
-            .values()
+            .iter()
+            .map(|&(_, fraction)| fraction)
             .min_by(|a, b| a.partial_cmp(b).expect("finite fractions"))
         {
             capacity.datacenter_capacity = min_fraction;
             for ups in layout.upses() {
-                capacity.ups_capacity.insert(ups.id, min_fraction);
+                capacity.set_ups_capacity(ups.id, min_fraction);
             }
             for row in layout.rows() {
-                capacity.row_capacity.insert(row.id, min_fraction);
+                capacity.set_row_capacity(row.id, min_fraction);
             }
         }
-        capacity
     }
 }
 
@@ -216,7 +281,7 @@ mod tests {
         let layout = LayoutConfig::small_test_cluster().build();
         let capacity = state.capacity_state(&layout);
         assert_eq!(capacity.datacenter_capacity, 1.0);
-        assert!(capacity.ups_capacity.is_empty());
+        assert!(capacity.is_full());
     }
 
     #[test]
@@ -275,11 +340,61 @@ mod tests {
         let state = schedule.state_at(t(10));
         let capacity = state.capacity_state(&layout);
         assert!((capacity.datacenter_capacity - 0.75).abs() < 1e-12);
-        assert_eq!(capacity.ups_capacity.len(), layout.upses().len());
-        assert_eq!(capacity.row_capacity.len(), layout.rows().len());
-        assert!(capacity.row_capacity.values().all(|&f| (f - 0.75).abs() < 1e-12));
+        for ups in layout.upses() {
+            assert!((capacity.ups(ups.id) - 0.75).abs() < 1e-12);
+        }
+        for row in layout.rows() {
+            assert!((capacity.row(row.id) - 0.75).abs() < 1e-12);
+        }
         // Outside the window everything recovers.
         assert!(schedule.state_at(t(40)).is_healthy());
+        // Reusing the same state buffer across instants tracks the windows exactly.
+        let mut reused = FailureState::healthy();
+        let mut reused_capacity = CapacityState::healthy();
+        for minutes in [0u64, 10, 29, 30, 31, 40] {
+            schedule.state_into(t(minutes), &mut reused);
+            assert_eq!(reused, schedule.state_at(t(minutes)), "at {minutes} min");
+            reused.capacity_state_into(&layout, &mut reused_capacity);
+            let fresh = schedule.state_at(t(minutes)).capacity_state(&layout);
+            assert!(
+                (reused_capacity.datacenter_capacity - fresh.datacenter_capacity).abs()
+                    < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn overlapping_same_ups_failures_keep_the_most_severe() {
+        // Two concurrent windows on the same UPS: the worse residual fraction governs,
+        // regardless of schedule order (previously the schedule-order-last window won).
+        let mut schedule = FailureSchedule::none();
+        schedule.add(FailureWindow {
+            kind: FailureKind::UpsFailure { ups: UpsId::new(0), capacity_fraction: 0.5 },
+            start: t(0),
+            end: t(60),
+        });
+        schedule.add(FailureWindow {
+            kind: FailureKind::UpsFailure { ups: UpsId::new(0), capacity_fraction: 0.8 },
+            start: t(10),
+            end: t(60),
+        });
+        let state = schedule.state_at(t(30));
+        assert_eq!(state.failed_upses(), &[(UpsId::new(0), 0.5)]);
+        let layout = LayoutConfig::small_test_cluster().build();
+        assert!((state.capacity_state(&layout).datacenter_capacity - 0.5).abs() < 1e-12);
+        // Once the severe window ends, the milder one governs alone.
+        let mut late = FailureSchedule::none();
+        late.add(FailureWindow {
+            kind: FailureKind::UpsFailure { ups: UpsId::new(0), capacity_fraction: 0.5 },
+            start: t(0),
+            end: t(20),
+        });
+        late.add(FailureWindow {
+            kind: FailureKind::UpsFailure { ups: UpsId::new(0), capacity_fraction: 0.8 },
+            start: t(10),
+            end: t(60),
+        });
+        assert_eq!(late.state_at(t(30)).failed_upses(), &[(UpsId::new(0), 0.8)]);
     }
 
     #[test]

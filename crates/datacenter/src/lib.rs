@@ -15,6 +15,9 @@
 //! * [`failures`] — cooling and power failure injection (AHU failure, cooling-device failure,
 //!   UPS failure) with the capacity reductions the paper uses in §5.4 (90 % cooling, 75 %
 //!   power).
+//! * [`index`] — frozen topology ordinals ([`TopologyIndex`] handles, one per datacenter)
+//!   and the dense id-keyed telemetry containers ([`OrdinalMap`]) every per-step shape is
+//!   built on.
 //! * [`engine`] — the per-step evaluation pipeline that turns per-GPU load/power into
 //!   temperatures, aggregate powers, violations and capping directives.
 //!
@@ -42,11 +45,13 @@ pub mod cooling;
 pub mod engine;
 pub mod failures;
 pub mod ids;
+pub mod index;
 pub mod power;
 pub mod topology;
 pub mod weather;
 
 pub use engine::{Datacenter, StepInput, StepOutcome};
 pub use ids::{AisleId, GpuId, RackId, RowId, ServerId};
+pub use index::{OrdinalMap, TopologyIndex, TopologyOrdinal};
 pub use topology::{GpuModel, Layout, LayoutConfig, ServerSpec};
 pub use weather::{Climate, WeatherModel};

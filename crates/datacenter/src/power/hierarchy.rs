@@ -5,12 +5,16 @@
 //! are power-capped to bring the draw back within limits (§2.2). Redundancy failures (e.g. a
 //! UPS in a 4N/3 group failing) reduce the effective budget of the affected levels, which is
 //! how §5.4's "75 % power capacity" emergency is modelled.
+//!
+//! All per-step shapes are dense and ordinal-indexed ([`OrdinalMap`] per level): the
+//! assessment writes into reusable grids instead of rebuilding tree maps, so the steady-state
+//! control loop performs no per-step map allocation.
 
 use crate::ids::{PduId, RowId, ServerId, UpsId};
+use crate::index::OrdinalMap;
 use crate::topology::Layout;
 use serde::{Deserialize, Serialize};
 use simkit::units::Kilowatts;
-use std::collections::BTreeMap;
 
 /// A per-server power cap produced when some level of the hierarchy is over budget.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -61,26 +65,55 @@ impl LevelUtilization {
     }
 }
 
-/// The result of assessing the hierarchy for one step.
+/// The result of assessing the hierarchy for one step: one dense utilization grid per
+/// hierarchy level, each indexed by the level's ordinal ids.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PowerAssessment {
-    /// Per-row utilization.
-    pub rows: BTreeMap<RowId, LevelUtilization>,
-    /// Per-PDU utilization.
-    pub pdus: BTreeMap<PduId, LevelUtilization>,
-    /// Per-UPS utilization.
-    pub upses: BTreeMap<UpsId, LevelUtilization>,
+    /// Per-row utilization, indexed by [`RowId`].
+    pub rows: OrdinalMap<RowId, LevelUtilization>,
+    /// Per-PDU utilization, indexed by [`PduId`].
+    pub pdus: OrdinalMap<PduId, LevelUtilization>,
+    /// Per-UPS utilization, indexed by [`UpsId`].
+    pub upses: OrdinalMap<UpsId, LevelUtilization>,
     /// Datacenter-level utilization.
     pub datacenter: LevelUtilization,
     /// Capping directives for servers under over-budget levels (empty when all levels fit).
     pub capping: Vec<CappingDirective>,
 }
 
+impl Default for PowerAssessment {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
 impl PowerAssessment {
+    /// An empty assessment (used to pre-size reusable outcomes; [`PowerHierarchy::assess_into`]
+    /// resizes the grids to the hierarchy it assesses).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            rows: OrdinalMap::new(),
+            pdus: OrdinalMap::new(),
+            upses: OrdinalMap::new(),
+            datacenter: LevelUtilization::empty(),
+            capping: Vec::new(),
+        }
+    }
+
     /// Returns `true` if any level is over budget.
     #[must_use]
     pub fn any_over_budget(&self) -> bool {
         !self.capping.is_empty()
+    }
+
+    /// The utilization of one row.
+    ///
+    /// # Panics
+    /// Panics if the row ordinal is out of range.
+    #[must_use]
+    pub fn row(&self, row: RowId) -> &LevelUtilization {
+        &self.rows[row]
     }
 
     /// The peak row utilization (0 if there are no rows).
@@ -101,24 +134,30 @@ impl PowerAssessment {
             .fold(Kilowatts::ZERO, Kilowatts::max)
     }
 
-    /// The rows that are over budget.
-    #[must_use]
-    pub fn over_budget_rows(&self) -> Vec<RowId> {
+    /// Per-row power draw, in row order (allocation-free compatibility accessor).
+    pub fn row_power(&self) -> impl ExactSizeIterator<Item = (RowId, Kilowatts)> + '_ {
+        self.rows.iter().map(|(id, util)| (id, util.draw))
+    }
+
+    /// The rows that are over budget, in row order.
+    pub fn over_budget_rows(&self) -> impl Iterator<Item = RowId> + '_ {
         self.rows
             .iter()
             .filter(|(_, u)| u.is_over_budget())
-            .map(|(&id, _)| id)
-            .collect()
+            .map(|(id, _)| id)
     }
 }
 
 /// Capacity scaling applied to hierarchy levels, typically due to failures.
+///
+/// Stored as dense per-ordinal fraction grids; an empty grid (or an out-of-range ordinal)
+/// reads as full capacity, so `healthy()` needs no layout knowledge and allocates nothing.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CapacityState {
-    /// Fraction of each UPS budget that is available (default 1.0).
-    pub ups_capacity: BTreeMap<UpsId, f64>,
-    /// Fraction of each row budget that is available (default 1.0).
-    pub row_capacity: BTreeMap<RowId, f64>,
+    /// Fraction of each UPS budget that is available (missing ordinals read as 1.0).
+    ups_capacity: OrdinalMap<UpsId, f64>,
+    /// Fraction of each row budget that is available (missing ordinals read as 1.0).
+    row_capacity: OrdinalMap<RowId, f64>,
     /// Fraction of the datacenter budget that is available.
     pub datacenter_capacity: f64,
 }
@@ -126,8 +165,8 @@ pub struct CapacityState {
 impl Default for CapacityState {
     fn default() -> Self {
         Self {
-            ups_capacity: BTreeMap::new(),
-            row_capacity: BTreeMap::new(),
+            ups_capacity: OrdinalMap::new(),
+            row_capacity: OrdinalMap::new(),
             datacenter_capacity: 1.0,
         }
     }
@@ -140,12 +179,47 @@ impl CapacityState {
         Self::default()
     }
 
-    fn ups(&self, id: UpsId) -> f64 {
-        *self.ups_capacity.get(&id).unwrap_or(&1.0)
+    /// Resets to full capacity, keeping the grid allocations for reuse across steps.
+    pub fn reset(&mut self) {
+        self.ups_capacity.fill(1.0);
+        self.row_capacity.fill(1.0);
+        self.datacenter_capacity = 1.0;
     }
 
-    fn row(&self, id: RowId) -> f64 {
-        *self.row_capacity.get(&id).unwrap_or(&1.0)
+    /// Sets the available fraction of one UPS budget, growing the grid as needed.
+    pub fn set_ups_capacity(&mut self, ups: UpsId, fraction: f64) {
+        if self.ups_capacity.len() <= ups.index() {
+            self.ups_capacity.resize(ups.index() + 1, 1.0);
+        }
+        self.ups_capacity[ups] = fraction;
+    }
+
+    /// Sets the available fraction of one row budget, growing the grid as needed.
+    pub fn set_row_capacity(&mut self, row: RowId, fraction: f64) {
+        if self.row_capacity.len() <= row.index() {
+            self.row_capacity.resize(row.index() + 1, 1.0);
+        }
+        self.row_capacity[row] = fraction;
+    }
+
+    /// The available fraction of a UPS budget (1.0 when never reduced).
+    #[must_use]
+    pub fn ups(&self, id: UpsId) -> f64 {
+        self.ups_capacity.get(id).copied().unwrap_or(1.0)
+    }
+
+    /// The available fraction of a row budget (1.0 when never reduced).
+    #[must_use]
+    pub fn row(&self, id: RowId) -> f64 {
+        self.row_capacity.get(id).copied().unwrap_or(1.0)
+    }
+
+    /// Returns `true` if every level is at full capacity.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        (self.datacenter_capacity - 1.0).abs() < f64::EPSILON
+            && self.ups_capacity.values().all(|&f| (f - 1.0).abs() < f64::EPSILON)
+            && self.row_capacity.values().all(|&f| (f - 1.0).abs() < f64::EPSILON)
     }
 }
 
@@ -162,7 +236,7 @@ impl PowerHierarchy {
     /// Builds the hierarchy view from a layout.
     #[must_use]
     pub fn from_layout(layout: &Layout) -> Self {
-        Self {
+        let hierarchy = Self {
             layout_rows: layout
                 .rows()
                 .iter()
@@ -179,20 +253,38 @@ impl PowerHierarchy {
                 .map(|u| (u.id, u.pdus.clone(), u.power_budget))
                 .collect(),
             datacenter_budget: layout.datacenter_power_budget(),
-        }
+        };
+        // Ordinal indexing throughout (`row_budget`, `assess_into`) relies on each level
+        // being stored in id order; pin the invariant here, once, at construction.
+        debug_assert!(
+            hierarchy.layout_rows.iter().enumerate().all(|(i, r)| r.0.index() == i),
+            "rows stored in id order"
+        );
+        debug_assert!(
+            hierarchy.layout_pdus.iter().enumerate().all(|(i, p)| p.0.index() == i),
+            "pdus stored in id order"
+        );
+        debug_assert!(
+            hierarchy.layout_upses.iter().enumerate().all(|(i, u)| u.0.index() == i),
+            "upses stored in id order"
+        );
+        hierarchy
     }
 
-    /// Provisioned budget of a row.
+    /// Number of rows in the hierarchy.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.layout_rows.len()
+    }
+
+    /// Provisioned budget of a row (rows are stored in ordinal order, so this is O(1)).
     ///
     /// # Panics
     /// Panics if the row id is unknown.
     #[must_use]
     pub fn row_budget(&self, row: RowId) -> Kilowatts {
-        self.layout_rows
-            .iter()
-            .find(|(id, ..)| *id == row)
-            .map(|(_, _, budget, _)| *budget)
-            .expect("unknown row id")
+        assert!(row.index() < self.layout_rows.len(), "unknown row id");
+        self.layout_rows[row.index()].2
     }
 
     /// Assesses every level of the hierarchy for the given per-server power draws and
@@ -209,61 +301,59 @@ impl PowerHierarchy {
         server_power: &[Kilowatts],
         capacity: &CapacityState,
     ) -> PowerAssessment {
-        self.assess_with_scratch(server_power, capacity, &mut HierarchyScratch::default())
+        let mut assessment = PowerAssessment::empty();
+        self.assess_into(
+            server_power,
+            capacity,
+            &mut assessment,
+            &mut HierarchyScratch::default(),
+        );
+        assessment
     }
 
-    /// [`Self::assess`] with caller-provided scratch buffers, avoiding per-step allocation
-    /// of the dense intermediates. All bookkeeping is index-based: rows, PDUs and UPSes are
-    /// stored in id order, so member references resolve by `id.index()` instead of a linear
-    /// search.
+    /// [`Self::assess`] writing into a reusable assessment and caller-provided scratch,
+    /// making the steady-state loop allocation-free. All bookkeeping is index-based: rows,
+    /// PDUs and UPSes are stored in id order, so member references resolve by `id.index()`
+    /// instead of a linear search, and the per-level grids are written by ordinal.
     ///
     /// # Panics
     /// Panics if `server_power` has fewer entries than the layout has servers.
-    #[must_use]
-    pub fn assess_with_scratch(
+    pub fn assess_into(
         &self,
         server_power: &[Kilowatts],
         capacity: &CapacityState,
+        out: &mut PowerAssessment,
         scratch: &mut HierarchyScratch,
-    ) -> PowerAssessment {
-        scratch.row_draw.clear();
-        scratch.pdu_draw.clear();
+    ) {
+        out.rows.resize(self.layout_rows.len(), LevelUtilization::empty());
+        out.pdus.resize(self.layout_pdus.len(), LevelUtilization::empty());
+        out.upses.resize(self.layout_upses.len(), LevelUtilization::empty());
+        out.capping.clear();
         scratch.caps.clear();
         scratch.caps.resize(server_power.len(), 1.0);
 
-        let mut rows = BTreeMap::new();
         for (row_id, servers, budget, _) in &self.layout_rows {
-            debug_assert_eq!(row_id.index(), scratch.row_draw.len(), "rows stored in id order");
             let draw: Kilowatts = servers.iter().map(|s| server_power[s.index()]).sum();
-            scratch.row_draw.push(draw);
-            rows.insert(
-                *row_id,
-                LevelUtilization::new(draw, *budget * capacity.row(*row_id)),
-            );
+            out.rows[*row_id] =
+                LevelUtilization::new(draw, *budget * capacity.row(*row_id));
         }
 
-        let mut pdus = BTreeMap::new();
         for (pdu_id, member_rows, budget, _) in &self.layout_pdus {
-            debug_assert_eq!(pdu_id.index(), scratch.pdu_draw.len(), "pdus stored in id order");
             let draw: Kilowatts =
-                member_rows.iter().map(|r| scratch.row_draw[r.index()]).sum();
-            scratch.pdu_draw.push(draw);
-            pdus.insert(*pdu_id, LevelUtilization::new(draw, *budget));
+                member_rows.iter().map(|r| out.rows[*r].draw).sum();
+            out.pdus[*pdu_id] = LevelUtilization::new(draw, *budget);
         }
 
-        let mut upses = BTreeMap::new();
         let mut dc_draw = Kilowatts::ZERO;
         for (ups_id, member_pdus, budget) in &self.layout_upses {
             let draw: Kilowatts =
-                member_pdus.iter().map(|p| scratch.pdu_draw[p.index()]).sum();
+                member_pdus.iter().map(|p| out.pdus[*p].draw).sum();
             dc_draw += draw;
-            upses.insert(
-                *ups_id,
-                LevelUtilization::new(draw, *budget * capacity.ups(*ups_id)),
-            );
+            out.upses[*ups_id] =
+                LevelUtilization::new(draw, *budget * capacity.ups(*ups_id));
         }
 
-        let datacenter = LevelUtilization::new(
+        out.datacenter = LevelUtilization::new(
             dc_draw,
             self.datacenter_budget * capacity.datacenter_capacity,
         );
@@ -278,13 +368,13 @@ impl PowerHierarchy {
         };
 
         for (row_id, servers, _, _) in &self.layout_rows {
-            let util = &rows[row_id];
+            let util = &out.rows[*row_id];
             if util.is_over_budget() {
                 apply_cap(servers, 1.0 / util.utilization);
             }
         }
         for (pdu_id, member_rows, _, _) in &self.layout_pdus {
-            let util = &pdus[pdu_id];
+            let util = &out.pdus[*pdu_id];
             if util.is_over_budget() {
                 let fraction = 1.0 / util.utilization;
                 for row in member_rows {
@@ -293,7 +383,7 @@ impl PowerHierarchy {
             }
         }
         for (ups_id, member_pdus, _) in &self.layout_upses {
-            let util = &upses[ups_id];
+            let util = &out.upses[*ups_id];
             if util.is_over_budget() {
                 let fraction = 1.0 / util.utilization;
                 for pdu in member_pdus {
@@ -303,33 +393,30 @@ impl PowerHierarchy {
                 }
             }
         }
-        if datacenter.is_over_budget() {
-            let fraction = 1.0 / datacenter.utilization;
+        if out.datacenter.is_over_budget() {
+            let fraction = 1.0 / out.datacenter.utilization;
             for (_, servers, _, _) in &self.layout_rows {
                 apply_cap(servers, fraction);
             }
         }
 
-        let capping: Vec<CappingDirective> = scratch
-            .caps
-            .iter()
-            .enumerate()
-            .filter(|(_, &fraction)| fraction < 1.0)
-            .map(|(index, &power_fraction)| CappingDirective {
-                server: ServerId::new(index),
-                power_fraction,
-            })
-            .collect();
-
-        PowerAssessment { rows, pdus, upses, datacenter, capping }
+        out.capping.extend(
+            scratch
+                .caps
+                .iter()
+                .enumerate()
+                .filter(|(_, &fraction)| fraction < 1.0)
+                .map(|(index, &power_fraction)| CappingDirective {
+                    server: ServerId::new(index),
+                    power_fraction,
+                }),
+        );
     }
 }
 
-/// Reusable dense intermediates for [`PowerHierarchy::assess_with_scratch`].
+/// Reusable dense intermediates for [`PowerHierarchy::assess_into`].
 #[derive(Debug, Default, Clone)]
 pub struct HierarchyScratch {
-    row_draw: Vec<Kilowatts>,
-    pdu_draw: Vec<Kilowatts>,
     caps: Vec<f64>,
 }
 
@@ -367,8 +454,10 @@ mod tests {
             .iter()
             .map(|s| power[s.index()].value())
             .sum();
-        assert!((assessment.rows[&row0].draw.value() - expected).abs() < 1e-9);
+        assert!((assessment.rows[row0].draw.value() - expected).abs() < 1e-9);
         assert!((assessment.peak_row_power().value() - expected).abs() < 1e-9);
+        let per_row: Vec<f64> = assessment.row_power().map(|(_, kw)| kw.value()).collect();
+        assert!((per_row[row0.index()] - expected).abs() < 1e-9);
     }
 
     #[test]
@@ -381,7 +470,10 @@ mod tests {
         }
         let assessment = hierarchy.assess(&power, &CapacityState::healthy());
         assert!(assessment.any_over_budget());
-        assert_eq!(assessment.over_budget_rows(), vec![RowId::new(0)]);
+        assert_eq!(
+            assessment.over_budget_rows().collect::<Vec<_>>(),
+            vec![RowId::new(0)]
+        );
         let capped: Vec<ServerId> = assessment.capping.iter().map(|c| c.server).collect();
         for &s in &layout.rows()[0].servers {
             assert!(capped.contains(&s), "row-0 servers must be capped");
@@ -391,7 +483,7 @@ mod tests {
         }
         // The cap fraction restores the row to its budget.
         let fraction = assessment.capping[0].power_fraction;
-        let row_util = assessment.rows[&RowId::new(0)].utilization;
+        let row_util = assessment.rows[RowId::new(0)].utilization;
         assert!((fraction - 1.0 / row_util).abs() < 1e-9);
         assert!(fraction < 1.0 && fraction > 0.0);
     }
@@ -404,7 +496,8 @@ mod tests {
         let healthy = hierarchy.assess(&power, &CapacityState::healthy());
         assert!(!healthy.any_over_budget());
         let mut degraded_state = CapacityState::healthy();
-        degraded_state.ups_capacity.insert(UpsId::new(0), 0.6);
+        degraded_state.set_ups_capacity(UpsId::new(0), 0.6);
+        assert!(!degraded_state.is_full());
         let degraded = hierarchy.assess(&power, &degraded_state);
         assert!(degraded.any_over_budget());
         // All servers under that UPS (which covers the whole small cluster) are capped.
@@ -417,7 +510,7 @@ mod tests {
         let power = vec![Kilowatts::new(6.0); layout.server_count()];
         let mut state = CapacityState::healthy();
         // Row 0 capacity cut hard, datacenter capacity cut mildly.
-        state.row_capacity.insert(RowId::new(0), 0.5);
+        state.set_row_capacity(RowId::new(0), 0.5);
         state.datacenter_capacity = 0.9;
         let assessment = hierarchy.assess(&power, &state);
         let row0_cap = assessment
@@ -434,10 +527,42 @@ mod tests {
     }
 
     #[test]
+    fn reused_assessment_matches_fresh_one() {
+        let (hierarchy, layout) = hierarchy_and_layout();
+        let mut reused = PowerAssessment::empty();
+        let mut scratch = HierarchyScratch::default();
+        // Alternate between an over-budget and an idle step: the reused grids must track
+        // the fresh result exactly, including shrinking the capping list back to empty.
+        let hot = vec![Kilowatts::new(8.0); layout.server_count()];
+        let idle = vec![Kilowatts::new(1.6); layout.server_count()];
+        for power in [&hot, &idle, &hot, &idle] {
+            hierarchy.assess_into(power, &CapacityState::healthy(), &mut reused, &mut scratch);
+            let fresh = hierarchy.assess(power, &CapacityState::healthy());
+            assert_eq!(reused, fresh);
+        }
+        assert!(reused.capping.is_empty());
+    }
+
+    #[test]
+    fn capacity_state_reset_restores_full_capacity() {
+        let mut state = CapacityState::healthy();
+        state.set_ups_capacity(UpsId::new(1), 0.5);
+        state.set_row_capacity(RowId::new(0), 0.7);
+        state.datacenter_capacity = 0.75;
+        assert!((state.ups(UpsId::new(1)) - 0.5).abs() < 1e-12);
+        assert!((state.ups(UpsId::new(0)) - 1.0).abs() < 1e-12, "untouched ordinal is full");
+        assert!((state.row(RowId::new(0)) - 0.7).abs() < 1e-12);
+        state.reset();
+        assert!(state.is_full());
+        assert!((state.ups(UpsId::new(1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn row_budget_lookup() {
         let (hierarchy, layout) = hierarchy_and_layout();
         let budget = hierarchy.row_budget(RowId::new(0));
         assert_eq!(budget, layout.rows()[0].power_budget);
+        assert_eq!(hierarchy.row_count(), 2);
     }
 
     #[test]

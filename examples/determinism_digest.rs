@@ -1,12 +1,15 @@
-//! Prints an FNV-1a digest of a seeded simulation's serialized report.
+//! Prints FNV-1a digests of a seeded simulation's serialized report and of one serialized
+//! physics-step outcome (the dense telemetry shapes: `TempGrid`, per-level grids).
 //!
 //! CI runs this example twice — once with and once without the `parallel` feature — and
 //! diffs the output: identical digests prove that per-row threaded physics produces
-//! bit-identical results. The layout is sized above the engine's parallel threshold
-//! (256 servers) so the threaded path actually executes when the feature is on and more
-//! than one core is available.
+//! bit-identical results, both in the aggregated report and in the raw per-step telemetry.
+//! The layout is sized above the engine's parallel threshold (256 servers) so the threaded
+//! path actually executes when the feature is on and more than one core is available.
 
 use tapas_repro::prelude::*;
+
+use dc_sim::engine::{StepInput, StepOutcome};
 
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
@@ -23,6 +26,16 @@ fn main() {
     config.layout.aisles = 4;
     config.duration = SimTime::from_hours(4);
     config.step = SimDuration::from_minutes(5);
+
+    // One raw physics step on the same layout: covers the dense telemetry shapes
+    // (`TempGrid`, the per-row/PDU/UPS/aisle ordinal grids, capping directives) that the
+    // report aggregates away.
+    let dc = Datacenter::new(config.layout.build(), config.seed);
+    let input = StepInput::uniform_load(dc.layout(), Celsius::new(33.0), 0.95);
+    let outcome = dc.evaluate(&input);
+    println!("outcome-digest: {:#018x}", outcome_digest(&outcome));
+    println!("throttled-gpus: {}", outcome.throttled_gpu_count());
+
     let report = ClusterSimulator::new(config).run();
     let json = serde_json_digest(&report);
     println!("report-digest: {json:#018x}");
@@ -34,5 +47,10 @@ fn serde_json_digest(report: &RunReport) -> u64 {
     // The report serializes deterministically (shortest-round-trip float formatting), so
     // the digest is stable across runs, builds and feature sets.
     let json = serde_json::to_string(report).expect("serializable report");
+    fnv1a(json.as_bytes())
+}
+
+fn outcome_digest(outcome: &StepOutcome) -> u64 {
+    let json = serde_json::to_string(outcome).expect("serializable outcome");
     fnv1a(json.as_bytes())
 }

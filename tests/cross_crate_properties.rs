@@ -64,7 +64,7 @@ fn capping_fractions_are_valid() {
         let capacity = rng.uniform(0.3, 1.0);
         let mut input = StepInput::uniform_load(dc.layout(), Celsius::new(25.0), load);
         let mut failures = FailureState::healthy();
-        failures.failed_upses.insert(dc_sim::ids::UpsId::new(0), capacity);
+        failures.fail_ups(dc_sim::ids::UpsId::new(0), capacity);
         input.failures = failures;
         let outcome = dc.evaluate(&input);
         for directive in &outcome.power.capping {
