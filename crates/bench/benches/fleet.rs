@@ -1,0 +1,43 @@
+//! Criterion benchmarks for the fleet layer: one steady-state fleet step across four
+//! datacenters (the inner loop of every geo-scheduling experiment) and one full 3-site
+//! fleet smoke run.
+
+use cluster_sim::experiment::{ExperimentConfig, FleetConfig};
+use cluster_sim::fleet::FleetSimulator;
+use criterion::{criterion_group, criterion_main, Criterion};
+use simkit::time::SimTime;
+use std::hint::black_box;
+use tapas::policy::Policy;
+
+fn bench_fleet(c: &mut Criterion) {
+    // Four 80-server datacenters under cycling climates, primed past the initial
+    // placement wave so the measured step is the steady-state loop (route arrivals, step
+    // every cell, refresh signals) with no warm-up allocations left.
+    let mut base = ExperimentConfig::real_cluster_hour(Policy::Tapas);
+    base.duration = SimTime::from_hours(12);
+    let mut sim = FleetSimulator::new(FleetConfig::evaluation(base, 4));
+    sim.step(SimTime::ZERO);
+    sim.step(SimTime::from_minutes(1));
+    let now = SimTime::from_minutes(2);
+    c.bench_function("fleet_step_4_datacenters", |b| {
+        b.iter(|| sim.step(black_box(now)))
+    });
+
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(10);
+    group.bench_function("fleet_smoke_run_3_sites", |b| {
+        b.iter(|| {
+            let mut base = ExperimentConfig::small_smoke_test();
+            base.policy = Policy::Tapas;
+            FleetSimulator::new(FleetConfig::evaluation(base, 3)).run()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fleet
+}
+criterion_main!(benches);

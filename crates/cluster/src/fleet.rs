@@ -1,0 +1,330 @@
+//! The multi-datacenter fleet simulation loop.
+//!
+//! A [`FleetSimulator`] owns N datacenter cells — each a full [`ClusterSimulator`] with
+//! its own layout, climate, weather seed, power hierarchy and local TAPAS control loop —
+//! plus the geo placement stage that splits each step's VM arrivals across sites. One
+//! fleet step performs, in order:
+//!
+//! 1. **Arrival routing** — pop the arrivals due this step from the fleet-wide stream (in
+//!    arrival order) and assign each to a site: pinned, weighted round-robin
+//!    ([`workload::arrivals::WeightedSplitter`]) or TAPAS geo routing
+//!    ([`tapas::geo::GeoPlacement`] over the per-site [`SiteSignals`] refreshed from the
+//!    previous step's telemetry — power headroom, thermal slack, load, emergencies).
+//! 2. **Cell stepping** — advance every cell one step. Cells are independent within a
+//!    step, so with the `parallel` feature they run on scoped threads (the outer
+//!    across-datacenter parallel dimension) with bit-identical results.
+//! 3. **Signal refresh** — summarize each cell's dense telemetry grids into its
+//!    [`SiteSignals`] slot, in fixed site order.
+//!
+//! The steady-state fleet loop allocates no maps: the stream is a `VecDeque`, signals and
+//! routing counters live in pre-sized site-ordinal vectors, and each cell's step loop is
+//! allocation-free per the dense-telemetry contract.
+
+use crate::experiment::{FleetConfig, GeoPolicy};
+use crate::metrics::{FleetReport, RunReport};
+use crate::simulator::ClusterSimulator;
+use simkit::time::{SimClock, SimTime};
+use std::collections::VecDeque;
+use tapas::geo::{GeoPlacement, SiteSignals};
+use workload::arrivals::WeightedSplitter;
+use workload::vm::Vm;
+
+/// The multi-datacenter fleet simulator.
+#[derive(Debug)]
+pub struct FleetSimulator {
+    config: FleetConfig,
+    cells: Vec<ClusterSimulator>,
+    /// Fleet-wide arrival stream, sorted by arrival time.
+    stream: VecDeque<Vm>,
+    /// Per-site signals, refreshed after every step (site ordinal = index).
+    signals: Vec<SiteSignals>,
+    geo: GeoPlacement,
+    splitter: WeightedSplitter,
+    /// VM arrivals routed to each site so far.
+    routed: Vec<u64>,
+    emergency_diversions: u64,
+}
+
+impl FleetSimulator {
+    /// Builds a fleet simulator: one cell per site plus the fleet-wide arrival stream.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`FleetConfig::validate`].
+    #[must_use]
+    pub fn new(config: FleetConfig) -> Self {
+        config.validate();
+        let catalog = config.base.endpoint_catalog();
+        let stream: VecDeque<Vm> =
+            config.base.vm_stream(&catalog, config.arrival_scale).into();
+        let cells: Vec<ClusterSimulator> = (0..config.sites.len())
+            .map(|site| ClusterSimulator::fleet_cell(config.site_experiment(site)))
+            .collect();
+        let signals: Vec<SiteSignals> =
+            cells.iter().map(ClusterSimulator::site_signals).collect();
+        // Shares are only meaningful (and only validated) under round-robin; other
+        // policies get a uniform splitter that is never consulted.
+        let shares: Vec<f64> = if config.geo == GeoPolicy::RoundRobin {
+            config.sites.iter().map(|s| s.arrival_share).collect()
+        } else {
+            vec![1.0; cells.len()]
+        };
+        let routed = vec![0; cells.len()];
+        Self {
+            geo: GeoPlacement::default(),
+            splitter: WeightedSplitter::new(&shares),
+            stream,
+            signals,
+            routed,
+            emergency_diversions: 0,
+            cells,
+            config,
+        }
+    }
+
+    /// The fleet configuration.
+    #[must_use]
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Number of datacenter cells.
+    #[must_use]
+    pub fn site_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The current per-site signals (exposed for tests and examples).
+    #[must_use]
+    pub fn signals(&self) -> &[SiteSignals] {
+        &self.signals
+    }
+
+    /// Advances the whole fleet by one step at simulated time `now`.
+    pub fn step(&mut self, now: SimTime) {
+        // 1. Route this step's arrivals using the signals of the previous step.
+        self.geo.begin_step(self.cells.len());
+        while let Some(front) = self.stream.front() {
+            if front.arrival > now {
+                break;
+            }
+            let vm = self.stream.pop_front().expect("front checked");
+            let site = match self.config.geo {
+                GeoPolicy::Pinned(site) => site,
+                GeoPolicy::RoundRobin => self.splitter.next_site(),
+                GeoPolicy::Headroom => {
+                    let site = self.geo.choose(&self.signals);
+                    if !self.signals[site].in_emergency()
+                        && self.signals.iter().any(SiteSignals::in_emergency)
+                    {
+                        self.emergency_diversions += 1;
+                    }
+                    site
+                }
+            };
+            self.routed[site] += 1;
+            self.cells[site].enqueue(vm);
+        }
+
+        // 2. Step every cell (the outer across-datacenter parallel dimension).
+        step_cells(&mut self.cells, now);
+
+        // 3. Refresh the per-site signals in fixed site order.
+        for (signal, cell) in self.signals.iter_mut().zip(&self.cells) {
+            *signal = cell.site_signals();
+        }
+    }
+
+    /// Runs the whole fleet experiment and returns the fleet report.
+    #[must_use]
+    pub fn run(mut self) -> FleetReport {
+        let mut clock = SimClock::new(self.config.base.step, self.config.base.duration);
+        loop {
+            let now = clock.now();
+            self.step(now);
+            if clock.tick().is_none() {
+                break;
+            }
+        }
+        let sites: Vec<RunReport> =
+            self.cells.into_iter().map(ClusterSimulator::into_report).collect();
+        FleetReport {
+            geo: self.config.geo.label(),
+            site_names: self.config.sites.iter().map(|s| s.name.clone()).collect(),
+            sites,
+            vms_routed: self.routed,
+            emergency_diversions: self.emergency_diversions,
+        }
+    }
+}
+
+/// Steps every cell once. With the `parallel` feature and at least two cells and cores,
+/// cells run on scoped threads; cells are fully independent within a step (routing
+/// happened before, signal refresh happens after, in fixed site order), so the result is
+/// bit-identical to the serial order.
+#[cfg(feature = "parallel")]
+fn step_cells(cells: &mut [ClusterSimulator], now: SimTime) {
+    let threads =
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    if cells.len() < 2 || threads < 2 {
+        for cell in cells {
+            cell.step_at(now);
+        }
+        return;
+    }
+    // Chunk cells across at most `threads` workers so large fleets don't oversubscribe
+    // the scheduler with one thread per datacenter.
+    let chunk = cells.len().div_ceil(threads.min(cells.len()));
+    std::thread::scope(|scope| {
+        for group in cells.chunks_mut(chunk) {
+            scope.spawn(move || {
+                for cell in group {
+                    cell.step_at(now);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(not(feature = "parallel"))]
+fn step_cells(cells: &mut [ClusterSimulator], now: SimTime) {
+    for cell in cells {
+        cell.step_at(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{ExperimentConfig, SiteConfig};
+    use dc_sim::weather::Climate;
+    use simkit::events::EventKind;
+    use tapas::policy::Policy;
+
+    fn smoke_fleet(sites: usize) -> FleetConfig {
+        let mut base = ExperimentConfig::small_smoke_test();
+        base.policy = Policy::Tapas;
+        FleetConfig::evaluation(base, sites)
+    }
+
+    #[test]
+    fn three_site_fleet_smoke_run_records_per_site_metrics() {
+        let report = FleetSimulator::new(smoke_fleet(3)).run();
+        assert_eq!(report.site_count(), 3);
+        assert_eq!(report.geo, "Headroom");
+        for site in &report.sites {
+            assert_eq!(site.max_gpu_temp.len(), 24 + 1);
+            assert!(site.peak_temperature_c() > 20.0);
+        }
+        // The fleet-sized stream spreads across every site.
+        assert!(report.vms_routed.iter().all(|&n| n > 0), "{:?}", report.vms_routed);
+        assert!(report.total_requests_served() > 0);
+        assert!(report.sites.iter().any(|s| s.events.count(EventKind::VmPlaced) > 0));
+    }
+
+    #[test]
+    fn fleet_runs_are_deterministic() {
+        let a = FleetSimulator::new(smoke_fleet(3)).run();
+        let b = FleetSimulator::new(smoke_fleet(3)).run();
+        assert_eq!(a.vms_routed, b.vms_routed);
+        assert_eq!(a.emergency_diversions, b.emergency_diversions);
+        for (site_a, site_b) in a.sites.iter().zip(&b.sites) {
+            assert_eq!(site_a.max_gpu_temp.values(), site_b.max_gpu_temp.values());
+            assert_eq!(site_a.requests_served, site_b.requests_served);
+        }
+        let json_a = serde_json::to_string(&a).expect("serialize");
+        let json_b = serde_json::to_string(&b).expect("serialize");
+        assert_eq!(json_a, json_b, "fleet reports must serialize identically");
+    }
+
+    #[test]
+    fn round_robin_split_follows_the_arrival_shares() {
+        let mut fleet = smoke_fleet(2).with_geo(GeoPolicy::RoundRobin);
+        fleet.sites[0].arrival_share = 3.0;
+        fleet.sites[1].arrival_share = 1.0;
+        let report = FleetSimulator::new(fleet).run();
+        let [a, b] = [report.vms_routed[0], report.vms_routed[1]];
+        assert!(a + b > 0);
+        // Smooth weighted round-robin tracks the 3:1 shares to within one round.
+        assert!(a.abs_diff(3 * b) <= 4, "split {a}:{b} should track 3:1");
+    }
+
+    #[test]
+    fn pinned_geo_routes_everything_to_one_site() {
+        let report =
+            FleetSimulator::new(smoke_fleet(3).with_geo(GeoPolicy::Pinned(1))).run();
+        assert_eq!(report.vms_routed[0], 0);
+        assert_eq!(report.vms_routed[2], 0);
+        assert!(report.vms_routed[1] > 0);
+        // The untouched sites still simulate (idle physics) but serve nothing.
+        assert_eq!(report.sites[0].requests_served, 0);
+        assert!(report.sites[1].requests_served > 0);
+    }
+
+    #[test]
+    fn single_site_fleet_wraps_the_plain_simulator() {
+        let base = ExperimentConfig::small_smoke_test();
+        let fleet = FleetSimulator::new(FleetConfig::single_site(base.clone())).run();
+        let single = ClusterSimulator::new(base).run();
+        assert_eq!(
+            serde_json::to_string(&fleet.sites[0]).expect("serialize"),
+            serde_json::to_string(&single).expect("serialize"),
+            "a 1-site fleet must reproduce the single-datacenter run bit for bit"
+        );
+        assert_eq!(fleet.total_requests_served(), single.requests_served);
+    }
+
+    #[test]
+    fn heterogeneous_site_layouts_are_supported() {
+        let mut fleet = smoke_fleet(2);
+        // Site 1 gets twice the racks of site 0.
+        fleet.sites[1].layout.racks_per_row *= 2;
+        let report = FleetSimulator::new(fleet).run();
+        assert_eq!(report.site_count(), 2);
+        assert!(report.vms_routed[1] > 0);
+    }
+
+    #[test]
+    fn fleet_signals_reflect_site_state_after_a_step() {
+        let mut sim = FleetSimulator::new(smoke_fleet(3));
+        let cold: Vec<u32> = sim.signals().iter().map(|s| s.free_servers).collect();
+        assert!(cold.iter().all(|&f| f == 8), "all sites start fully free: {cold:?}");
+        sim.step(SimTime::ZERO);
+        let signals = sim.signals();
+        assert_eq!(signals.len(), 3);
+        // After the initial placement wave, free capacity dropped somewhere and the
+        // telemetry is live (cold-start signals report zero load).
+        assert!(signals.iter().any(|s| s.free_servers < 8));
+        assert!(signals.iter().all(|s| s.power_headroom_kw > 0.0));
+        assert!(signals.iter().any(|s| s.dc_load > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn empty_fleet_is_rejected() {
+        let _ = FleetSimulator::new(FleetConfig {
+            base: ExperimentConfig::small_smoke_test(),
+            sites: Vec::<SiteConfig>::new(),
+            geo: GeoPolicy::RoundRobin,
+            arrival_scale: 1.0,
+        });
+    }
+
+    #[test]
+    fn distinct_climates_produce_distinct_site_weather() {
+        use dc_sim::weather::WeatherModel;
+        let fleet = smoke_fleet(3);
+        assert_eq!(fleet.sites[0].climate, Climate::hot());
+        assert_eq!(fleet.sites[2].climate, Climate::cold());
+        let mut hot = WeatherModel::new(fleet.sites[0].climate, fleet.sites[0].seed);
+        let mut cold = WeatherModel::new(fleet.sites[2].climate, fleet.sites[2].seed);
+        let hot_mean: f64 = (0..48)
+            .map(|h| hot.outside_temp(SimTime::from_hours(h)).value())
+            .sum::<f64>()
+            / 48.0;
+        let cold_mean: f64 = (0..48)
+            .map(|h| cold.outside_temp(SimTime::from_hours(h)).value())
+            .sum::<f64>()
+            / 48.0;
+        assert!(hot_mean > cold_mean + 10.0);
+    }
+}

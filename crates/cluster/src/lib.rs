@@ -5,12 +5,17 @@
 //! engine (`llm-sim`), the workload generators (`workload`) and the TAPAS policies (`tapas`).
 //!
 //! * [`experiment`] — experiment configuration: cluster size, policy, IaaS/SaaS mix,
-//!   oversubscription level, climate, failure schedule, duration and step.
+//!   oversubscription level, climate, failure schedule, duration and step, plus the
+//!   multi-datacenter [`experiment::FleetConfig`] (per-site layout/climate/seed and the
+//!   geo placement policy).
 //! * [`simulator`] — the step loop: VM arrivals/retirements and placement, endpoint request
 //!   routing, instance configuration, IaaS load replay, physics evaluation, throttling/capping
 //!   bookkeeping and weekly profile refinement.
+//! * [`fleet`] — the fleet step loop: N datacenter cells under distinct climates, with
+//!   geo-aware arrival splitting and an across-datacenter parallel dimension.
 //! * [`metrics`] — per-run report: time series of maximum GPU temperature and peak row power,
-//!   event counts, capped-time fractions, SLO attainment and average result quality.
+//!   event counts, capped-time fractions, SLO attainment and average result quality;
+//!   fleet-wide aggregation in [`metrics::FleetReport`].
 //! * [`placement_study`] — the random-placement study of Fig. 11.
 //! * [`oversubscription`] — the oversubscription sweep of Fig. 21.
 //! * [`emergency`] — the failure-management comparison of Table 2.
@@ -33,11 +38,13 @@
 
 pub mod emergency;
 pub mod experiment;
+pub mod fleet;
 pub mod metrics;
 pub mod oversubscription;
 pub mod placement_study;
 pub mod simulator;
 
-pub use experiment::ExperimentConfig;
-pub use metrics::RunReport;
+pub use experiment::{ExperimentConfig, FleetConfig, GeoPolicy, SiteConfig};
+pub use fleet::FleetSimulator;
+pub use metrics::{FleetReport, RunReport};
 pub use simulator::ClusterSimulator;

@@ -1,4 +1,5 @@
-//! Per-run metrics report.
+//! Per-run metrics reports: one [`RunReport`] per datacenter, aggregated fleet-wide by
+//! [`FleetReport`] (site vectors in site-ordinal order, mirroring the dense-grid contract).
 
 use serde::{Deserialize, Serialize};
 use simkit::events::{EventKind, EventLog};
@@ -154,6 +155,126 @@ impl RunReport {
     }
 }
 
+/// Everything a fleet run records: one full [`RunReport`] per site plus the geo routing
+/// bookkeeping, with fleet-wide aggregates derived on demand.
+///
+/// All per-site vectors are indexed by site ordinal (the order of
+/// [`crate::experiment::FleetConfig::sites`]), so consumers can zip them against the
+/// fleet configuration without any map lookups.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Label of the geo policy that split the arrivals.
+    pub geo: String,
+    /// Site names, by site ordinal.
+    pub site_names: Vec<String>,
+    /// Per-site run reports, by site ordinal.
+    pub sites: Vec<RunReport>,
+    /// VM arrivals routed to each site, by site ordinal.
+    pub vms_routed: Vec<u64>,
+    /// Arrivals steered to a healthy site while at least one site was in a power or
+    /// thermal emergency.
+    pub emergency_diversions: u64,
+}
+
+impl FleetReport {
+    /// Number of sites.
+    #[must_use]
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Total requests served fleet-wide.
+    #[must_use]
+    pub fn total_requests_served(&self) -> u64 {
+        self.sites.iter().map(|s| s.requests_served).sum()
+    }
+
+    /// Total VM arrivals the fleet routed.
+    #[must_use]
+    pub fn total_vms_routed(&self) -> u64 {
+        self.vms_routed.iter().sum()
+    }
+
+    /// Thermal throttle events summed over sites.
+    #[must_use]
+    pub fn thermal_throttle_events(&self) -> usize {
+        self.sites.iter().map(|s| s.events.count(EventKind::ThermalThrottle)).sum()
+    }
+
+    /// Power capping events summed over sites.
+    #[must_use]
+    pub fn power_cap_events(&self) -> usize {
+        self.sites.iter().map(|s| s.events.count(EventKind::PowerCap)).sum()
+    }
+
+    /// Site-minutes spent with at least one power-capped hierarchy level, summed over
+    /// sites.
+    #[must_use]
+    pub fn power_capped_minutes(&self) -> f64 {
+        self.sites
+            .iter()
+            .map(|s| s.power_capped_time_fraction() * s.horizon.as_minutes() as f64)
+            .sum()
+    }
+
+    /// Site-minutes spent with at least one thermally throttled GPU, summed over sites.
+    #[must_use]
+    pub fn thermal_throttled_minutes(&self) -> f64 {
+        self.sites
+            .iter()
+            .map(|s| s.thermal_capped_time_fraction() * s.horizon.as_minutes() as f64)
+            .sum()
+    }
+
+    /// The hottest GPU temperature any site reached.
+    #[must_use]
+    pub fn peak_temperature_c(&self) -> f64 {
+        self.sites.iter().map(RunReport::peak_temperature_c).fold(0.0, f64::max)
+    }
+
+    /// Mean result quality across every request the fleet served.
+    #[must_use]
+    pub fn mean_quality(&self) -> f64 {
+        let count: usize = self.sites.iter().map(|s| s.request_quality.len()).sum();
+        if count == 0 {
+            return 1.0;
+        }
+        let sum: f64 = self
+            .sites
+            .iter()
+            .flat_map(|s| s.request_quality.iter())
+            .sum();
+        sum / count as f64
+    }
+
+    /// Fraction of requests fleet-wide that met the latency SLO.
+    #[must_use]
+    pub fn slo_attainment(&self) -> f64 {
+        let served = self.total_requests_served();
+        if served == 0 {
+            return 1.0;
+        }
+        let violations: u64 = self.sites.iter().map(|s| s.slo_violations).sum();
+        1.0 - violations as f64 / served as f64
+    }
+
+    /// One-line textual summary used by the bench harnesses and examples.
+    #[must_use]
+    pub fn one_liner(&self) -> String {
+        format!(
+            "fleet[{}] geo={:<10} routed={:?} throttle_events={} cap_events={} capped_minutes={:.0} peak_temp={:.1}C quality={:.3}",
+            self.site_count(),
+            self.geo,
+            self.vms_routed,
+            self.thermal_throttle_events(),
+            self.power_cap_events(),
+            self.power_capped_minutes(),
+            self.peak_temperature_c(),
+            self.mean_quality(),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,5 +343,35 @@ mod tests {
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.policy, report.policy);
         assert_eq!(back.requests_served, report.requests_served);
+    }
+
+    #[test]
+    fn fleet_report_aggregates_across_sites() {
+        let fleet = FleetReport {
+            geo: "Headroom".to_string(),
+            site_names: vec!["site0-hot".to_string(), "site1-cold".to_string()],
+            sites: vec![report_with_data(), report_with_data()],
+            vms_routed: vec![3, 5],
+            emergency_diversions: 2,
+        };
+        assert_eq!(fleet.site_count(), 2);
+        assert_eq!(fleet.total_requests_served(), 8);
+        assert_eq!(fleet.total_vms_routed(), 8);
+        assert_eq!(fleet.thermal_throttle_events(), 2);
+        assert_eq!(fleet.power_cap_events(), 0);
+        // Each site: 25 % of a 20-minute horizon throttled -> 5 site-minutes, 10 fleet-wide.
+        assert!((fleet.thermal_throttled_minutes() - 10.0).abs() < 1e-9);
+        assert_eq!(fleet.power_capped_minutes(), 0.0);
+        assert_eq!(fleet.peak_temperature_c(), 63.0);
+        assert!((fleet.mean_quality() - 0.93).abs() < 1e-12);
+        assert!((fleet.slo_attainment() - 0.75).abs() < 1e-12);
+        let line = fleet.one_liner();
+        assert!(line.contains("fleet[2]") && line.contains("Headroom"));
+
+        let json = serde_json::to_string(&fleet).unwrap();
+        let back: FleetReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.site_names, fleet.site_names);
+        assert_eq!(back.vms_routed, fleet.vms_routed);
+        assert_eq!(back.emergency_diversions, 2);
     }
 }

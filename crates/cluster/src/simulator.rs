@@ -33,6 +33,7 @@ use simkit::units::{Celsius, CubicFeetPerMinute, Kilowatts, Watts};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use tapas::configurator::{InstanceConfigurator, InstanceLimits};
+use tapas::geo::SiteSignals;
 use tapas::placement::{
     BaselinePlacement, PlacementPlanner, PlacementRequest, TapasPlacement, VmPlacementPolicy,
 };
@@ -42,7 +43,6 @@ use tapas::routing::{
     RoutingContext, TapasRouter,
 };
 use tapas::state::{ClusterState, VmSlotMap};
-use workload::arrivals::{ArrivalConfig, VmArrivalGenerator};
 use workload::diurnal::DiurnalPattern;
 use workload::endpoints::{EndpointCatalog, EndpointId};
 use workload::iaas::IaasLoadModel;
@@ -282,32 +282,30 @@ pub struct ClusterSimulator {
 }
 
 impl ClusterSimulator {
-    /// Builds a simulator for an experiment configuration.
+    /// Builds a simulator for an experiment configuration, generating its own VM arrival
+    /// stream.
     #[must_use]
     pub fn new(config: ExperimentConfig) -> Self {
+        let catalog = config.endpoint_catalog();
+        let pending: VecDeque<Vm> = config.vm_stream(&catalog, 1.0).into();
+        Self::build(config, catalog, pending)
+    }
+
+    /// Builds a fleet cell: identical to [`Self::new`] except that the arrival queue
+    /// starts empty — the fleet step loop generates the stream once fleet-wide and feeds
+    /// each cell its routed share through [`Self::enqueue`].
+    #[must_use]
+    pub(crate) fn fleet_cell(config: ExperimentConfig) -> Self {
+        let catalog = config.endpoint_catalog();
+        Self::build(config, catalog, VecDeque::new())
+    }
+
+    fn build(config: ExperimentConfig, catalog: EndpointCatalog, pending: VecDeque<Vm>) -> Self {
         let layout = config.layout.build();
         let dc = Datacenter::new(layout, config.seed);
         let profiles = ProfileStore::offline_profiling_shared(&dc, &GpuHardware::a100());
         let state = ClusterState::with_layout(dc.layout());
         let weather = WeatherModel::new(config.climate, config.seed);
-
-        let saas_target =
-            (config.server_count() as f64 * config.initial_occupancy * config.saas_fraction)
-                .round() as usize;
-        let catalog = EndpointCatalog::evaluation(
-            config.endpoint_count.max(1),
-            config.requests_per_vm_per_minute,
-            config.seed,
-        )
-        .scaled_to_total_vms(saas_target.max(config.endpoint_count.max(1)));
-
-        let mut arrival_config = ArrivalConfig::evaluation_week(config.server_count());
-        arrival_config.saas_fraction = config.saas_fraction;
-        arrival_config.initial_population =
-            (config.server_count() as f64 * config.initial_occupancy).round() as usize;
-        arrival_config.horizon = config.duration;
-        let mut generator = VmArrivalGenerator::new(arrival_config, config.seed);
-        let pending: VecDeque<Vm> = generator.generate(&catalog).into();
 
         let iaas_model = IaasLoadModel::new(12, config.seed);
         let mut pattern_rng = SimRng::seed_from(config.seed).derive("endpoint-patterns");
@@ -400,6 +398,49 @@ impl ClusterSimulator {
                 break;
             }
         }
+        self.report
+    }
+
+    /// Queues a fleet-routed VM arrival. Arrivals must be enqueued in the same
+    /// non-decreasing arrival order the fleet stream produces.
+    pub(crate) fn enqueue(&mut self, vm: Vm) {
+        self.pending.push_back(vm);
+    }
+
+    /// Advances the cell by one step (the fleet step loop's per-site entry point).
+    pub(crate) fn step_at(&mut self, now: SimTime) {
+        self.step(now);
+    }
+
+    /// This site's current scheduling signals, summarized from the last step's dense
+    /// telemetry grids. Before the first step (no telemetry yet) the site reports
+    /// cold-start signals: fully free, full row budget as headroom, no emergencies.
+    pub(crate) fn site_signals(&self) -> SiteSignals {
+        let free_servers = self.state.free_count() as u32;
+        if self.report.max_gpu_temp.is_empty() {
+            let provisioned: f64 = self
+                .dc
+                .layout()
+                .rows()
+                .iter()
+                .map(|row| row.power_budget.value())
+                .sum();
+            return SiteSignals::cold_start(free_servers, provisioned);
+        }
+        let outcome = &self.workspace.outcome;
+        SiteSignals {
+            power_headroom_kw: outcome.power.total_row_headroom().value(),
+            worst_power_utilization: outcome.power.worst_level_utilization(),
+            thermal_slack_c: self.report.gpu_throttle_temp_c - outcome.max_gpu_temp().value(),
+            dc_load: outcome.datacenter_load,
+            free_servers,
+            throttled_gpus: outcome.thermal_throttles.len() as u32,
+            capped_servers: outcome.power.capping.len() as u32,
+        }
+    }
+
+    /// Consumes the cell and returns its report (the fleet's end-of-run collection).
+    pub(crate) fn into_report(self) -> RunReport {
         self.report
     }
 

@@ -1,0 +1,260 @@
+//! Geo-aware placement: steering VM arrivals across datacenters.
+//!
+//! TAPAS's thermal/power headroom exploitation compounds across sites: different
+//! datacenters see different outside temperatures, power budgets and load, so a fleet
+//! layer can route each VM arrival to the site with the most thermal and power slack and
+//! shift load away from sites in a power or thermal emergency. This module is the
+//! decision core: it consumes one [`SiteSignals`] per datacenter — a fixed-size summary a
+//! fleet step loop refreshes from the dense per-step telemetry grids — and returns a site
+//! ordinal per arrival. It holds no per-site maps and allocates nothing after
+//! [`GeoPlacement::begin_step`] has sized its per-site scratch once.
+
+use serde::{Deserialize, Serialize};
+
+/// One datacenter's per-step scheduling signals, aggregated from its dense telemetry.
+///
+/// All fields are plain scalars so a fleet can keep one flat `Vec<SiteSignals>` refreshed
+/// in place each step (site ordinal = vector index, mirroring the ordinal-grid contract).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SiteSignals {
+    /// Aggregate unused row power budget (kW), from `PowerAssessment::total_row_headroom`.
+    pub power_headroom_kw: f64,
+    /// Worst utilization across the site's power hierarchy (`> 1.0` means capping).
+    pub worst_power_utilization: f64,
+    /// Margin to the GPU throttle limit (°C): `throttle_temp − max_gpu_temp`. Negative
+    /// while GPUs are throttling.
+    pub thermal_slack_c: f64,
+    /// Normalized datacenter load in `[0, 1]`.
+    pub dc_load: f64,
+    /// Servers currently free to take a VM.
+    pub free_servers: u32,
+    /// GPUs thermally throttled in the last step.
+    pub throttled_gpus: u32,
+    /// Servers power-capped in the last step.
+    pub capped_servers: u32,
+}
+
+impl SiteSignals {
+    /// Signals of a site that has reported no telemetry yet: fully free, no emergencies.
+    #[must_use]
+    pub fn cold_start(free_servers: u32, power_headroom_kw: f64) -> Self {
+        Self {
+            power_headroom_kw,
+            worst_power_utilization: 0.0,
+            thermal_slack_c: 40.0,
+            dc_load: 0.0,
+            free_servers,
+            throttled_gpus: 0,
+            capped_servers: 0,
+        }
+    }
+
+    /// Returns `true` while the site is in a power or thermal emergency: it throttled or
+    /// capped during the last step, or some hierarchy level is at its budget.
+    #[must_use]
+    pub fn in_emergency(&self) -> bool {
+        self.throttled_gpus > 0
+            || self.capped_servers > 0
+            || self.worst_power_utilization >= 1.0
+            || self.thermal_slack_c <= 0.0
+    }
+}
+
+/// Tunable weights of the geo score.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoConfig {
+    /// Weight of the normalized power headroom term.
+    pub power_weight: f64,
+    /// Weight of the normalized thermal-slack term.
+    pub thermal_weight: f64,
+    /// Weight of the current-load penalty.
+    pub load_weight: f64,
+    /// Thermal slack (°C) that counts as "fully comfortable" (slack is normalized by it).
+    pub thermal_slack_scale_c: f64,
+    /// Score penalty applied to sites in emergency (large enough to dominate the other
+    /// terms, so an emergency site is only chosen when every site is in emergency).
+    pub emergency_penalty: f64,
+}
+
+impl Default for GeoConfig {
+    fn default() -> Self {
+        Self {
+            power_weight: 1.0,
+            thermal_weight: 1.0,
+            load_weight: 0.5,
+            thermal_slack_scale_c: 30.0,
+            emergency_penalty: 100.0,
+        }
+    }
+}
+
+/// The headroom-seeking geo router.
+///
+/// Per step, call [`GeoPlacement::begin_step`] once, then [`GeoPlacement::choose`] once per
+/// arrival. Within a step the router spreads a burst by charging each site for the
+/// arrivals already assigned to it (one predicted server each), so a single step's burst
+/// cannot pile onto one site just because its last-telemetry score was best.
+#[derive(Debug, Clone, Default)]
+pub struct GeoPlacement {
+    /// Scoring weights.
+    pub config: GeoConfig,
+    /// Arrivals assigned to each site during the current step.
+    assigned: Vec<u32>,
+}
+
+impl GeoPlacement {
+    /// Creates a router with explicit weights.
+    #[must_use]
+    pub fn new(config: GeoConfig) -> Self {
+        Self { config, assigned: Vec::new() }
+    }
+
+    /// Resets the per-step assignment scratch (sizes it on first use, then reuses it).
+    pub fn begin_step(&mut self, site_count: usize) {
+        self.assigned.resize(site_count, 0);
+        self.assigned.fill(0);
+    }
+
+    /// Picks the site for the next arrival. Deterministic: ties break toward the lowest
+    /// site ordinal. Sites with no free server (after this step's earlier assignments) are
+    /// skipped unless every site is full, in which case the best-scoring site still wins
+    /// (the arrival will queue or be rejected there).
+    ///
+    /// # Panics
+    /// Panics if `signals` is empty or its length differs from the `begin_step` size.
+    #[must_use]
+    pub fn choose(&mut self, signals: &[SiteSignals]) -> usize {
+        assert!(!signals.is_empty(), "geo placement needs at least one site");
+        assert_eq!(signals.len(), self.assigned.len(), "begin_step must size the scratch");
+        let max_headroom = signals
+            .iter()
+            .map(|s| s.power_headroom_kw)
+            .fold(0.0, f64::max)
+            .max(1.0);
+        let any_capacity = signals
+            .iter()
+            .zip(&self.assigned)
+            .any(|(s, &a)| s.free_servers > a);
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for (site, signal) in signals.iter().enumerate() {
+            let assigned = self.assigned[site];
+            let remaining = signal.free_servers.saturating_sub(assigned);
+            if any_capacity && remaining == 0 {
+                continue;
+            }
+            let score = self.score(signal, assigned, max_headroom);
+            if score > best_score {
+                best_score = score;
+                best = site;
+            }
+        }
+        self.assigned[best] += 1;
+        best
+    }
+
+    /// The score of one site (higher is better).
+    fn score(&self, signal: &SiteSignals, assigned: u32, max_headroom: f64) -> f64 {
+        let c = &self.config;
+        let headroom = (signal.power_headroom_kw / max_headroom).clamp(0.0, 1.0);
+        let thermal =
+            (signal.thermal_slack_c / c.thermal_slack_scale_c).clamp(-1.0, 1.0);
+        // Charge the site for arrivals already routed to it this step, relative to its
+        // remaining capacity, so bursts spread across comparable sites.
+        let burst = f64::from(assigned) / f64::from(signal.free_servers.max(1));
+        let mut score = c.power_weight * headroom + c.thermal_weight * thermal
+            - c.load_weight * signal.dc_load
+            - burst;
+        if signal.in_emergency() {
+            score -= c.emergency_penalty;
+        }
+        score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comfortable(headroom: f64, slack: f64, load: f64) -> SiteSignals {
+        SiteSignals {
+            power_headroom_kw: headroom,
+            worst_power_utilization: 0.5,
+            thermal_slack_c: slack,
+            dc_load: load,
+            free_servers: 100,
+            throttled_gpus: 0,
+            capped_servers: 0,
+        }
+    }
+
+    #[test]
+    fn prefers_the_highest_headroom_coolest_site() {
+        let mut geo = GeoPlacement::default();
+        geo.begin_step(3);
+        let signals = [
+            comfortable(50.0, 5.0, 0.9),
+            comfortable(200.0, 15.0, 0.6),
+            comfortable(400.0, 30.0, 0.3),
+        ];
+        assert_eq!(geo.choose(&signals), 2);
+    }
+
+    #[test]
+    fn spreads_bursts_across_comparable_sites() {
+        let mut geo = GeoPlacement::default();
+        geo.begin_step(2);
+        let signals = [comfortable(100.0, 20.0, 0.5), comfortable(100.0, 20.0, 0.5)];
+        let picks: Vec<usize> = (0..6).map(|_| geo.choose(&signals)).collect();
+        assert!(picks.contains(&0) && picks.contains(&1), "burst must spread: {picks:?}");
+    }
+
+    #[test]
+    fn shifts_load_away_from_emergencies() {
+        let mut geo = GeoPlacement::default();
+        geo.begin_step(2);
+        let mut hot = comfortable(500.0, 25.0, 0.2);
+        hot.throttled_gpus = 4;
+        let cool = comfortable(10.0, 3.0, 0.95);
+        // The emergency site loses even though every other term favours it.
+        assert_eq!(geo.choose(&[hot, cool]), 1);
+        // When every site is in emergency, the least-bad one is still chosen.
+        let mut also_bad = cool;
+        also_bad.capped_servers = 2;
+        geo.begin_step(2);
+        assert_eq!(geo.choose(&[hot, also_bad]), 0);
+    }
+
+    #[test]
+    fn skips_full_sites_until_everything_is_full() {
+        let mut geo = GeoPlacement::default();
+        geo.begin_step(2);
+        let mut full = comfortable(500.0, 30.0, 0.1);
+        full.free_servers = 0;
+        let open = comfortable(10.0, 5.0, 0.9);
+        assert_eq!(geo.choose(&[full, open]), 1);
+        let mut also_full = open;
+        also_full.free_servers = 0;
+        geo.begin_step(2);
+        // Everything full: the better-scoring site wins and the arrival queues there.
+        assert_eq!(geo.choose(&[full, also_full]), 0);
+    }
+
+    #[test]
+    fn deterministic_tie_breaks_toward_the_lowest_ordinal() {
+        let mut geo = GeoPlacement::default();
+        geo.begin_step(3);
+        let same = comfortable(100.0, 20.0, 0.5);
+        assert_eq!(geo.choose(&[same, same, same]), 0);
+    }
+
+    #[test]
+    fn cold_start_signals_are_not_emergencies() {
+        let signals = SiteSignals::cold_start(8, 120.0);
+        assert!(!signals.in_emergency());
+        assert_eq!(signals.free_servers, 8);
+        let mut throttling = signals;
+        throttling.thermal_slack_c = -1.0;
+        assert!(throttling.in_emergency());
+    }
+}

@@ -19,13 +19,16 @@
 //!
 //! Supporting modules: [`profiles`] (the offline profiling store the three mechanisms
 //! consult), [`state`] (cluster occupancy bookkeeping), [`emergency`] (cooling/power failure
-//! response), and [`policy`] (the Baseline / Place / Route / Config ablation matrix of §5.2).
+//! response), [`geo`] (the fleet-level site selector that steers VM arrivals across
+//! datacenters by power headroom and thermal slack), and [`policy`] (the Baseline / Place /
+//! Route / Config ablation matrix of §5.2).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod configurator;
 pub mod emergency;
+pub mod geo;
 pub mod placement;
 pub mod policy;
 pub mod profiles;
@@ -34,6 +37,7 @@ pub mod state;
 
 pub use configurator::{ConfigDecision, InstanceConfigurator, InstanceLimits};
 pub use emergency::{EmergencyPlan, EmergencyResponder};
+pub use geo::{GeoConfig, GeoPlacement, SiteSignals};
 pub use placement::{
     BaselinePlacement, PlacementPlanner, PlacementRequest, TapasPlacement, VmPlacementPolicy,
 };

@@ -146,6 +146,28 @@ impl PowerAssessment {
             .filter(|(_, u)| u.is_over_budget())
             .map(|(id, _)| id)
     }
+
+    /// Aggregate unused row budget (over-budget rows contribute zero). This is the
+    /// power-slack signal a fleet layer steers arrivals by.
+    #[must_use]
+    pub fn total_row_headroom(&self) -> Kilowatts {
+        self.rows
+            .values()
+            .map(LevelUtilization::headroom)
+            .fold(Kilowatts::ZERO, |a, b| a + b)
+    }
+
+    /// The worst utilization across every level of the hierarchy (rows, PDU pairs, UPSes
+    /// and the datacenter feed). `> 1.0` means some level is capping.
+    #[must_use]
+    pub fn worst_level_utilization(&self) -> f64 {
+        self.rows
+            .values()
+            .chain(self.pdus.values())
+            .chain(self.upses.values())
+            .map(|u| u.utilization)
+            .fold(self.datacenter.utilization, f64::max)
+    }
 }
 
 /// Capacity scaling applied to hierarchy levels, typically due to failures.
@@ -458,6 +480,33 @@ mod tests {
         assert!((assessment.peak_row_power().value() - expected).abs() < 1e-9);
         let per_row: Vec<f64> = assessment.row_power().map(|(_, kw)| kw.value()).collect();
         assert!((per_row[row0.index()] - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fleet_signal_helpers_aggregate_headroom_and_worst_level() {
+        let (hierarchy, layout) = hierarchy_and_layout();
+        let power = vec![Kilowatts::new(2.0); layout.server_count()];
+        let assessment = hierarchy.assess(&power, &CapacityState::healthy());
+        // Total row headroom = Σ per-row headroom, and matches the per-row accessors.
+        let expected: f64 =
+            assessment.rows.values().map(|u| u.headroom().value()).sum();
+        assert!((assessment.total_row_headroom().value() - expected).abs() < 1e-9);
+        assert!(expected > 0.0);
+        // Worst level is at least the peak row utilization and under budget here.
+        let worst = assessment.worst_level_utilization();
+        assert!(worst >= assessment.peak_row_utilization());
+        assert!(worst < 1.0);
+        // An over-budget row drives both: zero headroom contribution, worst > 1.
+        let hot = vec![Kilowatts::new(6.5); layout.server_count()];
+        let stressed_layout = {
+            let mut cfg = LayoutConfig::small_test_cluster();
+            cfg.row_power_provisioning = 0.5;
+            cfg.build()
+        };
+        let stressed = PowerHierarchy::from_layout(&stressed_layout)
+            .assess(&hot, &CapacityState::healthy());
+        assert!(stressed.worst_level_utilization() > 1.0);
+        assert_eq!(stressed.total_row_headroom().value(), 0.0);
     }
 
     #[test]

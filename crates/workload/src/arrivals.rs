@@ -143,6 +143,62 @@ impl VmArrivalGenerator {
     }
 }
 
+/// Deterministic weighted splitter for partitioning one arrival stream across sites.
+///
+/// Implements smooth weighted round-robin: each call adds every site's weight to its
+/// running credit, picks the site with the highest credit (ties break toward the lowest
+/// index), and charges the winner the total weight. Over any window the assignment counts
+/// track the weights, the sequence is a pure function of the weights (no RNG), and with
+/// equal weights it degenerates to plain round-robin starting at site 0 — the naive
+/// geo-oblivious baseline a headroom-seeking fleet router is compared against.
+#[derive(Debug, Clone)]
+pub struct WeightedSplitter {
+    weights: Vec<f64>,
+    credit: Vec<f64>,
+    total: f64,
+}
+
+impl WeightedSplitter {
+    /// Creates a splitter over per-site weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, any weight is negative or non-finite, or all weights
+    /// are zero.
+    #[must_use]
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "splitter needs at least one site");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "at least one weight must be positive");
+        Self { weights: weights.to_vec(), credit: vec![0.0; weights.len()], total }
+    }
+
+    /// Number of sites the splitter spreads over.
+    #[must_use]
+    pub fn site_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The site receiving the next item.
+    pub fn next_site(&mut self) -> usize {
+        let mut best = 0usize;
+        let mut best_credit = f64::NEG_INFINITY;
+        for (site, (credit, weight)) in self.credit.iter_mut().zip(&self.weights).enumerate()
+        {
+            *credit += *weight;
+            if *credit > best_credit {
+                best_credit = *credit;
+                best = site;
+            }
+        }
+        self.credit[best] -= self.total;
+        best
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,5 +283,40 @@ mod tests {
         let mut a = VmArrivalGenerator::new(config.clone(), 9);
         let mut b = VmArrivalGenerator::new(config, 9);
         assert_eq!(a.generate(&catalog()), b.generate(&catalog()));
+    }
+
+    #[test]
+    fn equal_weights_split_round_robin_from_site_zero() {
+        let mut splitter = WeightedSplitter::new(&[1.0, 1.0, 1.0]);
+        let sites: Vec<usize> = (0..6).map(|_| splitter.next_site()).collect();
+        assert_eq!(sites, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn weighted_split_tracks_the_weights() {
+        let mut splitter = WeightedSplitter::new(&[3.0, 1.0]);
+        let mut counts = [0usize; 2];
+        for _ in 0..4000 {
+            counts[splitter.next_site()] += 1;
+        }
+        assert_eq!(counts, [3000, 1000]);
+        // A zero-weight site never receives anything.
+        let mut skewed = WeightedSplitter::new(&[0.0, 1.0]);
+        assert!((0..100).all(|_| skewed.next_site() == 1));
+    }
+
+    #[test]
+    fn splitter_is_deterministic() {
+        let mut a = WeightedSplitter::new(&[2.0, 1.0, 1.0]);
+        let mut b = WeightedSplitter::new(&[2.0, 1.0, 1.0]);
+        let seq_a: Vec<usize> = (0..64).map(|_| a.next_site()).collect();
+        let seq_b: Vec<usize> = (0..64).map(|_| b.next_site()).collect();
+        assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight must be positive")]
+    fn all_zero_weights_panic() {
+        let _ = WeightedSplitter::new(&[0.0, 0.0]);
     }
 }

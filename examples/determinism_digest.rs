@@ -1,11 +1,14 @@
-//! Prints FNV-1a digests of a seeded simulation's serialized report and of one serialized
-//! physics-step outcome (the dense telemetry shapes: `TempGrid`, per-level grids).
+//! Prints FNV-1a digests of a seeded simulation's serialized report, of one serialized
+//! physics-step outcome (the dense telemetry shapes: `TempGrid`, per-level grids), and of
+//! a 3-datacenter fleet run's serialized `FleetReport`.
 //!
 //! CI runs this example twice — once with and once without the `parallel` feature — and
-//! diffs the output: identical digests prove that per-row threaded physics produces
-//! bit-identical results, both in the aggregated report and in the raw per-step telemetry.
-//! The layout is sized above the engine's parallel threshold (256 servers) so the threaded
-//! path actually executes when the feature is on and more than one core is available.
+//! diffs the output: identical digests prove that per-row threaded physics *and* the
+//! fleet's outer across-datacenter threading produce bit-identical results, both in the
+//! aggregated reports and in the raw per-step telemetry. The single-datacenter layout is
+//! sized above the engine's parallel threshold (256 servers) so the threaded row path
+//! actually executes when the feature is on; the fleet run uses three cells so the outer
+//! dimension dispatches one scoped thread per datacenter.
 
 use tapas_repro::prelude::*;
 
@@ -41,6 +44,17 @@ fn main() {
     println!("report-digest: {json:#018x}");
     println!("requests-served: {}", report.requests_served);
     println!("peak-temp-milli-c: {}", (report.peak_temperature_c() * 1000.0).round());
+
+    // A 3-datacenter fleet under cycling climates: covers the geo routing stage, the
+    // per-site weather/physics seeds and the outer across-datacenter parallel dimension.
+    let mut fleet_base = ExperimentConfig::real_cluster_hour(Policy::Tapas);
+    fleet_base.duration = SimTime::from_hours(3);
+    fleet_base.step = SimDuration::from_minutes(5);
+    let fleet = FleetSimulator::new(FleetConfig::evaluation(fleet_base, 3)).run();
+    let fleet_json = serde_json::to_string(&fleet).expect("serializable fleet report");
+    println!("fleet-digest: {:#018x}", fnv1a(fleet_json.as_bytes()));
+    println!("fleet-vms-routed: {:?}", fleet.vms_routed);
+    println!("fleet-requests-served: {}", fleet.total_requests_served());
 }
 
 fn serde_json_digest(report: &RunReport) -> u64 {

@@ -31,8 +31,9 @@ pub use workload;
 
 /// Commonly used items, re-exported for examples and quick experiments.
 pub mod prelude {
-    pub use cluster_sim::experiment::ExperimentConfig;
-    pub use cluster_sim::metrics::RunReport;
+    pub use cluster_sim::experiment::{ExperimentConfig, FleetConfig, GeoPolicy, SiteConfig};
+    pub use cluster_sim::fleet::FleetSimulator;
+    pub use cluster_sim::metrics::{FleetReport, RunReport};
     pub use cluster_sim::simulator::ClusterSimulator;
     pub use dc_sim::engine::{Datacenter, StepInput};
     pub use dc_sim::failures::FailureSchedule;

@@ -1,0 +1,116 @@
+//! Fleet-layer integration tests: multi-datacenter simulations with per-site climates,
+//! geo-aware arrival splitting, and the equivalences that pin the fleet refactor to the
+//! single-datacenter simulator.
+
+use tapas_repro::prelude::*;
+
+/// A 3-site climate-stressed fleet (hot/temperate/cold copies of the real-cluster row
+/// pair) used for the geo-routing comparisons: load builds from arrivals over one
+/// simulated day while the hot site rides a heatwave, so a geo-oblivious split pushes the
+/// hot site over its thermal limit.
+fn stress_fleet(geo: GeoPolicy) -> FleetConfig {
+    let mut base = ExperimentConfig::real_cluster_hour(Policy::Baseline);
+    base.duration = SimTime::from_hours(24);
+    base.step = SimDuration::from_minutes(10);
+    base.initial_occupancy = 0.15;
+    base.arrivals_per_day = Some(70.0);
+    let mut fleet = FleetConfig::evaluation(base, 3).with_geo(geo);
+    fleet.sites[0].climate.mean_temp_c = 43.0;
+    fleet
+}
+
+/// A 3-site fleet with the geo router pinned to site 0 and the single-datacenter arrival
+/// stream reproduces the plain `ClusterSimulator` run bit for bit on the pinned site,
+/// while the other sites idle.
+#[test]
+fn pinned_three_site_fleet_is_bit_identical_to_the_single_dc_simulation() {
+    let mut fleet_config = FleetConfig::evaluation(ExperimentConfig::small_smoke_test(), 3)
+        .with_geo(GeoPolicy::Pinned(0));
+    fleet_config.arrival_scale = 1.0;
+    let single_config = fleet_config.site_experiment(0);
+
+    let fleet = FleetSimulator::new(fleet_config).run();
+    let single = ClusterSimulator::new(single_config).run();
+
+    let fleet_site = serde_json::to_string(&fleet.sites[0]).expect("serialize");
+    let single_run = serde_json::to_string(&single).expect("serialize");
+    assert_eq!(fleet_site, single_run, "pinned site must reproduce the single-DC run");
+    assert_eq!(fleet.vms_routed[1], 0);
+    assert_eq!(fleet.vms_routed[2], 0);
+    assert_eq!(fleet.sites[1].requests_served, 0);
+}
+
+/// The unpinned geo router shifts VM arrivals toward the coolest / highest-headroom site:
+/// under a hot/temperate/cold spread the cold site must receive more VMs than the hot one.
+#[test]
+fn geo_router_shifts_load_toward_the_coolest_site() {
+    let report = FleetSimulator::new(stress_fleet(GeoPolicy::Headroom)).run();
+    let routed = &report.vms_routed;
+    assert!(
+        routed[2] > routed[0],
+        "cold site should out-receive the hot site: routed {routed:?}"
+    );
+    assert!(routed.iter().sum::<u64>() > 0);
+}
+
+/// Geo routing must beat the naive round-robin split on at least one recorded stress
+/// metric (thermal throttling or power capping) without sacrificing the others.
+#[test]
+fn geo_routing_beats_round_robin_under_climate_stress() {
+    let geo = FleetSimulator::new(stress_fleet(GeoPolicy::Headroom)).run();
+    let rr = FleetSimulator::new(stress_fleet(GeoPolicy::RoundRobin)).run();
+
+    let geo_stress = [
+        geo.thermal_throttled_minutes(),
+        geo.power_capped_minutes(),
+        geo.thermal_throttle_events() as f64,
+        geo.power_cap_events() as f64,
+    ];
+    let rr_stress = [
+        rr.thermal_throttled_minutes(),
+        rr.power_capped_minutes(),
+        rr.thermal_throttle_events() as f64,
+        rr.power_cap_events() as f64,
+    ];
+    assert!(
+        geo_stress.iter().zip(&rr_stress).any(|(g, r)| g < r),
+        "geo routing should strictly improve a stress metric: geo {geo_stress:?} vs rr {rr_stress:?}"
+    );
+    assert!(
+        geo_stress.iter().zip(&rr_stress).all(|(g, r)| g <= r),
+        "geo routing must not worsen a stress metric: geo {geo_stress:?} vs rr {rr_stress:?}"
+    );
+    // The fleet still serves comparable traffic while dodging the stress.
+    assert!(geo.total_requests_served() > 0 && rr.total_requests_served() > 0);
+    assert!(geo.mean_quality() >= rr.mean_quality() - 0.05);
+}
+
+/// Per-site climates flow through the fleet config into genuinely diverging
+/// outside-temperature traces (distinct presets and weather seeds per site).
+#[test]
+fn site_outside_temperature_traces_diverge() {
+    use tapas_repro::dc_sim::weather::WeatherModel;
+    let fleet = stress_fleet(GeoPolicy::Headroom);
+    let mut traces: Vec<Vec<f64>> = fleet
+        .sites
+        .iter()
+        .map(|site| {
+            let mut weather = WeatherModel::new(site.climate, site.seed);
+            (0..72)
+                .map(|h| weather.outside_temp(SimTime::from_hours(h)).value())
+                .collect()
+        })
+        .collect();
+    // Pairwise distinct traces.
+    for i in 0..traces.len() {
+        for j in (i + 1)..traces.len() {
+            assert_ne!(traces[i], traces[j], "sites {i} and {j} share a weather trace");
+        }
+    }
+    // And the climates order the means: hot > temperate > cold.
+    let means: Vec<f64> = traces
+        .iter_mut()
+        .map(|t| t.iter().sum::<f64>() / t.len() as f64)
+        .collect();
+    assert!(means[0] > means[1] && means[1] > means[2], "means {means:?}");
+}
