@@ -1,7 +1,14 @@
 //! Experiment configuration: single-datacenter runs ([`ExperimentConfig`]) and
 //! multi-datacenter fleets ([`FleetConfig`], one [`SiteConfig`] per datacenter plus the
 //! [`GeoPolicy`] that splits VM arrivals across them).
+//!
+//! Scenario diversity (heatwaves, grid-price curves, failures, demand surges) does not
+//! live in config fields: experiments *compose* a [`crate::scenario::Scenario`] and the
+//! simulators resolve it into dense per-step inputs. Validation across the whole surface
+//! is typed — [`ExperimentConfig::validate`] and [`FleetConfig::check`] return
+//! [`ScenarioError`] instead of panicking.
 
+use crate::scenario::{ResolvedTimeline, Scenario, ScenarioError};
 use dc_sim::failures::FailureSchedule;
 use dc_sim::topology::LayoutConfig;
 use dc_sim::weather::Climate;
@@ -38,15 +45,24 @@ pub struct ExperimentConfig {
     /// day; arrival-driven scenarios (e.g. fleet geo-routing studies) raise it so load
     /// builds over the horizon instead of arriving entirely at time zero.
     pub arrivals_per_day: Option<f64>,
-    /// Infrastructure failures to inject.
+    /// Infrastructure failures to inject. Legacy shortcut kept for pinned artifacts: the
+    /// windows merge into the resolved scenario timeline, so `failures` and
+    /// `scenario` failure events behave identically. New code should prefer
+    /// [`Scenario`] events (site-targetable, validated).
     pub failures: FailureSchedule,
+    /// The typed event timeline this experiment runs under (weather episodes,
+    /// grid-price curves, failures, demand shaping). The default empty scenario
+    /// reproduces the pre-scenario behaviour bit for bit. For fleets this is shared
+    /// fleet-wide with per-site targeting; [`FleetConfig::site_experiment`] hands each
+    /// cell its single-site view.
+    pub scenario: Scenario,
     /// Random seed (drives weather, arrivals, request shapes and per-entity offsets).
     pub seed: u64,
 }
 
 // Hand-written (the other configs use the derive) so experiment artifacts serialized
-// before `arrivals_per_day` existed still load: the vendored derive rejects a missing
-// key, but this field must default to `None` for backward compatibility.
+// before `arrivals_per_day` / `scenario` existed still load: the vendored derive rejects
+// a missing key, but these fields must default for backward compatibility.
 impl Deserialize for ExperimentConfig {
     fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
         Ok(Self {
@@ -66,6 +82,10 @@ impl Deserialize for ExperimentConfig {
                 Err(_) => None,
             },
             failures: Deserialize::from_value(value.get("failures")?)?,
+            scenario: match value.get("scenario") {
+                Ok(field) => Deserialize::from_value(field)?,
+                Err(_) => Scenario::default(),
+            },
             seed: Deserialize::from_value(value.get("seed")?)?,
         })
     }
@@ -88,6 +108,7 @@ impl ExperimentConfig {
             initial_occupancy: 0.9,
             arrivals_per_day: None,
             failures: FailureSchedule::none(),
+            scenario: Scenario::default(),
             seed: 42,
         }
     }
@@ -108,6 +129,7 @@ impl ExperimentConfig {
             initial_occupancy: 0.95,
             arrivals_per_day: None,
             failures: FailureSchedule::none(),
+            scenario: Scenario::default(),
             seed: 7,
         }
     }
@@ -128,6 +150,7 @@ impl ExperimentConfig {
             initial_occupancy: 0.92,
             arrivals_per_day: None,
             failures: FailureSchedule::none(),
+            scenario: Scenario::default(),
             seed: 11,
         }
     }
@@ -148,6 +171,7 @@ impl ExperimentConfig {
             initial_occupancy: 0.92,
             arrivals_per_day: None,
             failures: FailureSchedule::none(),
+            scenario: Scenario::default(),
             seed: 13,
         }
     }
@@ -157,6 +181,94 @@ impl ExperimentConfig {
     pub fn with_saas_fraction(mut self, fraction: f64) -> Self {
         self.saas_fraction = fraction.clamp(0.0, 1.0);
         self
+    }
+
+    /// Sets the scheduling policy under test.
+    #[must_use]
+    pub fn with_policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the regional climate.
+    #[must_use]
+    pub fn with_climate(mut self, climate: Climate) -> Self {
+        self.climate = climate;
+        self
+    }
+
+    /// Sets the simulated horizon.
+    #[must_use]
+    pub fn with_duration(mut self, duration: SimTime) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Sets the step length.
+    #[must_use]
+    pub fn with_step(mut self, step: SimDuration) -> Self {
+        self.step = step;
+        self
+    }
+
+    /// Sets the random seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the fraction of servers occupied at time zero.
+    #[must_use]
+    pub fn with_initial_occupancy(mut self, occupancy: f64) -> Self {
+        self.initial_occupancy = occupancy.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Overrides the mean additional VM arrivals per day (see
+    /// [`Self::arrivals_per_day`]).
+    #[must_use]
+    pub fn with_arrivals_per_day(mut self, rate: f64) -> Self {
+        self.arrivals_per_day = Some(rate);
+        self
+    }
+
+    /// Sets the legacy failure schedule (prefer scenario failure events; both merge into
+    /// the same resolved timeline).
+    #[must_use]
+    pub fn with_failures(mut self, failures: FailureSchedule) -> Self {
+        self.failures = failures;
+        self
+    }
+
+    /// Composes a scenario into the experiment.
+    #[must_use]
+    pub fn with_scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = scenario;
+        self
+    }
+
+    /// Validates the configuration's scenario (a standalone experiment is site 0 of a
+    /// 1-site fleet, but site-targeted events are allowed here because the config may be
+    /// the shared base of a larger fleet — [`FleetConfig::check`] bounds them).
+    ///
+    /// # Errors
+    /// Returns the first violated event invariant as a [`ScenarioError`].
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        self.scenario.validate_events()
+    }
+
+    /// Resolves the composed scenario (and the legacy failure schedule it subsumes) into
+    /// the dense per-step timeline this experiment runs under, viewed as site 0.
+    #[must_use]
+    pub fn resolved_timeline(&self) -> ResolvedTimeline {
+        self.scenario.resolve(
+            0,
+            self.duration,
+            self.step,
+            self.endpoint_count.max(1),
+            &self.failures,
+        )
     }
 
     /// Adds extra servers beyond the provisioned budgets to model oversubscription (Fig. 21):
@@ -180,9 +292,14 @@ impl ExperimentConfig {
         self.layout.server_count()
     }
 
-    /// The SaaS endpoint catalog this configuration implies. Shared by the
-    /// single-datacenter simulator and the fleet-level arrival stream so both draw the
-    /// same endpoints.
+    /// The SaaS endpoint catalog this configuration implies.
+    ///
+    /// **This is the single shared generation path**: the single-datacenter simulator,
+    /// the fleet-level arrival stream and any external tooling must all obtain their
+    /// catalog here (and their VM stream from [`Self::vm_stream`] over it) so every
+    /// consumer draws the same endpoints in the same order. Building a catalog any other
+    /// way forfeits the pinned-fleet/single-DC equivalence; [`Self::vm_stream`] debug-asserts
+    /// the catalog shape to catch drift.
     #[must_use]
     pub fn endpoint_catalog(&self) -> EndpointCatalog {
         let saas_target =
@@ -200,9 +317,20 @@ impl ExperimentConfig {
     /// process), scaled by `scale` for fleets of several sites. `scale = 1.0` reproduces
     /// the single-datacenter stream bit for bit, which is what keeps a pinned 1-site fleet
     /// digest-identical to [`crate::simulator::ClusterSimulator`].
+    ///
+    /// Together with [`Self::endpoint_catalog`] this is the single shared
+    /// workload-generation path — `catalog` must come from that method on the *same*
+    /// configuration (replayed external traces enter through
+    /// [`crate::simulator::ClusterSimulator::with_arrivals`] instead).
     #[must_use]
     pub fn vm_stream(&self, catalog: &EndpointCatalog, scale: f64) -> Vec<Vm> {
         assert!(scale > 0.0, "arrival scale must be positive");
+        debug_assert_eq!(
+            catalog.len(),
+            self.endpoint_count.max(1),
+            "vm_stream must be fed the catalog produced by endpoint_catalog() on this \
+             configuration — it is the single shared generation path"
+        );
         let mut arrival_config = ArrivalConfig::evaluation_week(self.server_count());
         arrival_config.saas_fraction = self.saas_fraction;
         arrival_config.initial_population =
@@ -349,44 +477,86 @@ impl FleetConfig {
         self.sites.len()
     }
 
-    /// The full [`ExperimentConfig`] of one site: the base with the site's layout, climate
-    /// and seed substituted.
+    /// The full [`ExperimentConfig`] of one site: the base with the site's layout,
+    /// climate and seed substituted, and the fleet scenario reduced to the site's view
+    /// ([`Scenario::for_site`] — events targeting other sites are dropped).
     ///
     /// # Panics
     /// Panics if `site` is out of range.
     #[must_use]
     pub fn site_experiment(&self, site: usize) -> ExperimentConfig {
+        let ordinal = site;
         let site = &self.sites[site];
         let mut config = self.base.clone();
         config.layout = site.layout.clone();
         config.climate = site.climate;
         config.seed = site.seed;
+        config.scenario = self.base.scenario.for_site(ordinal);
         config
     }
 
-    /// Validates the cross-field invariants the simulator relies on.
+    /// Validates the cross-field invariants the simulator relies on: at least one site, a
+    /// positive arrival scale, an in-range pinned site, valid arrival shares under
+    /// [`GeoPolicy::RoundRobin`] (the only policy that consumes them), and the composed
+    /// scenario's event and site-range invariants.
     ///
-    /// # Panics
-    /// Panics if there are no sites, a pinned site is out of range, the arrival scale is
-    /// not positive, or — under [`GeoPolicy::RoundRobin`], the only policy that consumes
-    /// arrival shares — any share is negative or non-finite, or every share is zero.
-    pub fn validate(&self) {
-        assert!(!self.sites.is_empty(), "a fleet needs at least one site");
-        assert!(self.arrival_scale > 0.0, "arrival scale must be positive");
+    /// # Errors
+    /// Returns the first violated invariant as a [`ScenarioError`] — the single typed
+    /// validation path for the whole experiment surface.
+    pub fn check(&self) -> Result<(), ScenarioError> {
+        if self.sites.is_empty() {
+            return Err(ScenarioError::NoSites);
+        }
+        // NaN must fail too, so test the accepting range rather than its negation.
+        if self.arrival_scale.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(ScenarioError::NonPositiveArrivalScale { scale: self.arrival_scale });
+        }
         if let GeoPolicy::Pinned(site) = self.geo {
-            assert!(site < self.sites.len(), "pinned site {site} out of range");
+            if site >= self.sites.len() {
+                return Err(ScenarioError::PinnedSiteOutOfRange {
+                    site,
+                    sites: self.sites.len(),
+                });
+            }
         }
         if self.geo == GeoPolicy::RoundRobin {
-            assert!(
-                self.sites
-                    .iter()
-                    .all(|s| s.arrival_share.is_finite() && s.arrival_share >= 0.0),
-                "arrival shares must be finite and non-negative"
-            );
-            assert!(
-                self.sites.iter().any(|s| s.arrival_share > 0.0),
-                "at least one site must have a positive arrival share"
-            );
+            for (site, config) in self.sites.iter().enumerate() {
+                if !config.arrival_share.is_finite() || config.arrival_share < 0.0 {
+                    return Err(ScenarioError::InvalidArrivalShare {
+                        site,
+                        share: config.arrival_share,
+                    });
+                }
+            }
+            if !self.sites.iter().any(|s| s.arrival_share > 0.0) {
+                return Err(ScenarioError::NoPositiveArrivalShare);
+            }
+        }
+        self.base.scenario.validate(self.sites.len())
+    }
+
+    /// The dense per-step timeline one site runs under: the site view of the fleet
+    /// scenario resolved against the base duration/step (used e.g. to price a site's
+    /// power series via [`crate::scenario::energy_cost_usd`]).
+    ///
+    /// # Panics
+    /// Panics if `site` is out of range.
+    #[must_use]
+    pub fn site_timeline(&self, site: usize) -> ResolvedTimeline {
+        self.site_experiment(site).resolved_timeline()
+    }
+
+    /// Deprecated panicking validation, forwarding to [`Self::check`].
+    ///
+    /// # Panics
+    /// Panics with the [`ScenarioError`]'s message if the configuration is invalid.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `check()`, which returns a typed `ScenarioError` instead of panicking"
+    )]
+    pub fn validate(&self) {
+        if let Err(error) = self.check() {
+            panic!("{error}");
         }
     }
 }
@@ -414,7 +584,7 @@ mod tests {
     #[test]
     fn evaluation_fleet_cycles_climates_with_distinct_seeds() {
         let fleet = FleetConfig::evaluation(ExperimentConfig::small_smoke_test(), 4);
-        fleet.validate();
+        fleet.check().expect("evaluation preset is valid");
         assert_eq!(fleet.site_count(), 4);
         assert_eq!(fleet.geo, GeoPolicy::Headroom);
         assert_eq!(fleet.arrival_scale, 4.0);
@@ -441,7 +611,7 @@ mod tests {
     fn single_site_fleet_mirrors_the_base() {
         let base = ExperimentConfig::real_cluster_hour(Policy::Tapas);
         let fleet = FleetConfig::single_site(base.clone());
-        fleet.validate();
+        fleet.check().expect("single-site preset is valid");
         assert_eq!(fleet.site_count(), 1);
         assert_eq!(fleet.geo, GeoPolicy::Pinned(0));
         assert_eq!(fleet.arrival_scale, 1.0);
@@ -449,11 +619,40 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
     fn pinned_site_out_of_range_fails_validation() {
+        let error = FleetConfig::single_site(ExperimentConfig::small_smoke_test())
+            .with_geo(GeoPolicy::Pinned(3))
+            .check()
+            .unwrap_err();
+        assert_eq!(error, ScenarioError::PinnedSiteOutOfRange { site: 3, sites: 1 });
+        assert!(error.to_string().contains("out of range"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    #[allow(deprecated)]
+    fn deprecated_validate_forwards_to_check_and_panics() {
         FleetConfig::single_site(ExperimentConfig::small_smoke_test())
             .with_geo(GeoPolicy::Pinned(3))
             .validate();
+    }
+
+    #[test]
+    fn fleet_check_bounds_scenario_site_targets() {
+        let mut fleet = FleetConfig::evaluation(ExperimentConfig::small_smoke_test(), 2);
+        fleet.base.scenario = Scenario::builder()
+            .grid_price(5, SimTime::ZERO, SimTime::from_hours(1), 200.0)
+            .build()
+            .expect("event invariants hold");
+        assert_eq!(
+            fleet.check().unwrap_err(),
+            ScenarioError::SiteOutOfRange { event: 0, site: 5, sites: 2 }
+        );
+        fleet.base.scenario = Scenario::builder()
+            .grid_price(1, SimTime::ZERO, SimTime::from_hours(1), 200.0)
+            .build()
+            .expect("event invariants hold");
+        fleet.check().expect("in-range target is valid");
     }
 
     #[test]
@@ -470,29 +669,109 @@ mod tests {
     fn configs_serialized_before_the_arrivals_field_still_deserialize() {
         let config = ExperimentConfig::small_smoke_test();
         let json = serde_json::to_string(&config).expect("serialize");
-        // A pre-fleet-layer artifact has no `arrivals_per_day` key at all.
-        let legacy = json.replace("\"arrivals_per_day\":null,", "");
-        assert_ne!(legacy, json, "test must actually strip the field");
+        // A pre-fleet-layer artifact has no `arrivals_per_day` key at all, and a
+        // pre-scenario artifact no `scenario` key either.
+        let legacy = json
+            .replace("\"arrivals_per_day\":null,", "")
+            .replace(&format!("\"scenario\":{},", scenario_json(&config.scenario)), "");
+        assert_ne!(legacy, json, "test must actually strip the fields");
+        assert!(!legacy.contains("scenario"), "scenario key must be stripped");
         let back: ExperimentConfig = serde_json::from_str(&legacy).expect("deserialize");
         assert_eq!(back, config);
     }
 
+    fn scenario_json(scenario: &Scenario) -> String {
+        serde_json::to_string(scenario).expect("serialize scenario")
+    }
+
     #[test]
-    #[should_panic(expected = "finite and non-negative")]
+    fn with_builders_compose_a_full_experiment() {
+        let scenario = Scenario::builder()
+            .heatwave(0..1, 6.0)
+            .build()
+            .expect("valid scenario");
+        let config = ExperimentConfig::small_smoke_test()
+            .with_policy(Policy::Tapas)
+            .with_climate(Climate::cold())
+            .with_duration(SimTime::from_hours(6))
+            .with_step(SimDuration::from_minutes(10))
+            .with_seed(99)
+            .with_initial_occupancy(0.4)
+            .with_arrivals_per_day(12.0)
+            .with_scenario(scenario.clone());
+        assert_eq!(config.policy, Policy::Tapas);
+        assert_eq!(config.climate, Climate::cold());
+        assert_eq!(config.duration, SimTime::from_hours(6));
+        assert_eq!(config.step, SimDuration::from_minutes(10));
+        assert_eq!(config.seed, 99);
+        assert_eq!(config.initial_occupancy, 0.4);
+        assert_eq!(config.arrivals_per_day, Some(12.0));
+        assert_eq!(config.scenario, scenario);
+        config.validate().expect("valid config");
+        // Occupancy is clamped like the saas fraction.
+        assert_eq!(
+            ExperimentConfig::small_smoke_test().with_initial_occupancy(1.7).initial_occupancy,
+            1.0
+        );
+    }
+
+    #[test]
+    fn site_experiment_reduces_the_scenario_to_the_site_view() {
+        let mut fleet = FleetConfig::evaluation(ExperimentConfig::small_smoke_test(), 3);
+        fleet.base.scenario = Scenario::builder()
+            .heatwave(0..1, 5.0)
+            .grid_price(1, SimTime::ZERO, SimTime::from_hours(1), 250.0)
+            .build()
+            .expect("valid scenario");
+        fleet.check().expect("valid fleet");
+        assert_eq!(fleet.site_experiment(0).scenario.events.len(), 1);
+        assert_eq!(fleet.site_experiment(1).scenario.events.len(), 2);
+        assert!(fleet
+            .site_experiment(1)
+            .scenario
+            .events
+            .iter()
+            .all(|e| e.site() == crate::scenario::SiteSelector::All));
+    }
+
+    #[test]
+    fn legacy_failures_and_scenario_events_merge_in_the_resolved_timeline() {
+        let start = SimTime::from_minutes(30);
+        let end = SimTime::from_minutes(90);
+        let config = ExperimentConfig::small_smoke_test()
+            .with_failures(FailureSchedule::none().with_power_emergency(start, end))
+            .with_scenario(Scenario::thermal_emergency(start, end));
+        let timeline = config.resolved_timeline();
+        assert_eq!(timeline.failures().windows().len(), 2);
+        let state = timeline.failures().state_at(SimTime::from_minutes(60));
+        assert!((state.global_cooling_fraction - 0.9).abs() < 1e-12);
+        assert_eq!(state.failed_upses().len(), 1);
+    }
+
+    #[test]
     fn negative_arrival_share_fails_round_robin_validation() {
         let mut fleet = FleetConfig::evaluation(ExperimentConfig::small_smoke_test(), 2)
             .with_geo(GeoPolicy::RoundRobin);
         fleet.sites[0].arrival_share = -1.0;
-        fleet.validate();
+        let error = fleet.check().unwrap_err();
+        assert_eq!(error, ScenarioError::InvalidArrivalShare { site: 0, share: -1.0 });
+        assert!(error.to_string().contains("finite and non-negative"));
     }
 
     #[test]
-    #[should_panic(expected = "finite and non-negative")]
     fn nan_arrival_share_fails_round_robin_validation() {
         let mut fleet = FleetConfig::evaluation(ExperimentConfig::small_smoke_test(), 2)
             .with_geo(GeoPolicy::RoundRobin);
         fleet.sites[1].arrival_share = f64::NAN;
-        fleet.validate();
+        assert!(matches!(
+            fleet.check().unwrap_err(),
+            ScenarioError::InvalidArrivalShare { site: 1, .. }
+        ));
+        fleet.sites[1].arrival_share = 1.0;
+        fleet.sites[0].arrival_share = 0.0;
+        fleet.check().expect("one positive share is enough");
+        fleet.sites[1].arrival_share = 0.0;
+        assert_eq!(fleet.check().unwrap_err(), ScenarioError::NoPositiveArrivalShare);
     }
 
     #[test]
@@ -502,8 +781,8 @@ mod tests {
         for site in &mut fleet.sites {
             site.arrival_share = 0.0;
         }
-        fleet.validate();
-        fleet.clone().with_geo(GeoPolicy::Pinned(0)).validate();
+        fleet.check().expect("headroom ignores shares");
+        fleet.clone().with_geo(GeoPolicy::Pinned(0)).check().expect("pinned ignores shares");
     }
 
     #[test]

@@ -5,11 +5,14 @@
 //! plus the geo placement stage that splits each step's VM arrivals across sites. One
 //! fleet step performs, in order:
 //!
+//! 0. **Price injection** — write each site's exogenous grid price for this step (dense
+//!    per-site curves resolved once from the scenario) into its [`SiteSignals`] slot.
 //! 1. **Arrival routing** — pop the arrivals due this step from the fleet-wide stream (in
 //!    arrival order) and assign each to a site: pinned, weighted round-robin
 //!    ([`workload::arrivals::WeightedSplitter`]) or TAPAS geo routing
 //!    ([`tapas::geo::GeoPlacement`] over the per-site [`SiteSignals`] refreshed from the
-//!    previous step's telemetry — power headroom, thermal slack, load, emergencies).
+//!    previous step's telemetry — power headroom, thermal slack, load, emergencies — plus
+//!    the current step's grid price, weighed across the fleet's price spread).
 //! 2. **Cell stepping** — advance every cell one step. Cells are independent within a
 //!    step, so with the `parallel` feature they run on scoped threads (the outer
 //!    across-datacenter parallel dimension) with bit-identical results.
@@ -49,18 +52,23 @@ impl FleetSimulator {
     /// Builds a fleet simulator: one cell per site plus the fleet-wide arrival stream.
     ///
     /// # Panics
-    /// Panics if the configuration fails [`FleetConfig::validate`].
+    /// Panics if the configuration fails [`FleetConfig::check`].
     #[must_use]
     pub fn new(config: FleetConfig) -> Self {
-        config.validate();
+        config.check().unwrap_or_else(|error| panic!("{error}"));
         let catalog = config.base.endpoint_catalog();
         let stream: VecDeque<Vm> =
             config.base.vm_stream(&catalog, config.arrival_scale).into();
         let cells: Vec<ClusterSimulator> = (0..config.sites.len())
             .map(|site| ClusterSimulator::fleet_cell(config.site_experiment(site)))
             .collect();
-        let signals: Vec<SiteSignals> =
+        // Each cell already resolved its site view of the scenario into a dense
+        // timeline; grid prices are read from there rather than resolved a second time.
+        let mut signals: Vec<SiteSignals> =
             cells.iter().map(ClusterSimulator::site_signals).collect();
+        for (signal, cell) in signals.iter_mut().zip(&cells) {
+            signal.grid_price_per_mwh = cell.timeline().grid_price_at(SimTime::ZERO);
+        }
         // Shares are only meaningful (and only validated) under round-robin; other
         // policies get a uniform splitter that is never consulted.
         let shares: Vec<f64> = if config.geo == GeoPolicy::RoundRobin {
@@ -101,6 +109,15 @@ impl FleetSimulator {
 
     /// Advances the whole fleet by one step at simulated time `now`.
     pub fn step(&mut self, now: SimTime) {
+        // 0. Inject the step's exogenous grid prices from the cells' resolved timelines
+        //    (telemetry fields keep the values of the previous step). With a
+        //    price-event-free scenario every site pays the base price, the router's
+        //    price spread is zero, and routing is bit-identical to a fleet without the
+        //    price signal.
+        for (signal, cell) in self.signals.iter_mut().zip(&self.cells) {
+            signal.grid_price_per_mwh = cell.timeline().grid_price_at(now);
+        }
+
         // 1. Route this step's arrivals using the signals of the previous step.
         self.geo.begin_step(self.cells.len());
         while let Some(front) = self.stream.front() {
@@ -128,9 +145,11 @@ impl FleetSimulator {
         // 2. Step every cell (the outer across-datacenter parallel dimension).
         step_cells(&mut self.cells, now);
 
-        // 3. Refresh the per-site signals in fixed site order.
+        // 3. Refresh the per-site signals in fixed site order. Cells report price-less
+        //    telemetry; the step's exogenous price is re-read from the timelines.
         for (signal, cell) in self.signals.iter_mut().zip(&self.cells) {
             *signal = cell.site_signals();
+            signal.grid_price_per_mwh = cell.timeline().grid_price_at(now);
         }
     }
 

@@ -5,9 +5,13 @@
 //! engine (`llm-sim`), the workload generators (`workload`) and the TAPAS policies (`tapas`).
 //!
 //! * [`experiment`] — experiment configuration: cluster size, policy, IaaS/SaaS mix,
-//!   oversubscription level, climate, failure schedule, duration and step, plus the
-//!   multi-datacenter [`experiment::FleetConfig`] (per-site layout/climate/seed and the
-//!   geo placement policy).
+//!   oversubscription level, climate, duration and step, plus the multi-datacenter
+//!   [`experiment::FleetConfig`] (per-site layout/climate/seed and the geo placement
+//!   policy). Configurations compose a [`scenario::Scenario`] for everything episodic.
+//! * [`scenario`] — the typed, time-indexed event timeline (weather episodes, grid-price
+//!   curves, infrastructure failures, demand shaping) with per-site targeting, a fluent
+//!   [`scenario::ScenarioBuilder`], typed [`scenario::ScenarioError`] validation, and
+//!   dense per-step resolution ([`scenario::ResolvedTimeline`]).
 //! * [`simulator`] — the step loop: VM arrivals/retirements and placement, endpoint request
 //!   routing, instance configuration, IaaS load replay, physics evaluation, throttling/capping
 //!   bookkeeping and weekly profile refinement.
@@ -42,9 +46,13 @@ pub mod fleet;
 pub mod metrics;
 pub mod oversubscription;
 pub mod placement_study;
+pub mod scenario;
 pub mod simulator;
 
 pub use experiment::{ExperimentConfig, FleetConfig, GeoPolicy, SiteConfig};
 pub use fleet::FleetSimulator;
 pub use metrics::{FleetReport, RunReport};
+pub use scenario::{
+    ResolvedTimeline, Scenario, ScenarioBuilder, ScenarioError, ScenarioEvent, SiteSelector,
+};
 pub use simulator::ClusterSimulator;

@@ -21,6 +21,7 @@
 
 use crate::experiment::ExperimentConfig;
 use crate::metrics::RunReport;
+use crate::scenario::ResolvedTimeline;
 use dc_sim::engine::{Datacenter, StepInput, StepWorkspace};
 use dc_sim::weather::WeatherModel;
 use llm_sim::config::InstanceConfig;
@@ -248,6 +249,9 @@ fn profile_figures(profiles: &ProfileStore, config: &InstanceConfig) -> (f64, f6
 #[derive(Debug)]
 pub struct ClusterSimulator {
     config: ExperimentConfig,
+    /// The config's scenario resolved once into dense per-step vectors (weather overlay,
+    /// demand multipliers, merged failure schedule); the step loop only indexes it.
+    timeline: ResolvedTimeline,
     dc: Datacenter,
     profiles: Arc<ProfileStore>,
     state: ClusterState,
@@ -284,6 +288,10 @@ pub struct ClusterSimulator {
 impl ClusterSimulator {
     /// Builds a simulator for an experiment configuration, generating its own VM arrival
     /// stream.
+    ///
+    /// # Panics
+    /// Panics with the [`crate::scenario::ScenarioError`]'s message if the composed
+    /// scenario fails [`ExperimentConfig::validate`].
     #[must_use]
     pub fn new(config: ExperimentConfig) -> Self {
         let catalog = config.endpoint_catalog();
@@ -300,7 +308,30 @@ impl ClusterSimulator {
         Self::build(config, catalog, VecDeque::new())
     }
 
+    /// Builds a simulator that replays an externally supplied VM arrival trace instead
+    /// of generating one — the trace-ingestion hook for real workloads. `arrivals` must
+    /// be sorted by non-decreasing arrival time (the order
+    /// [`ExperimentConfig::vm_stream`] produces).
+    ///
+    /// # Panics
+    /// Panics with the [`crate::scenario::ScenarioError`]'s message if the composed
+    /// scenario fails [`ExperimentConfig::validate`].
+    #[must_use]
+    pub fn with_arrivals(config: ExperimentConfig, arrivals: Vec<Vm>) -> Self {
+        debug_assert!(
+            arrivals.windows(2).all(|pair| pair[0].arrival <= pair[1].arrival),
+            "replayed arrival traces must be sorted by arrival time"
+        );
+        let catalog = config.endpoint_catalog();
+        Self::build(config, catalog, arrivals.into())
+    }
+
     fn build(config: ExperimentConfig, catalog: EndpointCatalog, pending: VecDeque<Vm>) -> Self {
+        // Scenarios reach here from three entry points (generated stream, replayed
+        // trace, fleet cell); deserialized or hand-mutated ones may have skipped
+        // `ScenarioBuilder::build`, so the event invariants are (re-)checked before
+        // resolution can bake e.g. a NaN delta into the dense timeline.
+        config.validate().unwrap_or_else(|error| panic!("{error}"));
         let layout = config.layout.build();
         let dc = Datacenter::new(layout, config.seed);
         let profiles = ProfileStore::offline_profiling_shared(&dc, &GpuHardware::a100());
@@ -344,7 +375,9 @@ impl ClusterSimulator {
             PreparedRoutingContext::new(&routing_context, &router_tapas.config, &profiles);
         let step_input = StepInput::idle(dc.layout(), Celsius::new(20.0));
         let workspace = StepWorkspace::for_topology(Arc::clone(dc.topology()));
+        let timeline = config.resolved_timeline();
         Self {
+            timeline,
             rng: SimRng::seed_from(config.seed).derive("cluster-sim"),
             profiles,
             state,
@@ -436,12 +469,20 @@ impl ClusterSimulator {
             free_servers,
             throttled_gpus: outcome.thermal_throttles.len() as u32,
             capped_servers: outcome.power.capping.len() as u32,
+            // Grid price is exogenous (scenario-resolved); the fleet injects it.
+            grid_price_per_mwh: 0.0,
         }
     }
 
     /// Consumes the cell and returns its report (the fleet's end-of-run collection).
     pub(crate) fn into_report(self) -> RunReport {
         self.report
+    }
+
+    /// The cell's resolved scenario timeline (the fleet reads per-site grid prices from
+    /// here instead of resolving the scenario a second time).
+    pub(crate) fn timeline(&self) -> &ResolvedTimeline {
+        &self.timeline
     }
 
     /// Predicted peak mean-GPU load for a VM (from the customer's or endpoint's history).
@@ -551,7 +592,11 @@ impl ClusterSimulator {
 
         for endpoint in self.catalog.endpoints() {
             let pattern = &self.endpoint_patterns[endpoint.id.0 as usize];
-            let rate_per_minute = endpoint.peak_requests_per_minute * pattern.load_at(now);
+            // Scenario demand shaping: surges/ramps multiply the diurnal rate (the
+            // neutral multiplier 1.0 leaves the legacy rate bit-identical).
+            let rate_per_minute = endpoint.peak_requests_per_minute
+                * pattern.load_at(now)
+                * self.timeline.demand_scale_at(now, endpoint.id);
             let total_requests = rate_per_minute * step_minutes;
             if total_requests <= 0.0 {
                 continue;
@@ -798,7 +843,11 @@ impl ClusterSimulator {
 
     /// One simulation step.
     fn step(&mut self, now: SimTime) {
-        let outside = self.weather.outside_temp(now);
+        // Scenario weather episodes overlay the climate trace additively (the neutral
+        // offset 0.0 leaves the legacy trace bit-identical).
+        let outside = Celsius::new(
+            self.weather.outside_temp(now).value() + self.timeline.temp_offset_at(now),
+        );
         self.retire_vms(now);
         self.place_pending_vms(now);
         self.route_requests(now, outside);
@@ -806,7 +855,9 @@ impl ClusterSimulator {
 
         self.fill_activity(now);
         self.step_input.outside_temp = outside;
-        self.config.failures.state_into(now, &mut self.step_input.failures);
+        // The resolved timeline's schedule merges the legacy config windows with the
+        // scenario's failure events.
+        self.timeline.failures().state_into(now, &mut self.step_input.failures);
         self.dc.evaluate_into(&self.step_input, &mut self.workspace);
         let outcome = &self.workspace.outcome;
 
@@ -966,6 +1017,126 @@ mod tests {
         // cluster, or at least be recorded as events if load is high enough; the run must in
         // any case complete and keep recording.
         assert_eq!(report.max_gpu_temp.len(), 25);
+    }
+
+    #[test]
+    fn out_of_window_scenario_events_do_not_change_the_run() {
+        use crate::scenario::Scenario;
+        let plain = ClusterSimulator::new(ExperimentConfig::small_smoke_test()).run();
+        // Events entirely beyond the 2-hour horizon resolve to nothing.
+        let scenario = Scenario::builder()
+            .heatwave(1..2, 10.0)
+            .surge(SimTime::from_hours(30), SimTime::from_hours(31), 3.0)
+            .build()
+            .expect("valid scenario");
+        let staged = ClusterSimulator::new(
+            ExperimentConfig::small_smoke_test().with_scenario(scenario),
+        )
+        .run();
+        assert_eq!(
+            serde_json::to_string(&plain).expect("serialize"),
+            serde_json::to_string(&staged).expect("serialize"),
+            "inactive scenario events must leave the run bit-identical"
+        );
+    }
+
+    #[test]
+    fn scenario_failures_behave_exactly_like_the_legacy_schedule() {
+        use crate::scenario::Scenario;
+        let start = SimTime::from_minutes(30);
+        let end = SimTime::from_minutes(90);
+        let legacy = ClusterSimulator::new(
+            ExperimentConfig::small_smoke_test().with_failures(
+                dc_sim::failures::FailureSchedule::none().with_power_emergency(start, end),
+            ),
+        )
+        .run();
+        let scenario = ClusterSimulator::new(
+            ExperimentConfig::small_smoke_test()
+                .with_scenario(Scenario::power_emergency(start, end)),
+        )
+        .run();
+        assert_eq!(
+            serde_json::to_string(&legacy).expect("serialize"),
+            serde_json::to_string(&scenario).expect("serialize"),
+            "a scenario failure event must reproduce the legacy schedule bit for bit"
+        );
+    }
+
+    #[test]
+    fn heatwave_overlay_raises_the_temperature_trace() {
+        use crate::scenario::Scenario;
+        let plain = ClusterSimulator::new(ExperimentConfig::small_smoke_test()).run();
+        let heatwave = Scenario::builder()
+            .weather(
+                crate::scenario::SiteSelector::All,
+                SimTime::ZERO,
+                SimTime::from_hours(2),
+                12.0,
+            )
+            .build()
+            .expect("valid scenario");
+        let hot = ClusterSimulator::new(
+            ExperimentConfig::small_smoke_test().with_scenario(heatwave),
+        )
+        .run();
+        assert!(
+            hot.peak_temperature_c() > plain.peak_temperature_c() + 2.0,
+            "heatwave {} vs plain {}",
+            hot.peak_temperature_c(),
+            plain.peak_temperature_c()
+        );
+    }
+
+    #[test]
+    fn surge_scales_served_request_volume() {
+        use crate::scenario::Scenario;
+        let plain = ClusterSimulator::new(ExperimentConfig::small_smoke_test()).run();
+        let surge = Scenario::builder()
+            .surge(SimTime::ZERO, SimTime::from_hours(2), 2.0)
+            .build()
+            .expect("valid scenario");
+        let surged = ClusterSimulator::new(
+            ExperimentConfig::small_smoke_test().with_scenario(surge),
+        )
+        .run();
+        assert!(
+            surged.requests_served as f64 > plain.requests_served as f64 * 1.5,
+            "surge {} vs plain {}",
+            surged.requests_served,
+            plain.requests_served
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "demand multiplier")]
+    fn invalid_hand_built_scenarios_are_rejected_at_build() {
+        use crate::scenario::{ScenarioEvent, SiteSelector};
+        // Mutating the public events field bypasses ScenarioBuilder::build, so the
+        // simulator re-checks the invariants before resolving the timeline.
+        let mut config = ExperimentConfig::small_smoke_test();
+        config.scenario.events.push(ScenarioEvent::Surge {
+            site: SiteSelector::All,
+            start: SimTime::ZERO,
+            end: SimTime::from_hours(1),
+            endpoint: None,
+            multiplier: 0.0,
+        });
+        let _ = ClusterSimulator::new(config);
+    }
+
+    #[test]
+    fn replaying_the_generated_trace_reproduces_the_run() {
+        let config = ExperimentConfig::small_smoke_test();
+        let catalog = config.endpoint_catalog();
+        let trace = config.vm_stream(&catalog, 1.0);
+        let replayed = ClusterSimulator::with_arrivals(config.clone(), trace).run();
+        let generated = ClusterSimulator::new(config).run();
+        assert_eq!(
+            serde_json::to_string(&replayed).expect("serialize"),
+            serde_json::to_string(&generated).expect("serialize"),
+            "replaying the generated trace must be bit-identical to generating it"
+        );
     }
 
     #[test]

@@ -32,6 +32,11 @@ pub struct SiteSignals {
     pub throttled_gpus: u32,
     /// Servers power-capped in the last step.
     pub capped_servers: u32,
+    /// Grid energy price the site currently pays ($/MWh). Exogenous: a fleet layer
+    /// refreshes it from its scenario's price timeline, not from telemetry. Sites with
+    /// equal prices score identically on the price term, so fleets without price
+    /// diversity behave exactly as if the term did not exist.
+    pub grid_price_per_mwh: f64,
 }
 
 impl SiteSignals {
@@ -46,6 +51,7 @@ impl SiteSignals {
             free_servers,
             throttled_gpus: 0,
             capped_servers: 0,
+            grid_price_per_mwh: 0.0,
         }
     }
 
@@ -71,6 +77,11 @@ pub struct GeoConfig {
     pub load_weight: f64,
     /// Thermal slack (°C) that counts as "fully comfortable" (slack is normalized by it).
     pub thermal_slack_scale_c: f64,
+    /// Weight of the grid-price penalty. The penalty is the price normalized across the
+    /// fleet's current min–max price spread, so it only engages when sites actually pay
+    /// different prices — a fleet with uniform prices scores bit-identically to one with
+    /// no price signal at all.
+    pub price_weight: f64,
     /// Score penalty applied to sites in emergency (large enough to dominate the other
     /// terms, so an emergency site is only chosen when every site is in emergency).
     pub emergency_penalty: f64,
@@ -83,6 +94,7 @@ impl Default for GeoConfig {
             thermal_weight: 1.0,
             load_weight: 0.5,
             thermal_slack_scale_c: 30.0,
+            price_weight: 0.75,
             emergency_penalty: 100.0,
         }
     }
@@ -131,6 +143,18 @@ impl GeoPlacement {
             .map(|s| s.power_headroom_kw)
             .fold(0.0, f64::max)
             .max(1.0);
+        // The price term normalizes over the fleet's current price spread: with uniform
+        // prices the spread is zero and the term vanishes entirely, keeping price-less
+        // fleets bit-identical to the pre-price scoring.
+        let min_price = signals
+            .iter()
+            .map(|s| s.grid_price_per_mwh)
+            .fold(f64::INFINITY, f64::min);
+        let price_span = signals
+            .iter()
+            .map(|s| s.grid_price_per_mwh)
+            .fold(f64::NEG_INFINITY, f64::max)
+            - min_price;
         let any_capacity = signals
             .iter()
             .zip(&self.assigned)
@@ -143,7 +167,11 @@ impl GeoPlacement {
             if any_capacity && remaining == 0 {
                 continue;
             }
-            let score = self.score(signal, assigned, max_headroom);
+            let mut score = self.score(signal, assigned, max_headroom);
+            if price_span > 0.0 {
+                score -= self.config.price_weight
+                    * ((signal.grid_price_per_mwh - min_price) / price_span);
+            }
             if score > best_score {
                 best_score = score;
                 best = site;
@@ -185,6 +213,7 @@ mod tests {
             free_servers: 100,
             throttled_gpus: 0,
             capped_servers: 0,
+            grid_price_per_mwh: 0.0,
         }
     }
 
@@ -246,6 +275,47 @@ mod tests {
         geo.begin_step(3);
         let same = comfortable(100.0, 20.0, 0.5);
         assert_eq!(geo.choose(&[same, same, same]), 0);
+    }
+
+    #[test]
+    fn price_spread_steers_away_from_the_expensive_site() {
+        let mut geo = GeoPlacement::default();
+        geo.begin_step(2);
+        let mut expensive = comfortable(100.0, 20.0, 0.5);
+        expensive.grid_price_per_mwh = 300.0;
+        let mut cheap = comfortable(100.0, 20.0, 0.5);
+        cheap.grid_price_per_mwh = 40.0;
+        assert_eq!(geo.choose(&[expensive, cheap]), 1);
+        // The penalty is bounded: an expensive site with far more slack still wins.
+        let mut roomy = comfortable(400.0, 30.0, 0.1);
+        roomy.grid_price_per_mwh = 300.0;
+        let mut cramped = comfortable(10.0, 2.0, 0.95);
+        cramped.grid_price_per_mwh = 40.0;
+        geo.begin_step(2);
+        assert_eq!(geo.choose(&[roomy, cramped]), 0);
+    }
+
+    #[test]
+    fn uniform_prices_do_not_change_the_choice() {
+        // Equal prices collapse the spread to zero: scores (and therefore picks) are
+        // exactly those of a fleet with no price signal at all.
+        let signals = [
+            comfortable(50.0, 5.0, 0.9),
+            comfortable(200.0, 15.0, 0.6),
+            comfortable(400.0, 30.0, 0.3),
+        ];
+        let mut priced = signals;
+        for s in &mut priced {
+            s.grid_price_per_mwh = 120.0;
+        }
+        let mut geo = GeoPlacement::default();
+        for _ in 0..3 {
+            geo.begin_step(3);
+            let plain: Vec<usize> = (0..5).map(|_| geo.choose(&signals)).collect();
+            geo.begin_step(3);
+            let with_price: Vec<usize> = (0..5).map(|_| geo.choose(&priced)).collect();
+            assert_eq!(plain, with_price);
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Prints FNV-1a digests of a seeded simulation's serialized report, of one serialized
-//! physics-step outcome (the dense telemetry shapes: `TempGrid`, per-level grids), and of
-//! a 3-datacenter fleet run's serialized `FleetReport`.
+//! physics-step outcome (the dense telemetry shapes: `TempGrid`, per-level grids), of a
+//! 3-datacenter fleet run's serialized `FleetReport`, and of a scenario-driven fleet run
+//! (heatwave + UPS failure + grid-price spike composed via `ScenarioBuilder`).
 //!
 //! CI runs this example twice — once with and once without the `parallel` feature — and
 //! diffs the output: identical digests prove that per-row threaded physics *and* the
@@ -47,14 +48,38 @@ fn main() {
 
     // A 3-datacenter fleet under cycling climates: covers the geo routing stage, the
     // per-site weather/physics seeds and the outer across-datacenter parallel dimension.
-    let mut fleet_base = ExperimentConfig::real_cluster_hour(Policy::Tapas);
-    fleet_base.duration = SimTime::from_hours(3);
-    fleet_base.step = SimDuration::from_minutes(5);
-    let fleet = FleetSimulator::new(FleetConfig::evaluation(fleet_base, 3)).run();
+    let fleet_base = ExperimentConfig::real_cluster_hour(Policy::Tapas)
+        .with_duration(SimTime::from_hours(3))
+        .with_step(SimDuration::from_minutes(5));
+    let fleet = FleetSimulator::new(FleetConfig::evaluation(fleet_base.clone(), 3)).run();
     let fleet_json = serde_json::to_string(&fleet).expect("serializable fleet report");
     println!("fleet-digest: {:#018x}", fnv1a(fleet_json.as_bytes()));
     println!("fleet-vms-routed: {:?}", fleet.vms_routed);
     println!("fleet-requests-served: {}", fleet.total_requests_served());
+
+    // The same fleet under a composed scenario (heatwave + UPS failure + price spike):
+    // covers dense scenario resolution, the weather overlay and demand-shaping paths in
+    // every cell, and the price term of the geo score — all of which must also be
+    // bit-identical across feature builds.
+    let scenario = Scenario::builder()
+        .weather(0, SimTime::ZERO, SimTime::from_hours(3), 12.0)
+        .grid_price_spike(0, SimTime::ZERO, SimTime::from_hours(3), 320.0)
+        .fail_ups(1, SimTime::from_hours(1), SimTime::from_hours(2), 0.75)
+        .surge(SimTime::ZERO, SimTime::from_hours(2), 1.5)
+        .build()
+        .expect("valid digest scenario");
+    let scenario_fleet = FleetSimulator::new(
+        FleetConfig::evaluation(fleet_base.with_scenario(scenario), 3),
+    )
+    .run();
+    let scenario_json =
+        serde_json::to_string(&scenario_fleet).expect("serializable fleet report");
+    println!("scenario-fleet-digest: {:#018x}", fnv1a(scenario_json.as_bytes()));
+    println!("scenario-fleet-vms-routed: {:?}", scenario_fleet.vms_routed);
+    println!(
+        "scenario-fleet-requests-served: {}",
+        scenario_fleet.total_requests_served()
+    );
 }
 
 fn serde_json_digest(report: &RunReport) -> u64 {

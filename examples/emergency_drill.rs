@@ -23,13 +23,16 @@ fn main() {
     println!("  thermal emergency— Baseline: IaaS {:.0} %, SaaS {:.0} % perf", table.thermal_baseline.iaas_perf_pct, table.thermal_baseline.saas_perf_pct);
     println!("  thermal emergency— TAPAS   : IaaS {:.0} % perf, SaaS quality {:.0} %", table.thermal_tapas.iaas_perf_pct, table.thermal_tapas.saas_quality_pct);
 
-    // Part 2: end-to-end simulation with the failure window injected mid-run.
+    // Part 2: end-to-end simulation with the failure window injected mid-run, composed
+    // through the scenario API (`Scenario::power_emergency` is the Table 2 preset).
     println!("\nEnd-to-end replay with a power emergency from hour 6 to hour 9:");
     for policy in [Policy::Baseline, Policy::Tapas] {
-        let mut config = ExperimentConfig::medium(policy);
-        config.duration = SimTime::from_hours(12);
-        config.failures = FailureSchedule::none()
-            .with_power_emergency(SimTime::from_hours(6), SimTime::from_hours(9));
+        let config = ExperimentConfig::medium(policy)
+            .with_duration(SimTime::from_hours(12))
+            .with_scenario(Scenario::power_emergency(
+                SimTime::from_hours(6),
+                SimTime::from_hours(9),
+            ));
         let report = ClusterSimulator::new(config).run();
         println!(
             "  {:<10} power-capped {:6.2} % of the time, thermal-capped {:6.2} %, quality {:.3}",

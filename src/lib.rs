@@ -34,6 +34,10 @@ pub mod prelude {
     pub use cluster_sim::experiment::{ExperimentConfig, FleetConfig, GeoPolicy, SiteConfig};
     pub use cluster_sim::fleet::FleetSimulator;
     pub use cluster_sim::metrics::{FleetReport, RunReport};
+    pub use cluster_sim::scenario::{
+        energy_cost_usd, fleet_energy_cost_usd, ResolvedTimeline, Scenario, ScenarioBuilder,
+        ScenarioError, ScenarioEvent, SiteSelector,
+    };
     pub use cluster_sim::simulator::ClusterSimulator;
     pub use dc_sim::engine::{Datacenter, StepInput};
     pub use dc_sim::failures::FailureSchedule;
