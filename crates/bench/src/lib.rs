@@ -15,6 +15,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod snapshot;
+
 use serde::Serialize;
 use std::path::PathBuf;
 
@@ -48,26 +50,31 @@ pub fn print_table(title: &str, rows: &[(String, String)]) {
     }
 }
 
-/// Where JSON results are written (`<workspace>/results/`). Falls back to the current
-/// directory if the workspace root cannot be located.
+/// The workspace root (the nearest ancestor whose `Cargo.toml` declares `[workspace]`).
+/// Falls back to the current directory if none is found.
 #[must_use]
-pub fn results_dir() -> PathBuf {
-    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
-    // Walk up until a Cargo.toml containing [workspace] is found.
+pub fn workspace_root() -> PathBuf {
+    let dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
     let mut probe = dir.clone();
     for _ in 0..5 {
         let manifest = probe.join("Cargo.toml");
         if let Ok(contents) = std::fs::read_to_string(&manifest) {
             if contents.contains("[workspace]") {
-                dir = probe.clone();
-                break;
+                return probe;
             }
         }
         if !probe.pop() {
             break;
         }
     }
-    dir.join("results")
+    dir
+}
+
+/// Where JSON results are written (`<workspace>/results/`). Falls back to the current
+/// directory if the workspace root cannot be located.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    workspace_root().join("results")
 }
 
 /// Serializes `value` to `results/<name>.json`. Failures are reported but not fatal, so the

@@ -1,0 +1,222 @@
+//! Bench snapshot tooling: parse `CRITERION_OUT` result lines, merge best-of-N runs, and
+//! maintain the `BENCH_router.json` baseline document.
+//!
+//! The vendored criterion harness appends one JSON line per benchmark to the file named
+//! by the `CRITERION_OUT` environment variable. The `bench_snapshot` binary drives the
+//! benches N times, merges each benchmark's best (smallest) min/median across runs —
+//! best-of-N is the right estimator on the shared 1-vCPU reference box, where any single
+//! run can be inflated by a noisy neighbour — and records the result as a named section
+//! of `BENCH_router.json`, or compares it against a recorded section (the CI soft
+//! perf-regression check: warn, don't fail).
+
+use serde::Value;
+
+/// One benchmark's measurement (per-iteration nanoseconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark name as criterion reports it (group benches are `group/name`).
+    pub name: String,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+}
+
+/// Parses the JSON lines a `CRITERION_OUT` run appended. Unparseable lines are skipped
+/// (the file only ever receives criterion's own output, but a crashed run can truncate).
+#[must_use]
+pub fn parse_criterion_out(contents: &str) -> Vec<BenchResult> {
+    contents
+        .lines()
+        .filter_map(|line| {
+            let value: Value = serde_json::from_str(line.trim()).ok()?;
+            Some(BenchResult {
+                name: String::from_value(value.get("name").ok()?).ok()?,
+                min_ns: f64::from_value(value.get("min_ns").ok()?).ok()?,
+                median_ns: f64::from_value(value.get("median_ns").ok()?).ok()?,
+            })
+        })
+        .collect()
+}
+
+/// Merges several runs' results into one best-of-N list: per benchmark name (first-seen
+/// order), the smallest `min_ns` and the smallest `median_ns` across runs.
+#[must_use]
+pub fn merge_best(runs: &[Vec<BenchResult>]) -> Vec<BenchResult> {
+    let mut merged: Vec<BenchResult> = Vec::new();
+    for result in runs.iter().flatten() {
+        match merged.iter_mut().find(|m| m.name == result.name) {
+            Some(best) => {
+                best.min_ns = best.min_ns.min(result.min_ns);
+                best.median_ns = best.median_ns.min(result.median_ns);
+            }
+            None => merged.push(result.clone()),
+        }
+    }
+    merged
+}
+
+/// Renders merged results as a `BENCH_router.json` section value: an ordered map of
+/// benchmark name → `{min_ns, median_ns}`, optionally preceded by a `note`.
+#[must_use]
+pub fn section_value(results: &[BenchResult], note: Option<&str>) -> Value {
+    let mut entries: Vec<(String, Value)> = Vec::new();
+    if let Some(note) = note {
+        entries.push((String::from("note"), Value::Str(note.to_string())));
+    }
+    for result in results {
+        entries.push((
+            result.name.clone(),
+            Value::Map(vec![
+                (String::from("min_ns"), Value::F64(round1(result.min_ns))),
+                (String::from("median_ns"), Value::F64(round1(result.median_ns))),
+            ]),
+        ));
+    }
+    Value::Map(entries)
+}
+
+fn round1(value: f64) -> f64 {
+    (value * 10.0).round() / 10.0
+}
+
+/// Inserts or replaces a named section in the baseline document, preserving the order of
+/// existing keys (a replaced section stays where it was; a new one is appended).
+///
+/// # Errors
+/// Returns an error if the document is not a JSON map.
+pub fn upsert_section(document: &mut Value, section: &str, value: Value) -> Result<(), String> {
+    let Value::Map(entries) = document else {
+        return Err(format!("baseline document must be a JSON map, got {}", document.kind()));
+    };
+    match entries.iter_mut().find(|(key, _)| key == section) {
+        Some((_, existing)) => *existing = value,
+        None => entries.push((section.to_string(), value)),
+    }
+    Ok(())
+}
+
+/// One soft-check finding: a benchmark whose current best min exceeds the recorded min
+/// by more than the tolerance factor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Benchmark name.
+    pub name: String,
+    /// Recorded baseline min (ns).
+    pub recorded_min_ns: f64,
+    /// Current best min (ns).
+    pub current_min_ns: f64,
+    /// `current / recorded`.
+    pub ratio: f64,
+}
+
+/// Compares current results against a recorded section with a generous tolerance factor
+/// (noise on the shared reference box dwarfs real small regressions; this check exists
+/// to catch order-of-magnitude mistakes, not percent drift). Benchmarks missing from the
+/// recorded section are ignored.
+#[must_use]
+pub fn compare_against(
+    recorded_section: &Value,
+    current: &[BenchResult],
+    tolerance: f64,
+) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    for result in current {
+        let Ok(entry) = recorded_section.get(&result.name) else {
+            continue;
+        };
+        let Ok(recorded) = entry.get("min_ns").and_then(f64::from_value) else {
+            continue;
+        };
+        if recorded > 0.0 && result.min_ns > recorded * tolerance {
+            regressions.push(Regression {
+                name: result.name.clone(),
+                recorded_min_ns: recorded,
+                current_min_ns: result.min_ns,
+                ratio: result.min_ns / recorded,
+            });
+        }
+    }
+    regressions
+}
+
+use serde::Deserialize as _;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(name: &str, min: f64, median: f64) -> BenchResult {
+        BenchResult { name: name.to_string(), min_ns: min, median_ns: median }
+    }
+
+    #[test]
+    fn parses_criterion_out_lines() {
+        let contents = "\
+{\"name\":\"physics_step_80_servers\",\"min_ns\":1400.0,\"median_ns\":1450.2,\"max_ns\":1700.0}
+not json
+{\"name\":\"fleet_step_16_datacenters\",\"min_ns\":500000.0,\"median_ns\":512345.5,\"max_ns\":600000.0}
+";
+        let results = parse_criterion_out(contents);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].name, "physics_step_80_servers");
+        assert_eq!(results[0].median_ns, 1450.2);
+        assert_eq!(results[1].min_ns, 500000.0);
+    }
+
+    #[test]
+    fn merge_takes_best_of_each_metric_per_name() {
+        let runs = vec![
+            vec![result("a", 100.0, 120.0), result("b", 10.0, 11.0)],
+            vec![result("a", 90.0, 130.0)],
+            vec![result("b", 12.0, 10.5)],
+        ];
+        let merged = merge_best(&runs);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0], result("a", 90.0, 120.0));
+        assert_eq!(merged[1], result("b", 10.0, 10.5));
+    }
+
+    #[test]
+    fn section_round_trips_through_json() {
+        let section = section_value(&[result("a", 90.05, 120.0)], Some("note text"));
+        let json = serde_json::to_string(&section).unwrap();
+        assert!(json.contains("\"note\":\"note text\""));
+        assert!(json.contains("\"min_ns\":90.1"), "rounded to one decimal: {json}");
+    }
+
+    #[test]
+    fn upsert_replaces_in_place_and_appends_new() {
+        let mut doc: Value = serde_json::from_str(
+            "{\"description\":\"d\",\"old\":{\"a\":{\"min_ns\":1.0}},\"tail\":1}",
+        )
+        .unwrap();
+        upsert_section(&mut doc, "old", section_value(&[result("a", 2.0, 3.0)], None))
+            .unwrap();
+        upsert_section(&mut doc, "fresh", section_value(&[result("b", 4.0, 5.0)], None))
+            .unwrap();
+        let Value::Map(entries) = &doc else { panic!("map") };
+        let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["description", "old", "tail", "fresh"]);
+        let json = serde_json::to_string(&doc).unwrap();
+        assert!(json.contains("\"old\":{\"a\":{\"min_ns\":2"));
+        assert!(upsert_section(&mut Value::Bool(true), "x", Value::Null).is_err());
+    }
+
+    #[test]
+    fn compare_flags_only_regressions_beyond_tolerance() {
+        let recorded = section_value(
+            &[result("fast", 100.0, 110.0), result("slow", 100.0, 110.0)],
+            Some("baseline"),
+        );
+        let current = vec![
+            result("fast", 140.0, 150.0),  // 1.4x: within a 1.5x tolerance
+            result("slow", 260.0, 280.0),  // 2.6x: flagged
+            result("unknown", 999.0, 999.0), // not recorded: ignored
+        ];
+        let regressions = compare_against(&recorded, &current, 1.5);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].name, "slow");
+        assert!((regressions[0].ratio - 2.6).abs() < 1e-9);
+    }
+}

@@ -45,6 +45,15 @@ impl AisleAirflowAssessment {
 }
 
 impl AirflowModel {
+    /// The `(idle, span)` terms of the linear server-airflow curve: one server draws
+    /// `idle + span · clamp(load)`. Single source of the curve's constants for
+    /// [`Self::server_airflow`] and the engine's once-per-row hoisting on homogeneous rows.
+    #[inline]
+    #[must_use]
+    pub fn airflow_terms(&self, spec: &ServerSpec) -> (CubicFeetPerMinute, CubicFeetPerMinute) {
+        (spec.idle_airflow, spec.max_airflow - spec.idle_airflow)
+    }
+
     /// Airflow consumed by one server at the given normalized GPU load in `[0, 1]`.
     ///
     /// Linear interpolation between the idle and maximum airflow of the server spec, as
@@ -52,8 +61,8 @@ impl AirflowModel {
     #[inline]
     #[must_use]
     pub fn server_airflow(&self, spec: &ServerSpec, load: f64) -> CubicFeetPerMinute {
-        let load = load.clamp(0.0, 1.0);
-        spec.idle_airflow + (spec.max_airflow - spec.idle_airflow) * load
+        let (idle, span) = self.airflow_terms(spec);
+        idle + span * load.clamp(0.0, 1.0)
     }
 
     /// Assesses one aisle: aggregates the demand of its servers and computes the
@@ -70,6 +79,20 @@ impl AirflowModel {
     ) -> AisleAirflowAssessment {
         let demand: CubicFeetPerMinute =
             aisle.servers.iter().map(|&s| per_server_airflow(s)).sum();
+        self.assess_aisle_demand(aisle, demand, available_fraction)
+    }
+
+    /// [`Self::assess_aisle`] with the aggregate demand already reduced — the engine's
+    /// hot path sums each aisle's contiguous window of the dense per-server airflow
+    /// plane (same elements in the same order, so the sum is bit-identical to the
+    /// id-keyed walk) and hands the total in.
+    #[must_use]
+    pub fn assess_aisle_demand(
+        &self,
+        aisle: &Aisle,
+        demand: CubicFeetPerMinute,
+        available_fraction: f64,
+    ) -> AisleAirflowAssessment {
         let available = aisle.airflow_provisioned * available_fraction.clamp(0.0, 1.0);
         let utilization = if available.value() > 0.0 {
             demand / available

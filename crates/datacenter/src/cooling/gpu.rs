@@ -12,7 +12,7 @@
 use crate::ids::{GpuId, ServerId};
 use crate::index::TopologyIndex;
 use crate::topology::Layout;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 use simkit::rng::SimRng;
 use simkit::units::{Celsius, Watts};
 
@@ -79,24 +79,122 @@ pub struct GpuTemperatures {
     pub memory: Celsius,
 }
 
-/// One step's GPU temperatures for a whole datacenter: a contiguous server-major grid.
+/// One step's GPU temperatures for a whole datacenter: a contiguous server-major
+/// structure-of-arrays junction plane plus a derived memory plane.
 ///
-/// Replaces the jagged `Vec<Vec<GpuTemperatures>>` shape — one flat allocation,
-/// stride-indexed through the server-major GPU offsets of a [`TopologyIndex`], so
-/// datacenter-wide scans (hottest GPU, fleet aggregation) walk one cache-friendly slice
-/// and per-server views are O(1) subslices.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Replaces the array-of-structs `Vec<GpuTemperatures>` storage with one flat `f64`
+/// junction plane (`gpu_c`), stride-indexed through the server-major GPU offsets of a
+/// [`TopologyIndex`]. The physics kernels write the plane with branch-free lane loops,
+/// and datacenter-wide scans (hottest GPU, fleet aggregation) walk one dense `f64`
+/// slice. Memory (HBM) temperatures track their GPU by a *per-server* offset
+/// (Eq. 2's memory-boundedness term), so the grid stores that offset per server instead
+/// of a second per-GPU plane — at 10k-server scale a full memory plane write is ~20 % of
+/// the step's memory traffic — and materializes `mem = gpu + offset` on access, which is
+/// bit-identical to what the old stored plane held (same addition, same operands).
+/// Deserialized grids keep their explicit per-GPU memory values instead.
+///
+/// Id-keyed accessors ([`Self::get`], [`Self::server`]) are preserved, and the serde
+/// encoding is bit-identical to the original array-of-structs shape, so digests and
+/// golden artifacts are unchanged across the storage change.
+#[derive(Debug, Clone)]
 pub struct TempGrid {
-    /// Flat per-GPU temperatures, server-major.
-    temps: Vec<GpuTemperatures>,
+    /// Flat per-GPU junction temperatures (°C), server-major.
+    gpu_c: Vec<f64>,
+    /// Memory-temperature storage (see the type docs).
+    mem: MemPlane,
     /// Server-major GPU prefix sums (length `servers + 1`), copied from the topology index
     /// that shaped the grid.
     offsets: Vec<u32>,
 }
 
+/// Memory-temperature storage of a [`TempGrid`].
+#[derive(Debug, Clone)]
+enum MemPlane {
+    /// One offset per server: `mem[g] = gpu_c[g] + offsets_c[server(g)]`. The kernels'
+    /// output representation.
+    Derived(Vec<f64>),
+    /// One explicit value per GPU (server-major). The deserialized representation, kept
+    /// verbatim so serde round trips are byte-stable.
+    Materialized(Vec<f64>),
+}
+
 impl Default for TempGrid {
     fn default() -> Self {
-        Self { temps: Vec::new(), offsets: vec![0] }
+        Self { gpu_c: Vec::new(), mem: MemPlane::Derived(Vec::new()), offsets: vec![0] }
+    }
+}
+
+// Equality is semantic: two grids are equal when they cover the same shape and every
+// GPU's junction and (materialized-on-demand) memory temperature is bit-equal, whichever
+// representation the memory plane uses.
+impl PartialEq for TempGrid {
+    fn eq(&self, other: &Self) -> bool {
+        self.offsets == other.offsets
+            && self.gpu_c == other.gpu_c
+            && self
+                .iter()
+                .map(|t| t.memory)
+                .eq(other.iter().map(|t| t.memory))
+    }
+}
+
+/// The temperatures of one server's GPUs: a contiguous junction-plane window plus the
+/// server's memory lane (derived offset or materialized values).
+#[derive(Debug, Clone, Copy)]
+pub struct ServerTemps<'a> {
+    gpu_c: &'a [f64],
+    mem: MemLane<'a>,
+}
+
+/// One server's memory-temperature lane.
+#[derive(Debug, Clone, Copy)]
+enum MemLane<'a> {
+    Offset(f64),
+    Slice(&'a [f64]),
+}
+
+impl<'a> ServerTemps<'a> {
+    /// Number of GPUs in the server.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.gpu_c.len()
+    }
+
+    /// Returns `true` if the server has no GPUs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.gpu_c.is_empty()
+    }
+
+    /// The memory temperature of one slot (°C).
+    fn mem_at(&self, slot: usize) -> f64 {
+        match self.mem {
+            MemLane::Offset(offset) => self.gpu_c[slot] + offset,
+            MemLane::Slice(values) => values[slot],
+        }
+    }
+
+    /// The temperatures of one GPU slot.
+    ///
+    /// # Panics
+    /// Panics if the slot is out of range.
+    #[must_use]
+    pub fn get(&self, slot: usize) -> GpuTemperatures {
+        GpuTemperatures {
+            gpu: Celsius::new(self.gpu_c[slot]),
+            memory: Celsius::new(self.mem_at(slot)),
+        }
+    }
+
+    /// The server's junction-temperature plane window (°C).
+    #[must_use]
+    pub fn gpu_c(&self) -> &'a [f64] {
+        self.gpu_c
+    }
+
+    /// Iterates the server's GPU temperatures in slot order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = GpuTemperatures> + '_ {
+        (0..self.gpu_c.len()).map(|slot| self.get(slot))
     }
 }
 
@@ -104,9 +202,9 @@ impl TempGrid {
     /// A zeroed grid shaped for one datacenter's topology.
     #[must_use]
     pub fn for_topology(topology: &TopologyIndex) -> Self {
-        let zero = GpuTemperatures { gpu: Celsius::ZERO, memory: Celsius::ZERO };
         Self {
-            temps: vec![zero; topology.gpu_count()],
+            gpu_c: vec![0.0; topology.gpu_count()],
+            mem: MemPlane::Derived(vec![0.0; topology.server_count()]),
             offsets: topology.gpu_offsets().to_vec(),
         }
     }
@@ -120,24 +218,35 @@ impl TempGrid {
     /// Total number of GPUs covered.
     #[must_use]
     pub fn gpu_count(&self) -> usize {
-        self.temps.len()
+        self.gpu_c.len()
     }
 
     /// Returns `true` if the grid covers no GPUs.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.temps.is_empty()
+        self.gpu_c.is_empty()
     }
 
-    /// The temperatures of every GPU in one server, as a contiguous slice.
+    /// The memory lane of one server ordinal.
+    fn mem_lane(&self, ordinal: usize, start: usize, end: usize) -> MemLane<'_> {
+        match &self.mem {
+            MemPlane::Derived(offsets) => MemLane::Offset(offsets[ordinal]),
+            MemPlane::Materialized(values) => MemLane::Slice(&values[start..end]),
+        }
+    }
+
+    /// The temperatures of every GPU in one server.
     ///
     /// # Panics
     /// Panics if the server ordinal is out of range.
     #[must_use]
-    pub fn server(&self, server: ServerId) -> &[GpuTemperatures] {
+    pub fn server(&self, server: ServerId) -> ServerTemps<'_> {
         let start = self.offsets[server.index()] as usize;
         let end = self.offsets[server.index() + 1] as usize;
-        &self.temps[start..end]
+        ServerTemps {
+            gpu_c: &self.gpu_c[start..end],
+            mem: self.mem_lane(server.index(), start, end),
+        }
     }
 
     /// The temperatures of one GPU.
@@ -146,49 +255,99 @@ impl TempGrid {
     /// Panics if the id is out of range.
     #[must_use]
     pub fn get(&self, gpu: GpuId) -> GpuTemperatures {
-        self.server(gpu.server)[gpu.slot]
+        self.server(gpu.server).get(gpu.slot)
     }
 
     /// Iterates every GPU's temperatures in server-major order.
-    pub fn iter(&self) -> std::slice::Iter<'_, GpuTemperatures> {
-        self.temps.iter()
+    pub fn iter(&self) -> impl Iterator<Item = GpuTemperatures> + '_ {
+        self.iter_servers()
+            .flat_map(|(_, server)| (0..server.len()).map(move |slot| server.get(slot)))
     }
 
-    /// Iterates `(server, per-GPU slice)` pairs in server order.
-    pub fn iter_servers(&self) -> impl Iterator<Item = (ServerId, &[GpuTemperatures])> + '_ {
+    /// Iterates `(server, per-GPU view)` pairs in server order.
+    pub fn iter_servers(&self) -> impl Iterator<Item = (ServerId, ServerTemps<'_>)> + '_ {
         self.offsets.windows(2).enumerate().map(|(i, w)| {
-            (ServerId::new(i), &self.temps[w[0] as usize..w[1] as usize])
+            let (start, end) = (w[0] as usize, w[1] as usize);
+            (
+                ServerId::new(i),
+                ServerTemps {
+                    gpu_c: &self.gpu_c[start..end],
+                    mem: self.mem_lane(i, start, end),
+                },
+            )
         })
     }
 
-    /// The whole grid as one flat server-major slice.
+    /// The flat server-major junction-temperature plane (°C).
     #[must_use]
-    pub fn flat(&self) -> &[GpuTemperatures] {
-        &self.temps
+    pub fn gpu_plane(&self) -> &[f64] {
+        &self.gpu_c
     }
 
-    /// Mutable access to the flat server-major slice (for the engine's per-row tasks).
+    /// Mutable kernel access: the flat junction plane plus the per-server memory-offset
+    /// plane (converting a deserialized grid back to the derived representation).
+    ///
+    /// The junction plane doubles as the kernels' per-GPU power staging area: the power
+    /// pass writes per-GPU watts into it and the thermal pass transforms them to
+    /// temperatures in place, which avoids streaming a separate power plane through the
+    /// cache on every step.
     #[must_use]
-    pub fn flat_mut(&mut self) -> &mut [GpuTemperatures] {
-        &mut self.temps
+    pub fn kernel_planes_mut(&mut self) -> (&mut [f64], &mut [f64]) {
+        let server_count = self.offsets.len() - 1;
+        if !matches!(self.mem, MemPlane::Derived(_)) {
+            self.mem = MemPlane::Derived(vec![0.0; server_count]);
+        }
+        let MemPlane::Derived(offsets_c) = &mut self.mem else {
+            unreachable!("just converted to the derived representation")
+        };
+        offsets_c.resize(server_count, 0.0);
+        (&mut self.gpu_c, offsets_c)
     }
 
     /// The hottest GPU junction temperature in the grid.
     #[must_use]
     pub fn max_gpu(&self) -> Celsius {
-        self.temps
-            .iter()
-            .map(|t| t.gpu)
-            .fold(Celsius::new(f64::MIN), Celsius::max)
+        Celsius::new(self.gpu_c.iter().copied().fold(f64::MIN, f64::max))
     }
 
     /// The hottest GPU-memory temperature in the grid.
     #[must_use]
     pub fn max_mem(&self) -> Celsius {
-        self.temps
-            .iter()
+        self.iter()
             .map(|t| t.memory)
             .fold(Celsius::new(f64::MIN), Celsius::max)
+    }
+}
+
+// Serde compatibility: the grid serializes exactly as the pre-SoA array-of-structs shape
+// (`temps`: a sequence of `{gpu, memory}` maps, `offsets`: the prefix sums), with memory
+// values materialized on the fly, so the determinism digests over serialized
+// `StepOutcome`s and the golden artifacts are byte-identical across the storage change.
+impl Serialize for TempGrid {
+    fn to_value(&self) -> Value {
+        let mut temps = Vec::with_capacity(self.gpu_c.len());
+        for t in self.iter() {
+            temps.push(Value::Map(vec![
+                (String::from("gpu"), Value::F64(t.gpu.value())),
+                (String::from("memory"), Value::F64(t.memory.value())),
+            ]));
+        }
+        Value::Map(vec![
+            (String::from("temps"), Value::Seq(temps)),
+            (String::from("offsets"), self.offsets.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for TempGrid {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let temps = Vec::<GpuTemperatures>::from_value(value.get("temps")?)?;
+        let offsets = Vec::<u32>::from_value(value.get("offsets")?)?;
+        let (gpu_c, mem_c): (Vec<f64>, Vec<f64>) = temps
+            .iter()
+            .map(|t| (t.gpu.value(), t.memory.value()))
+            .unzip();
+        Ok(Self { gpu_c, mem: MemPlane::Materialized(mem_c), offsets })
     }
 }
 
@@ -250,6 +409,14 @@ impl GpuThermalModel {
         let start = self.starts[server.index()] as usize;
         let end = self.starts[server.index() + 1] as usize;
         &self.offsets[start..end]
+    }
+
+    /// All per-GPU offsets as one flat server-major plane, indexed by the same prefix sums
+    /// as [`crate::index::TopologyIndex::gpu_offsets`] (both are built from the layout's
+    /// server-order GPU counts). The engine's row kernels slice this plane per row.
+    #[must_use]
+    pub fn offsets_flat(&self) -> &[f64] {
+        &self.offsets
     }
 
     /// GPU and memory temperatures given the server inlet temperature, this GPU's power draw
@@ -431,25 +598,47 @@ mod tests {
         assert_eq!(grid.server_count(), 8);
         assert_eq!(grid.gpu_count(), 64);
         assert!(!grid.is_empty());
-        for (i, t) in grid.flat_mut().iter_mut().enumerate() {
-            t.gpu = Celsius::new(i as f64);
-            t.memory = Celsius::new(i as f64 + 0.5);
+        {
+            let (gpu_c, mem_offsets) = grid.kernel_planes_mut();
+            for (i, g) in gpu_c.iter_mut().enumerate() {
+                *g = i as f64;
+            }
+            mem_offsets.fill(0.5);
         }
-        // Per-server slices are the right windows of the flat storage.
+        // Per-server views are the right windows of the flat planes, with memory derived
+        // as `gpu + offset`.
         let second = grid.server(ServerId::new(1));
         assert_eq!(second.len(), 8);
-        assert_eq!(second[3].gpu.value(), 11.0);
+        assert!(!second.is_empty());
+        assert_eq!(second.get(3).gpu.value(), 11.0);
+        assert_eq!(second.gpu_c()[3], 11.0);
+        assert_eq!(second.get(3).memory.value(), 11.5);
+        assert_eq!(second.iter().count(), 8);
         assert_eq!(grid.get(GpuId::new(ServerId::new(1), 3)).memory.value(), 11.5);
         assert_eq!(grid.iter().count(), 64);
+        assert_eq!(grid.gpu_plane().len(), 64);
         let servers: Vec<ServerId> = grid.iter_servers().map(|(s, _)| s).collect();
         assert_eq!(servers.len(), 8);
         assert_eq!(servers[7], ServerId::new(7));
         assert_eq!(grid.max_gpu().value(), 63.0);
         assert_eq!(grid.max_mem().value(), 63.5);
-        // Serde round trip preserves shape and values.
+        // Serde round trip preserves shape and values across representations: the
+        // deserialized grid materializes per-GPU memory values yet compares (and
+        // re-serializes) identically to the derived-offset original.
         use serde::{Deserialize as _, Serialize as _};
         let back = TempGrid::from_value(&grid.to_value()).unwrap();
         assert_eq!(back, grid);
+        assert_eq!(
+            serde_json::to_string(&back).unwrap(),
+            serde_json::to_string(&grid).unwrap()
+        );
+        // A deserialized grid handed back to the kernels reverts to derived offsets.
+        let mut reused = back.clone();
+        let (gpu_c, mem_offsets) = reused.kernel_planes_mut();
+        assert_eq!(gpu_c.len(), 64);
+        mem_offsets.fill(0.5);
+        gpu_c.copy_from_slice(grid.gpu_plane());
+        assert_eq!(reused, grid);
         assert!(TempGrid::default().is_empty());
     }
 

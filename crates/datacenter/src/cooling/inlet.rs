@@ -65,6 +65,18 @@ impl InletCurve {
             at_knee + self.hot_slope * (t - self.hot_from_outside_c)
         }
     }
+
+    /// The load-dependent inlet term: `load_sensitivity_c · clamp(dc_load)`.
+    ///
+    /// Together with [`Self::base`] this is the step-invariant part of Eq. 1 — the engine
+    /// hoists both once per step so the per-server kernel only adds the spatial offset and
+    /// the recirculation penalty (in the same floating-point order as
+    /// [`InletModel::inlet_temp`], which routes through the same helpers).
+    #[inline]
+    #[must_use]
+    pub fn load_term(&self, dc_load: f64) -> f64 {
+        self.load_sensitivity_c * dc_load.clamp(0.0, 1.0)
+    }
 }
 
 /// Per-server inlet-temperature model with spatial offsets.
@@ -124,8 +136,19 @@ impl InletModel {
         self.spatial_offsets[server.index()]
     }
 
+    /// All spatial offsets as one flat plane indexed by [`crate::ids::ServerId::index`].
+    /// The engine's row kernels slice this per contiguous row range.
+    #[must_use]
+    pub fn spatial_offsets(&self) -> &[f64] {
+        &self.spatial_offsets
+    }
+
     /// Inlet temperature of a server given the outside temperature, the normalized datacenter
     /// load in `[0, 1]`, and an extra penalty (°C) from heat recirculation or cooling failures.
+    ///
+    /// This is the scalar form of Eq. 1; the engine's row kernels evaluate the identical
+    /// sum `base + spatial + load_term + max(penalty, 0)` with `base` and `load_term`
+    /// hoisted once per step (same values, same addition order, so results are bit-equal).
     #[must_use]
     pub fn inlet_temp(
         &self,
@@ -134,11 +157,10 @@ impl InletModel {
         dc_load: f64,
         extra_penalty_c: f64,
     ) -> Celsius {
-        let dc_load = dc_load.clamp(0.0, 1.0);
         let base = self.curve.base(outside);
         Celsius::new(
             base + self.spatial_offsets[server.index()]
-                + self.curve.load_sensitivity_c * dc_load
+                + self.curve.load_term(dc_load)
                 + extra_penalty_c.max(0.0),
         )
     }

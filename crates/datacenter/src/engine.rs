@@ -17,14 +17,14 @@
 //! how real telemetry-driven control loops behave.
 
 use crate::cooling::airflow::{AirflowModel, AisleAirflowAssessment};
-use crate::cooling::gpu::{GpuTemperatures, GpuThermalCoefficients, GpuThermalModel, TempGrid};
+use crate::cooling::gpu::{GpuThermalCoefficients, GpuThermalModel, TempGrid};
 use crate::cooling::inlet::{InletCurve, InletModel};
 use crate::failures::FailureState;
 use crate::ids::{AisleId, GpuId, RowId, ServerId};
-use crate::index::{OrdinalMap, TopologyIndex};
+use crate::index::{is_contiguous_run, OrdinalMap, TopologyIndex};
 use crate::power::hierarchy::{CapacityState, PowerAssessment, PowerHierarchy};
-use crate::power::server::ServerPowerModel;
-use crate::topology::Layout;
+use crate::power::server::{ServerPowerModel, ServerPowerTerms};
+use crate::topology::{Layout, ServerSpec};
 use serde::{Deserialize, Serialize};
 use simkit::units::{Celsius, CubicFeetPerMinute, Kilowatts, Watts};
 use std::sync::Arc;
@@ -213,7 +213,92 @@ pub struct Datacenter {
     airflow_model: AirflowModel,
     power_model: ServerPowerModel,
     hierarchy: PowerHierarchy,
+    /// Per-row kernel plans: hoisted spec-derived constants, frozen at construction.
+    row_plans: Vec<RowPlan>,
+    /// Per-aisle contiguous server spans for the dense demand reduction.
+    aisle_spans: Vec<AisleSpan>,
     fingerprint: u64,
+}
+
+/// Per-aisle `[start, end)` server-index span when the aisle's member list is an
+/// ascending contiguous run (the layout builder's invariant) — the aisle demand then
+/// reduces over a dense slice of the airflow plane. `None` falls back to the id walk.
+type AisleSpan = Option<std::ops::Range<usize>>;
+
+fn aisle_spans(layout: &Layout) -> Vec<AisleSpan> {
+    layout
+        .aisles()
+        .iter()
+        .map(|aisle| {
+            (is_contiguous_run(&aisle.servers) && !aisle.servers.is_empty()).then(|| {
+                let start = aisle.servers[0].index();
+                start..start + aisle.servers.len()
+            })
+        })
+        .collect()
+}
+
+/// Per-row kernel plan. Built once in [`Datacenter::with_models`]: the aisle the row draws
+/// air from (rows never span aisles) and, when the row is spec-homogeneous — the case the
+/// layout builder always produces — the spec-derived constants hoisted out of the lane
+/// loops. Mixed-spec or ragged rows fall back to the general per-server path.
+#[derive(Debug, Clone, Copy)]
+struct RowPlan {
+    /// Ordinal of the aisle every server in the row belongs to.
+    aisle: usize,
+    /// Hoisted terms when every server in the row shares one spec.
+    uniform: Option<RowUniformTerms>,
+}
+
+/// Spec-derived constants of a homogeneous row, hoisted once per row instead of being
+/// re-derived per server. All values are produced by the same model helpers the scalar
+/// path uses ([`ServerPowerModel::gpu_power_terms`], [`AirflowModel::airflow_terms`],
+/// [`ServerPowerModel::server_power_terms`]), so results stay bit-identical.
+#[derive(Debug, Clone, Copy)]
+struct RowUniformTerms {
+    gpus_per_server: usize,
+    gpu_static_w: f64,
+    gpu_dynamic_w: f64,
+    airflow_idle: CubicFeetPerMinute,
+    airflow_span: CubicFeetPerMinute,
+    power: ServerPowerTerms,
+    throttle_limit_c: f64,
+}
+
+impl RowUniformTerms {
+    fn for_spec(spec: &ServerSpec, airflow: &AirflowModel, power: &ServerPowerModel) -> Self {
+        let (gpu_static_w, gpu_dynamic_w) = power.gpu_power_terms(spec);
+        let (airflow_idle, airflow_span) = airflow.airflow_terms(spec);
+        Self {
+            gpus_per_server: spec.gpus_per_server,
+            gpu_static_w,
+            gpu_dynamic_w,
+            airflow_idle,
+            airflow_span,
+            power: power.server_power_terms(spec),
+            throttle_limit_c: spec.gpu_throttle_temp_c,
+        }
+    }
+}
+
+fn row_plans(layout: &Layout, airflow: &AirflowModel, power: &ServerPowerModel) -> Vec<RowPlan> {
+    layout
+        .rows()
+        .iter()
+        .map(|row| {
+            debug_assert!(
+                row.servers.iter().all(|&s| layout.server(s).aisle == row.aisle),
+                "rows must not span aisles"
+            );
+            let uniform = row.servers.split_first().and_then(|(&first, rest)| {
+                let spec = layout.server(first).spec;
+                rest.iter()
+                    .all(|&s| layout.server(s).spec == spec)
+                    .then(|| RowUniformTerms::for_spec(&spec, airflow, power))
+            });
+            RowPlan { aisle: row.aisle.index(), uniform }
+        })
+        .collect()
 }
 
 impl Datacenter {
@@ -232,6 +317,8 @@ impl Datacenter {
         let hierarchy = PowerHierarchy::from_layout(&layout);
         let topology = Arc::new(TopologyIndex::from_layout(&layout));
         let fingerprint = Self::fingerprint_of(&layout, &models, seed);
+        let row_plans = row_plans(&layout, &models.airflow, &models.power);
+        let aisle_spans = aisle_spans(&layout);
         Self {
             layout,
             topology,
@@ -240,6 +327,8 @@ impl Datacenter {
             airflow_model: models.airflow,
             power_model: models.power,
             hierarchy,
+            row_plans,
+            aisle_spans,
             fingerprint,
         }
     }
@@ -392,15 +481,20 @@ impl Datacenter {
         let parallel = parallel_active(server_count, row_ranges.len());
         {
             let outcome = &mut workspace.outcome;
+            // The junction plane doubles as the per-GPU power staging area: this pass
+            // writes watts into it, the thermal pass transforms them to temperatures in
+            // place. One plane streamed twice beats two planes streamed once each.
+            let (power_stage_all, _) = outcome.gpu_temps.kernel_planes_mut();
             let mut airflow_rest = outcome.server_airflow.as_mut_slice();
             let mut power_rest = outcome.server_power.as_mut_slice();
-            let mut gpu_power_rest = workspace.gpu_power_flat.as_mut_slice();
+            let mut power_stage_rest = power_stage_all;
+            let mut memb_rest = workspace.memory_boundedness.as_mut_slice();
             let mut load_rest = workspace.row_load.as_mut_slice();
             let mut tasks: Vec<RowPowerTask<'_>> = Vec::new();
             if parallel {
                 tasks.reserve(row_ranges.len());
             }
-            for range in row_ranges {
+            for (row, range) in row_ranges.iter().enumerate() {
                 let row_len = range.end - range.start;
                 let gpu_len =
                     (gpu_offsets[range.end] - gpu_offsets[range.start]) as usize;
@@ -408,16 +502,20 @@ impl Datacenter {
                 airflow_rest = rest;
                 let (power, rest) = power_rest.split_at_mut(row_len);
                 power_rest = rest;
-                let (gpu_power, rest) = gpu_power_rest.split_at_mut(gpu_len);
-                gpu_power_rest = rest;
+                let (power_stage, rest) = power_stage_rest.split_at_mut(gpu_len);
+                power_stage_rest = rest;
                 let (load, rest) = load_rest.split_at_mut(1);
                 load_rest = rest;
+                let (memb, rest) = memb_rest.split_at_mut(row_len);
+                memb_rest = rest;
                 let mut task = RowPowerTask {
+                    plan: &self.row_plans[row],
                     servers: &servers[range.clone()],
                     activity: &input.activity[range.clone()],
                     airflow,
                     power,
-                    gpu_power,
+                    power_stage,
+                    memory_boundedness: memb,
                     row_load: &mut load[0],
                 };
                 if parallel {
@@ -443,55 +541,85 @@ impl Datacenter {
                 .failures
                 .aisle_airflow_fraction(aisle.id, aisle.ahu_count);
             let server_airflow = &workspace.outcome.server_airflow;
-            let assessment = self.airflow_model.assess_aisle(
-                aisle,
-                |s: ServerId| server_airflow[s.index()],
-                fraction,
-            );
+            let assessment = match &self.aisle_spans[aisle.id.index()] {
+                // Dense reduction over the aisle's contiguous window (bit-identical to
+                // the id walk: same elements, same order).
+                Some(span) => {
+                    let demand: CubicFeetPerMinute =
+                        server_airflow[span.clone()].iter().copied().sum();
+                    self.airflow_model.assess_aisle_demand(aisle, demand, fraction)
+                }
+                None => self.airflow_model.assess_aisle(
+                    aisle,
+                    |s: ServerId| server_airflow[s.index()],
+                    fraction,
+                ),
+            };
             workspace.aisle_penalty[aisle.id.index()] = assessment.recirculation_penalty_c;
             workspace.outcome.aisle_airflow[aisle.id] = assessment;
         }
 
         // 3./4. Inlet and GPU temperatures plus thermal throttles, per contiguous row slice
-        // of the flat temperature grid.
+        // of the flat temperature planes. The step-invariant parts of the inlet model
+        // (base curve at this outside temperature, load term) are hoisted once per step.
+        let inlet_base = self.inlet_model.curve().base(input.outside_temp);
+        let load_term = self.inlet_model.curve().load_term(datacenter_load);
+        let spatial_all = self.inlet_model.spatial_offsets();
+        let thermal_offsets_all = self.gpu_model.offsets_flat();
+        debug_assert_eq!(thermal_offsets_all.len(), topology.gpu_count());
+        let coeffs = *self.gpu_model.coefficients();
         {
             let outcome = &mut workspace.outcome;
+            let (gpu_plane, mem_offsets_plane) = outcome.gpu_temps.kernel_planes_mut();
             let mut inlet_rest = outcome.inlet_temps.as_mut_slice();
-            let mut temps_rest = outcome.gpu_temps.flat_mut();
+            let mut gpu_rest = gpu_plane;
+            let mut mem_rest = mem_offsets_plane;
             let mut throttles_rest = workspace.row_throttles.as_mut_slice();
             let mut tasks: Vec<RowThermalTask<'_>> = Vec::new();
             if parallel {
                 tasks.reserve(row_ranges.len());
             }
-            for range in row_ranges {
+            // Rows run in *reverse* ordinal order: the power pass above finished at the
+            // last row, so on sites too large for cache the thermal pass starts on the
+            // still-resident tail of the staged power plane and zigzags back (row tasks
+            // own disjoint windows and every cross-row reduction happens after both
+            // passes, so processing order cannot affect results).
+            for (row, range) in row_ranges.iter().enumerate().rev() {
                 let row_len = range.end - range.start;
                 let gpu_start = gpu_offsets[range.start] as usize;
                 let gpu_end = gpu_offsets[range.end] as usize;
-                let (inlets, rest) = inlet_rest.split_at_mut(row_len);
+                let gpu_len = gpu_end - gpu_start;
+                let (rest, inlets) = inlet_rest.split_at_mut(inlet_rest.len() - row_len);
                 inlet_rest = rest;
-                let (temps, rest) = temps_rest.split_at_mut(gpu_end - gpu_start);
-                temps_rest = rest;
-                let (throttles, rest) = throttles_rest.split_at_mut(1);
+                let (rest, gpu_c) = gpu_rest.split_at_mut(gpu_rest.len() - gpu_len);
+                gpu_rest = rest;
+                let (rest, mem_offsets) = mem_rest.split_at_mut(mem_rest.len() - row_len);
+                mem_rest = rest;
+                let (rest, throttles) = throttles_rest.split_at_mut(throttles_rest.len() - 1);
                 throttles_rest = rest;
                 let mut task = RowThermalTask {
+                    plan: &self.row_plans[row],
                     servers: &servers[range.clone()],
-                    activity: &input.activity[range.clone()],
-                    gpu_power: &workspace.gpu_power_flat[gpu_start..gpu_end],
+                    row_start: range.start,
+                    memory_boundedness: &workspace.memory_boundedness[range.clone()],
+                    spatial: &spatial_all[range.clone()],
+                    thermal_offsets: &thermal_offsets_all[gpu_start..gpu_end],
                     aisle_penalty: &workspace.aisle_penalty,
-                    outside_temp: input.outside_temp,
-                    datacenter_load,
+                    inlet_base,
+                    load_term,
                     inlets,
-                    temps,
+                    gpu_c,
+                    mem_offsets,
                     throttles: &mut throttles[0],
                 };
                 if parallel {
                     tasks.push(task);
                 } else {
-                    task.run(&self.inlet_model, &self.gpu_model);
+                    task.run(&coeffs);
                 }
             }
             run_row_tasks(&mut tasks, |task| {
-                task.run(&self.inlet_model, &self.gpu_model);
+                task.run(&coeffs);
             });
         }
         workspace.outcome.thermal_throttles.clear();
@@ -509,8 +637,13 @@ impl Datacenter {
             &mut workspace.outcome.power,
             &mut workspace.hierarchy_scratch,
         );
+
+        #[cfg(debug_assertions)]
+        workspace.assert_kernel_lanes_written();
     }
+
 }
+
 
 /// Reusable buffers for [`Datacenter::evaluate_into`], including the output
 /// [`StepOutcome`] whose grids are overwritten in place each step.
@@ -523,8 +656,10 @@ pub struct StepWorkspace {
     pub outcome: StepOutcome,
     /// The frozen ordinal geometry the grids follow.
     topology: Arc<TopologyIndex>,
-    /// Flat per-GPU power, server-major.
-    gpu_power_flat: Vec<Watts>,
+    /// Per-server memory-boundedness, staged by the power pass (which already walks the
+    /// activity headers) so the thermal pass reads one dense plane instead of re-walking
+    /// the per-server `ServerActivity` structs.
+    memory_boundedness: Vec<f64>,
     /// Recirculation penalty per aisle index.
     aisle_penalty: Vec<f64>,
     /// Sum of mean server loads per row.
@@ -572,7 +707,7 @@ impl StepWorkspace {
         };
         Self {
             outcome,
-            gpu_power_flat: vec![Watts::ZERO; topology.gpu_count()],
+            memory_boundedness: vec![0.0; server_count],
             aisle_penalty: vec![0.0; topology.aisle_count()],
             row_load: vec![0.0; topology.row_count()],
             row_throttles: vec![Vec::new(); topology.row_count()],
@@ -593,67 +728,273 @@ impl StepWorkspace {
         for penalty in &mut self.aisle_penalty {
             *penalty = 0.0;
         }
+        // In debug builds, poison every lane the row kernels are contractually required
+        // to fully overwrite, so a future partial-write bug cannot silently reuse a stale
+        // lane from the previous step. Release builds rely on the overwrite contract and
+        // skip both the poisoning and the post-step sweep.
+        #[cfg(debug_assertions)]
+        self.poison_kernel_lanes();
+    }
+
+    /// Fills every kernel-overwritten buffer with NaN (debug builds only).
+    #[cfg(debug_assertions)]
+    fn poison_kernel_lanes(&mut self) {
+        self.outcome.inlet_temps.fill(Celsius::new(f64::NAN));
+        self.outcome.server_power.fill(Kilowatts::new(f64::NAN));
+        self.outcome.server_airflow.fill(CubicFeetPerMinute::new(f64::NAN));
+        let (gpu_c, mem_offsets) = self.outcome.gpu_temps.kernel_planes_mut();
+        gpu_c.fill(f64::NAN);
+        mem_offsets.fill(f64::NAN);
+        self.memory_boundedness.fill(f64::NAN);
+        self.row_load.fill(f64::NAN);
+    }
+
+    /// Verifies every poisoned lane was overwritten by the step's kernels (debug builds
+    /// only — finite inputs never produce NaN, so a surviving NaN is a stale lane).
+    #[cfg(debug_assertions)]
+    fn assert_kernel_lanes_written(&self) {
+        fn sweep(name: &str, lanes: impl Iterator<Item = f64>) {
+            for (i, value) in lanes.enumerate() {
+                assert!(
+                    !value.is_nan(),
+                    "physics kernels left {name} lane {i} unwritten (stale-lane poison \
+                     survived the step, or a NaN input reached the engine)"
+                );
+            }
+        }
+        sweep("inlet", self.outcome.inlet_temps.iter().map(|c| c.value()));
+        sweep("server-power", self.outcome.server_power.iter().map(|p| p.value()));
+        sweep("server-airflow", self.outcome.server_airflow.iter().map(|a| a.value()));
+        sweep("gpu-temp", self.outcome.gpu_temps.gpu_plane().iter().copied());
+        // Derived memory values inherit NaN from either an unwritten junction lane or an
+        // unwritten per-server offset, so this sweep covers the offset plane too.
+        sweep("mem-temp", self.outcome.gpu_temps.iter().map(|t| t.memory.value()));
+        sweep("staged-boundedness", self.memory_boundedness.iter().copied());
+        sweep("row-load", self.row_load.iter().copied());
     }
 }
 
+/// How many servers ahead the power pass prefetches activity payloads. Six servers ≈ a
+/// dozen cache lines in flight — measured best on the reference box at the 10k-server
+/// scale (deeper distances start evicting lines before use).
+const PREFETCH_DISTANCE: usize = 6;
+
+/// Prefetches the utilization/frequency payloads of the next server's activity while the
+/// current server's lanes are being computed. The per-server `Vec`s are reached through
+/// two dependent pointer loads each; on sites too large for cache those form a serial
+/// DRAM-latency chain that the hardware prefetcher cannot follow. A pure hint: no effect
+/// on results.
+#[inline(always)]
+fn prefetch_activity(activity: &[ServerActivity], next: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if let Some(next) = activity.get(next) {
+        // SAFETY: prefetch is a hint and never faults; the pointers are valid. Both ends
+        // of each payload are requested — a 64-byte vector is only 16-byte aligned, so
+        // it can straddle two cache lines.
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            let u = next.gpu_utilization.as_ptr();
+            let f = next.frequency_scale.as_ptr();
+            let last = next.gpu_utilization.len().saturating_sub(1);
+            _mm_prefetch(u.cast::<i8>(), _MM_HINT_T0);
+            _mm_prefetch(u.add(last).cast::<i8>(), _MM_HINT_T0);
+            _mm_prefetch(f.cast::<i8>(), _MM_HINT_T0);
+            _mm_prefetch(f.add(last).cast::<i8>(), _MM_HINT_T0);
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (activity, next);
+}
+
+/// Validates one server's activity shape against its GPU count. Lives at the head of the
+/// fused per-server pass — outside the lane loops, on vector lengths the pass is about
+/// to read anyway — so validation costs two predicted branches per server instead of a
+/// separate datacenter-wide sweep over the activity headers (at 10k servers that sweep
+/// is ~0.5 MB of extra memory traffic per step).
+#[inline(always)]
+fn validate_server_activity(activity: &ServerActivity, gpus: usize) {
+    assert_eq!(
+        activity.gpu_utilization.len(),
+        gpus,
+        "activity GPU count must match the server spec"
+    );
+    assert_eq!(
+        activity.frequency_scale.len(),
+        gpus,
+        "activity frequency count must match the server spec"
+    );
+}
+
+/// Fused per-server GPU lane pass of the power kernel: writes each GPU's power
+/// (`ServerPowerModel::gpu_power` with its terms hoisted by the caller) and returns the
+/// `(Σ per-GPU power, mean utilization)` pair. The two alternating accumulator lanes make
+/// the float additions pipeline instead of forming one serial dependency chain — the
+/// lane order (even slots → lane 0, odd slots → lane 1, the historical `acc[slot & 1]`)
+/// is part of the engine's FP-order contract.
+///
+/// On x86-64 the pair loop runs on explicit SSE2 packed-double intrinsics (SSE2 is part
+/// of the x86-64 baseline, so no runtime detection is needed): the auto-vectorizer packs
+/// `[u, f]` per lane instead of `[u₀, u₁]` across lanes, which drowns the loop in
+/// shuffles. Every packed op is the lane-wise IEEE operation of the scalar path, so
+/// results are bit-identical (see `kernel_reference` and `tests/soa_physics.rs`); NaN
+/// activity is outside the engine's contract either way (the debug poison sweep rejects
+/// it).
+#[inline(always)]
+fn power_lanes(
+    static_power: f64,
+    dynamic_coeff: f64,
+    utilization: &[f64],
+    frequency: &[f64],
+    out: &mut [f64],
+) -> (f64, f64) {
+    // Equal-length reslicing: the caller validated the shapes up front; restating the
+    // bound here lets the compiler collapse the loops into counted, branch-free form.
+    let lanes = out.len();
+    let utilization = &utilization[..lanes];
+    let frequency = &frequency[..lanes];
+    let mut util_acc = [0.0f64; 2];
+    let mut pow_acc = [0.0f64; 2];
+    let pairs = lanes / 2;
+
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: SSE2 is unconditionally available on x86-64; every pointer below stays
+    // within the resliced `lanes` bound (`2 * pairs <= lanes`).
+    unsafe {
+        use std::arch::x86_64::{
+            _mm_add_pd, _mm_loadu_pd, _mm_max_pd, _mm_min_pd, _mm_mul_pd, _mm_set1_pd,
+            _mm_storeu_pd,
+        };
+        let zero = _mm_set1_pd(0.0);
+        let one = _mm_set1_pd(1.0);
+        let freq_floor = _mm_set1_pd(0.1);
+        let static_2 = _mm_set1_pd(static_power);
+        let dynamic_2 = _mm_set1_pd(dynamic_coeff);
+        let mut util_acc_2 = _mm_loadu_pd(util_acc.as_ptr());
+        let mut pow_acc_2 = _mm_loadu_pd(pow_acc.as_ptr());
+        for i in 0..pairs {
+            let u = _mm_loadu_pd(utilization.as_ptr().add(2 * i));
+            let f = _mm_loadu_pd(frequency.as_ptr().add(2 * i));
+            let clamped_u = _mm_min_pd(_mm_max_pd(u, zero), one);
+            let clamped_f = _mm_min_pd(_mm_max_pd(f, freq_floor), one);
+            let f3 = _mm_mul_pd(_mm_mul_pd(clamped_f, clamped_f), clamped_f);
+            let power =
+                _mm_add_pd(static_2, _mm_mul_pd(_mm_mul_pd(dynamic_2, clamped_u), f3));
+            _mm_storeu_pd(out.as_mut_ptr().add(2 * i), power);
+            util_acc_2 = _mm_add_pd(util_acc_2, u);
+            pow_acc_2 = _mm_add_pd(pow_acc_2, power);
+        }
+        _mm_storeu_pd(util_acc.as_mut_ptr(), util_acc_2);
+        _mm_storeu_pd(pow_acc.as_mut_ptr(), pow_acc_2);
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    for i in 0..pairs {
+        for k in 0..2 {
+            let u = utilization[2 * i + k];
+            let clamped_u = u.clamp(0.0, 1.0);
+            let clamped_f = frequency[2 * i + k].clamp(0.1, 1.0);
+            let f3 = (clamped_f * clamped_f) * clamped_f;
+            let power = static_power + dynamic_coeff * clamped_u * f3;
+            util_acc[k] += u;
+            pow_acc[k] += power;
+            out[2 * i + k] = power;
+        }
+    }
+
+    // Odd trailing lane (ragged GPU counts): its slot is even, so it lands in lane 0.
+    if lanes % 2 == 1 {
+        let u = utilization[lanes - 1];
+        let clamped_u = u.clamp(0.0, 1.0);
+        let clamped_f = frequency[lanes - 1].clamp(0.1, 1.0);
+        let f3 = (clamped_f * clamped_f) * clamped_f;
+        let power = static_power + dynamic_coeff * clamped_u * f3;
+        util_acc[0] += u;
+        pow_acc[0] += power;
+        out[lanes - 1] = power;
+    }
+    let gpu_sum = pow_acc[0] + pow_acc[1];
+    let mean_load =
+        if lanes == 0 { 0.0 } else { (util_acc[0] + util_acc[1]) / lanes as f64 };
+    (gpu_sum, mean_load)
+}
+
 struct RowPowerTask<'a> {
+    plan: &'a RowPlan,
     servers: &'a [crate::topology::Server],
     activity: &'a [ServerActivity],
     airflow: &'a mut [CubicFeetPerMinute],
     power: &'a mut [Kilowatts],
-    gpu_power: &'a mut [Watts],
+    /// The row's window of the junction-temperature plane, used as per-GPU power staging
+    /// (in watts) until the thermal pass transforms it in place.
+    power_stage: &'a mut [f64],
+    /// The row's window of the per-server memory-boundedness plane, staged here for the
+    /// thermal pass (this pass already has the activity structs in cache).
+    memory_boundedness: &'a mut [f64],
     row_load: &'a mut f64,
 }
 
 impl RowPowerTask<'_> {
     fn run(&mut self, airflow_model: &AirflowModel, power_model: &ServerPowerModel) {
+        match self.plan.uniform {
+            Some(terms) => self.run_uniform(&terms),
+            None => self.run_mixed(airflow_model, power_model),
+        }
+    }
+
+    /// Fast path for a spec-homogeneous row: every spec-derived term arrives hoisted in
+    /// the row plan, so the per-server stride is fixed and the loop never touches the
+    /// `Server` structs.
+    fn run_uniform(&mut self, t: &RowUniformTerms) {
+        let gpus = t.gpus_per_server;
+        let mut load_sum = 0.0;
+        let mut gpu_offset = 0usize;
+        for (i, activity) in self.activity.iter().enumerate() {
+            prefetch_activity(self.activity, i + PREFETCH_DISTANCE);
+            validate_server_activity(activity, gpus);
+            self.memory_boundedness[i] = activity.memory_boundedness;
+            let (gpu_sum, mean_load) = power_lanes(
+                t.gpu_static_w,
+                t.gpu_dynamic_w,
+                &activity.gpu_utilization,
+                &activity.frequency_scale,
+                &mut self.power_stage[gpu_offset..gpu_offset + gpus],
+            );
+            load_sum += mean_load;
+            self.airflow[i] = t.airflow_idle + t.airflow_span * mean_load.clamp(0.0, 1.0);
+            // Total = Σ per-GPU + overhead, where overhead = max(f_power(mean) − Σ, 0); this
+            // collapses to the larger of the two without re-walking the slice. The select
+            // is `f64::max` minus its NaN bookkeeping (both operands are finite sums of
+            // clamped terms), which a bare `maxsd` implements exactly.
+            let server_w = t.power.at_load(mean_load).to_watts().value();
+            let total = if server_w >= gpu_sum { server_w } else { gpu_sum };
+            self.power[i] = Watts::new(total).to_kilowatts();
+            gpu_offset += gpus;
+        }
+        *self.row_load = load_sum;
+    }
+
+    /// General path for mixed-spec or ragged rows: terms are hoisted per server instead
+    /// of per row, everything else is the same math in the same order.
+    fn run_mixed(&mut self, airflow_model: &AirflowModel, power_model: &ServerPowerModel) {
         let mut load_sum = 0.0;
         let mut gpu_offset = 0usize;
         for (i, (server, activity)) in self.servers.iter().zip(self.activity).enumerate() {
-            assert_eq!(
-                activity.gpu_utilization.len(),
-                server.spec.gpus_per_server,
-                "activity GPU count must match the server spec"
-            );
-            // Fused per-server pass: one walk over the GPUs computes the utilization sum and
-            // the per-GPU powers (`ServerPowerModel::gpu_power` with its terms hoisted), with
-            // two accumulators so the float additions pipeline instead of forming one serial
-            // dependency chain.
+            prefetch_activity(self.activity, i + PREFETCH_DISTANCE);
             let spec = &server.spec;
+            validate_server_activity(activity, spec.gpus_per_server);
+            self.memory_boundedness[i] = activity.memory_boundedness;
             let (static_power, dynamic_coeff) = power_model.gpu_power_terms(spec);
-            let gpu_slice =
-                &mut self.gpu_power[gpu_offset..gpu_offset + spec.gpus_per_server];
-            let mut util_acc = [0.0f64; 2];
-            let mut power_acc = [0.0f64; 2];
-            for (slot, ((out, &u), &f)) in gpu_slice
-                .iter_mut()
-                .zip(&activity.gpu_utilization)
-                .zip(&activity.frequency_scale)
-                .enumerate()
-            {
-                let utilization = u.clamp(0.0, 1.0);
-                let frequency = f.clamp(0.1, 1.0);
-                let f3 = (frequency * frequency) * frequency;
-                let power = static_power + dynamic_coeff * utilization * f3;
-                util_acc[slot & 1] += u;
-                power_acc[slot & 1] += power;
-                *out = Watts::new(power);
-            }
-            let gpu_sum = power_acc[0] + power_acc[1];
-            let mean_load = if spec.gpus_per_server == 0 {
-                0.0
-            } else {
-                (util_acc[0] + util_acc[1]) / spec.gpus_per_server as f64
-            };
+            let (gpu_sum, mean_load) = power_lanes(
+                static_power,
+                dynamic_coeff,
+                &activity.gpu_utilization,
+                &activity.frequency_scale,
+                &mut self.power_stage[gpu_offset..gpu_offset + spec.gpus_per_server],
+            );
             load_sum += mean_load;
             self.airflow[i] = airflow_model.server_airflow(spec, mean_load);
-            // Total = Σ per-GPU + overhead, where overhead = max(f_power(mean) − Σ, 0); this
-            // collapses to the larger of the two without re-walking the slice.
-            let total = power_model
-                .server_power(spec, mean_load)
-                .to_watts()
-                .value()
-                .max(gpu_sum);
+            let server_w = power_model.server_power(spec, mean_load).to_watts().value();
+            let total = if server_w >= gpu_sum { server_w } else { gpu_sum };
             self.power[i] = Watts::new(total).to_kilowatts();
             gpu_offset += spec.gpus_per_server;
         }
@@ -661,63 +1002,195 @@ impl RowPowerTask<'_> {
     }
 }
 
+/// Branch-free GPU lane pass of the thermal kernel: transforms the row's staged per-GPU
+/// power lanes into junction temperatures *in place* (the power pass wrote watts into
+/// the junction plane; streaming one plane twice beats streaming two planes once each)
+/// and returns whether any lane overshot its throttle limit, so the sparse collection
+/// pass runs only when a throttle actually fired. The flag is an OR of comparisons
+/// rather than a running `f64::max` — the max's NaN-propagation semantics cost a
+/// five-instruction select per lane and serialize the loop. Neither memory temperatures
+/// nor overshoots are stored per lane: memory derives from the per-server offset (see
+/// [`TempGrid`]) and the collection pass recomputes `base − limit` (bitwise the same
+/// value), because at the 10k-server scale the step is memory-bound and every avoided
+/// full-plane stream is ~10 % of the step.
+///
+/// As in [`power_lanes`], the x86-64 pair loop uses explicit SSE2 packed doubles; every
+/// packed op is the lane-wise IEEE operation of the scalar path, so results are
+/// bit-identical to the retained scalar reference.
+#[inline(always)]
+fn thermal_lanes(
+    base_common: f64,
+    power_coeff: f64,
+    limit: f64,
+    offsets: &[f64],
+    gpu_out: &mut [f64],
+) -> bool {
+    // Equal-length reslicing, as in `power_lanes`: counted, branch-free loops.
+    let lanes = gpu_out.len();
+    let offsets = &offsets[..lanes];
+    #[allow(unused_assignments)] // the initializer is dead on x86_64 (the SSE2 block assigns)
+    let mut any_hot = false;
+    let pairs = lanes / 2;
+
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: SSE2 is unconditionally available on x86-64; every pointer below stays
+    // within the resliced `lanes` bound (`2 * pairs <= lanes`).
+    unsafe {
+        use std::arch::x86_64::{
+            _mm_add_pd, _mm_cmpgt_pd, _mm_loadu_pd, _mm_movemask_pd, _mm_mul_pd,
+            _mm_set1_pd, _mm_storeu_pd,
+        };
+        let base_2 = _mm_set1_pd(base_common);
+        let coeff_2 = _mm_set1_pd(power_coeff);
+        let limit_2 = _mm_set1_pd(limit);
+        let mut hot_mask = 0i32;
+        for i in 0..pairs {
+            let power = _mm_loadu_pd(gpu_out.as_ptr().add(2 * i));
+            let offset = _mm_loadu_pd(offsets.as_ptr().add(2 * i));
+            let base = _mm_add_pd(_mm_add_pd(base_2, _mm_mul_pd(coeff_2, power)), offset);
+            _mm_storeu_pd(gpu_out.as_mut_ptr().add(2 * i), base);
+            hot_mask |= _mm_movemask_pd(_mm_cmpgt_pd(base, limit_2));
+        }
+        any_hot = hot_mask != 0;
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    for i in 0..2 * pairs {
+        let base = base_common + power_coeff * gpu_out[i] + offsets[i];
+        gpu_out[i] = base;
+        any_hot |= base > limit;
+    }
+
+    // Odd trailing lane (ragged GPU counts).
+    if lanes % 2 == 1 {
+        let base = base_common + power_coeff * gpu_out[lanes - 1] + offsets[lanes - 1];
+        gpu_out[lanes - 1] = base;
+        any_hot |= base > limit;
+    }
+    any_hot
+}
+
+/// Sparse collection pass of the branch-free throttle detection: walks one server's
+/// junction lanes and emits directives in slot order — the same order (and the same
+/// `overshoot = base − limit` values) the in-loop branch produced before. Only reached
+/// when the lane pass flagged an overshoot, so the common all-cool step never branches
+/// per lane.
+fn collect_throttles(
+    server: ServerId,
+    limit: f64,
+    gpu_c: &[f64],
+    out: &mut Vec<ThermalThrottleDirective>,
+) {
+    for (slot, &base) in gpu_c.iter().enumerate() {
+        let over = base - limit;
+        if over > 0.0 {
+            // The hardware reduces clocks proportionally to the overshoot, with a floor
+            // of 50 % of nominal frequency (matching observed DVFS behaviour).
+            let frequency_scale = (1.0 - 0.05 * over).clamp(0.5, 0.95);
+            out.push(ThermalThrottleDirective {
+                gpu: GpuId::new(server, slot),
+                temperature: Celsius::new(base),
+                frequency_scale,
+            });
+        }
+    }
+}
+
 struct RowThermalTask<'a> {
+    plan: &'a RowPlan,
     servers: &'a [crate::topology::Server],
-    activity: &'a [ServerActivity],
-    gpu_power: &'a [Watts],
+    /// Ordinal of the row's first server (fast path reconstructs `ServerId`s from it).
+    row_start: usize,
+    /// The row's window of the staged per-server memory-boundedness plane.
+    memory_boundedness: &'a [f64],
+    /// The row's window of the inlet model's spatial-offset plane.
+    spatial: &'a [f64],
+    /// The row's window of the thermal model's per-GPU offset plane.
+    thermal_offsets: &'a [f64],
     aisle_penalty: &'a [f64],
-    outside_temp: Celsius,
-    datacenter_load: f64,
+    /// Step-invariant inlet base: `InletCurve::base(outside)`.
+    inlet_base: f64,
+    /// Step-invariant inlet load term: `InletCurve::load_term(datacenter_load)`.
+    load_term: f64,
     inlets: &'a mut [Celsius],
-    /// The row's window of the flat server-major temperature grid.
-    temps: &'a mut [GpuTemperatures],
+    /// The row's window of the junction plane; holds the staged per-GPU watts on entry,
+    /// junction temperatures on exit.
+    gpu_c: &'a mut [f64],
+    /// The row's window of the per-server memory-temperature offsets.
+    mem_offsets: &'a mut [f64],
     throttles: &'a mut Vec<ThermalThrottleDirective>,
 }
 
 impl RowThermalTask<'_> {
-    fn run(&mut self, inlet_model: &InletModel, gpu_model: &GpuThermalModel) {
+    fn run(&mut self, coeffs: &GpuThermalCoefficients) {
         self.throttles.clear();
-        let coeffs = *gpu_model.coefficients();
+        match self.plan.uniform {
+            Some(terms) => self.run_uniform(&terms, coeffs),
+            None => self.run_mixed(coeffs),
+        }
+    }
+
+    /// Fast path for a spec-homogeneous row: the throttle limit and GPU stride come from
+    /// the row plan, and the recirculation penalty is hoisted per row (rows never span
+    /// aisles), so the loop never touches the `Server` structs.
+    fn run_uniform(&mut self, t: &RowUniformTerms, coeffs: &GpuThermalCoefficients) {
+        let gpus = t.gpus_per_server;
+        let limit = t.throttle_limit_c;
+        let penalty = self.aisle_penalty[self.plan.aisle].max(0.0);
         let mut gpu_offset = 0usize;
-        for (i, (server, activity)) in self.servers.iter().zip(self.activity).enumerate() {
-            let penalty = self.aisle_penalty[server.aisle.index()];
-            let inlet = inlet_model.inlet_temp(
-                server.id,
-                self.outside_temp,
-                self.datacenter_load,
-                penalty,
-            );
+        for i in 0..self.inlets.len() {
+            let inlet = Celsius::new(self.inlet_base + self.spatial[i] + self.load_term + penalty);
             self.inlets[i] = inlet;
-            let limit = server.spec.gpu_throttle_temp_c;
-            // `GpuThermalModel::temperatures`, evaluated over the server's contiguous offset
-            // slice with the per-server terms hoisted through the shared helpers.
             let base_common = coeffs.base_terms(inlet);
-            let mem_offset = coeffs.memory_offset(activity.memory_boundedness);
-            let offsets = gpu_model.server_offsets(server.id);
-            let powers = &self.gpu_power[gpu_offset..gpu_offset + offsets.len()];
-            let out = &mut self.temps[gpu_offset..gpu_offset + offsets.len()];
-            for (slot, ((&offset, &power), out)) in
-                offsets.iter().zip(powers).zip(out).enumerate()
-            {
-                let base = base_common + coeffs.power_coeff * power.value() + offset;
-                let t = GpuTemperatures {
-                    gpu: Celsius::new(base),
-                    memory: Celsius::new(base + mem_offset),
-                };
-                if base > limit {
-                    // The hardware reduces clocks proportionally to the overshoot, with a
-                    // floor of 50 % of nominal frequency (matching observed DVFS behaviour).
-                    let overshoot = base - limit;
-                    let frequency_scale = (1.0 - 0.05 * overshoot).clamp(0.5, 0.95);
-                    self.throttles.push(ThermalThrottleDirective {
-                        gpu: GpuId::new(server.id, slot),
-                        temperature: t.gpu,
-                        frequency_scale,
-                    });
-                }
-                *out = t;
+            self.mem_offsets[i] = coeffs.memory_offset(self.memory_boundedness[i]);
+            let lanes = gpu_offset..gpu_offset + gpus;
+            let hot = thermal_lanes(
+                base_common,
+                coeffs.power_coeff,
+                limit,
+                &self.thermal_offsets[lanes.clone()],
+                &mut self.gpu_c[lanes.clone()],
+            );
+            if hot {
+                collect_throttles(
+                    ServerId::new(self.row_start + i),
+                    limit,
+                    &self.gpu_c[lanes],
+                    self.throttles,
+                );
             }
-            gpu_offset += offsets.len();
+            gpu_offset += gpus;
+        }
+    }
+
+    /// General path for mixed-spec or ragged rows: the stride, throttle limit and aisle
+    /// penalty are read per server, everything else is the same math in the same order.
+    fn run_mixed(&mut self, coeffs: &GpuThermalCoefficients) {
+        let mut gpu_offset = 0usize;
+        for (i, server) in self.servers.iter().enumerate() {
+            let penalty = self.aisle_penalty[server.aisle.index()].max(0.0);
+            let inlet = Celsius::new(self.inlet_base + self.spatial[i] + self.load_term + penalty);
+            self.inlets[i] = inlet;
+            let base_common = coeffs.base_terms(inlet);
+            self.mem_offsets[i] = coeffs.memory_offset(self.memory_boundedness[i]);
+            let gpus = server.spec.gpus_per_server;
+            let lanes = gpu_offset..gpu_offset + gpus;
+            let hot = thermal_lanes(
+                base_common,
+                coeffs.power_coeff,
+                server.spec.gpu_throttle_temp_c,
+                &self.thermal_offsets[lanes.clone()],
+                &mut self.gpu_c[lanes.clone()],
+            );
+            if hot {
+                collect_throttles(
+                    server.id,
+                    server.spec.gpu_throttle_temp_c,
+                    &self.gpu_c[lanes],
+                    self.throttles,
+                );
+            }
+            gpu_offset += gpus;
         }
     }
 }

@@ -194,6 +194,15 @@ impl<K, V: Deserialize> Deserialize for OrdinalMap<K, V> {
     }
 }
 
+/// Returns `true` when `ids` is an ascending, contiguous ordinal run — the layout
+/// builder's invariant for row and aisle member lists. The dense-slice fast paths
+/// (hierarchy row draws, aisle demand) reduce over `[first, first + len)` windows only
+/// when this holds, which keeps their sums bit-identical to the id-list walks.
+#[must_use]
+pub fn is_contiguous_run<K: TopologyOrdinal>(ids: &[K]) -> bool {
+    ids.windows(2).all(|w| w[1].ordinal() == w[0].ordinal() + 1)
+}
+
 /// Frozen ordinal geometry of one datacenter, built once from its [`Layout`].
 ///
 /// Holds the entity counts and the stride tables (server-major GPU offsets, contiguous
@@ -352,6 +361,19 @@ impl TopologyIndex {
     pub fn row_range(&self, row: RowId) -> Range<usize> {
         self.row_ranges[row.index()].clone()
     }
+
+    /// The contiguous window of one row in the flat server-major GPU planes: because rows
+    /// cover contiguous server ranges, every row also covers one contiguous GPU range. The
+    /// engine's row kernels split every per-GPU plane (power, temperatures, throttle
+    /// scratch) along these windows.
+    ///
+    /// # Panics
+    /// Panics if the row ordinal is out of range.
+    #[must_use]
+    pub fn row_gpu_range(&self, row: RowId) -> Range<usize> {
+        let servers = &self.row_ranges[row.index()];
+        self.gpu_offsets[servers.start] as usize..self.gpu_offsets[servers.end] as usize
+    }
 }
 
 #[cfg(test)]
@@ -394,6 +416,15 @@ mod tests {
             8 + 3,
             "second server's slot 3 sits after the first server's 8 GPUs"
         );
+        // Row GPU windows line up with the per-server prefix sums.
+        for row in layout.rows() {
+            let servers = index.row_range(row.id);
+            let gpus = index.row_gpu_range(row.id);
+            let expected: usize =
+                servers.clone().map(|s| index.gpus_of(ServerId::new(s))).sum();
+            assert_eq!(gpus.end - gpus.start, expected);
+            assert_eq!(gpus.start, index.gpu_range(ServerId::new(servers.start)).start);
+        }
     }
 
     #[test]
@@ -402,6 +433,15 @@ mod tests {
         let layout = LayoutConfig::small_test_cluster().build();
         let index = TopologyIndex::from_layout(&layout);
         let _ = index.gpu_flat_index(GpuId::new(ServerId::new(0), 8));
+    }
+
+    #[test]
+    fn contiguous_run_predicate() {
+        assert!(is_contiguous_run::<ServerId>(&[]));
+        assert!(is_contiguous_run(&[ServerId::new(3)]));
+        assert!(is_contiguous_run(&[ServerId::new(3), ServerId::new(4), ServerId::new(5)]));
+        assert!(!is_contiguous_run(&[ServerId::new(3), ServerId::new(5)]));
+        assert!(!is_contiguous_run(&[ServerId::new(4), ServerId::new(3)]));
     }
 
     #[test]

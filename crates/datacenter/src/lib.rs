@@ -19,7 +19,10 @@
 //!   and the dense id-keyed telemetry containers ([`OrdinalMap`]) every per-step shape is
 //!   built on.
 //! * [`engine`] — the per-step evaluation pipeline that turns per-GPU load/power into
-//!   temperatures, aggregate powers, violations and capping directives.
+//!   temperatures, aggregate powers, violations and capping directives, built on
+//!   structure-of-arrays, row-batched, branch-free kernels.
+//! * [`kernel_reference`] — the retained scalar reference implementation the batched
+//!   kernels are pinned bitwise-equal to (the engine's FP-order contract, executable).
 //!
 //! The crate is purely a *physics* substrate: it knows nothing about VMs, LLMs or policies.
 //! Those live in the `workload`, `llm-sim` and `tapas` crates.
@@ -46,6 +49,7 @@ pub mod engine;
 pub mod failures;
 pub mod ids;
 pub mod index;
+pub mod kernel_reference;
 pub mod power;
 pub mod topology;
 pub mod weather;

@@ -11,7 +11,7 @@
 //! control loop performs no per-step map allocation.
 
 use crate::ids::{PduId, RowId, ServerId, UpsId};
-use crate::index::OrdinalMap;
+use crate::index::{is_contiguous_run, OrdinalMap};
 use crate::topology::Layout;
 use serde::{Deserialize, Serialize};
 use simkit::units::Kilowatts;
@@ -252,12 +252,34 @@ pub struct PowerHierarchy {
     layout_pdus: Vec<(PduId, Vec<RowId>, Kilowatts, UpsId)>,
     layout_upses: Vec<(UpsId, Vec<PduId>, Kilowatts)>,
     datacenter_budget: Kilowatts,
+    /// Per-row `[start, end)` server-index spans, populated only when every row's member
+    /// list is an ascending contiguous index run (the layout builder's invariant). Row
+    /// draws then reduce over dense `server_power` slices — same elements in the same
+    /// order, so sums are bit-identical to the id-list walk — instead of gathering
+    /// through the id vectors. Empty when any row is irregular (the general walk is the
+    /// fallback).
+    row_span_start: Vec<u32>,
+    row_span_end: Vec<u32>,
 }
+
 
 impl PowerHierarchy {
     /// Builds the hierarchy view from a layout.
     #[must_use]
     pub fn from_layout(layout: &Layout) -> Self {
+        let contiguous = layout.rows().iter().all(|r| is_contiguous_run(&r.servers));
+        let (row_span_start, row_span_end) = if contiguous {
+            layout
+                .rows()
+                .iter()
+                .map(|r| {
+                    let start = r.servers.first().map_or(0, |s| s.index() as u32);
+                    (start, start + r.servers.len() as u32)
+                })
+                .unzip()
+        } else {
+            (Vec::new(), Vec::new())
+        };
         let hierarchy = Self {
             layout_rows: layout
                 .rows()
@@ -275,6 +297,8 @@ impl PowerHierarchy {
                 .map(|u| (u.id, u.pdus.clone(), u.power_budget))
                 .collect(),
             datacenter_budget: layout.datacenter_power_budget(),
+            row_span_start,
+            row_span_end,
         };
         // Ordinal indexing throughout (`row_budget`, `assess_into`) relies on each level
         // being stored in id order; pin the invariant here, once, at construction.
@@ -354,10 +378,23 @@ impl PowerHierarchy {
         scratch.caps.clear();
         scratch.caps.resize(server_power.len(), 1.0);
 
-        for (row_id, servers, budget, _) in &self.layout_rows {
-            let draw: Kilowatts = servers.iter().map(|s| server_power[s.index()]).sum();
-            out.rows[*row_id] =
-                LevelUtilization::new(draw, *budget * capacity.row(*row_id));
+        if self.row_span_start.is_empty() && !self.layout_rows.is_empty() {
+            for (row_id, servers, budget, _) in &self.layout_rows {
+                let draw: Kilowatts =
+                    servers.iter().map(|s| server_power[s.index()]).sum();
+                out.rows[*row_id] =
+                    LevelUtilization::new(draw, *budget * capacity.row(*row_id));
+            }
+        } else {
+            // Contiguous fast path: one dense slice reduction per row (same elements,
+            // same order, bit-identical sums).
+            for (i, (row_id, _, budget, _)) in self.layout_rows.iter().enumerate() {
+                let span =
+                    self.row_span_start[i] as usize..self.row_span_end[i] as usize;
+                let draw: Kilowatts = server_power[span].iter().copied().sum();
+                out.rows[*row_id] =
+                    LevelUtilization::new(draw, *budget * capacity.row(*row_id));
+            }
         }
 
         for (pdu_id, member_rows, budget, _) in &self.layout_pdus {

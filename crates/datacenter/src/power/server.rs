@@ -29,16 +29,54 @@ impl Default for ServerPowerModel {
     }
 }
 
+/// The hoisted constants of the polynomial server power curve for one spec: the total
+/// power at a mean load is `idle + span · (w1 · load + w2 · load²)`.
+///
+/// [`ServerPowerModel::server_power`] and the engine's once-per-row hoisting on
+/// homogeneous rows both evaluate the curve through [`Self::at_load`], so results are
+/// bit-identical whichever path computed them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerPowerTerms {
+    /// Weight of the linear term.
+    pub w1: f64,
+    /// Weight of the quadratic term (`1 - w1`).
+    pub w2: f64,
+    /// Idle power of the server.
+    pub idle: Kilowatts,
+    /// `max_power - idle_power`.
+    pub span: Kilowatts,
+}
+
+impl ServerPowerTerms {
+    /// Total server power at a normalized GPU load in `[0, 1]`.
+    #[inline]
+    #[must_use]
+    pub fn at_load(&self, load: f64) -> Kilowatts {
+        let load = load.clamp(0.0, 1.0);
+        let dynamic = self.w1 * load + self.w2 * load * load;
+        self.idle + self.span * dynamic
+    }
+}
+
 impl ServerPowerModel {
+    /// The hoisted constants of the server power curve for one spec.
+    #[inline]
+    #[must_use]
+    pub fn server_power_terms(&self, spec: &ServerSpec) -> ServerPowerTerms {
+        let w1 = self.linear_weight.clamp(0.0, 1.0);
+        ServerPowerTerms {
+            w1,
+            w2: 1.0 - w1,
+            idle: spec.idle_power,
+            span: spec.max_power - spec.idle_power,
+        }
+    }
+
     /// Total server power at a normalized GPU load in `[0, 1]` (mean across the GPUs).
     #[inline]
     #[must_use]
     pub fn server_power(&self, spec: &ServerSpec, load: f64) -> Kilowatts {
-        let load = load.clamp(0.0, 1.0);
-        let w1 = self.linear_weight.clamp(0.0, 1.0);
-        let w2 = 1.0 - w1;
-        let dynamic = w1 * load + w2 * load * load;
-        spec.idle_power + (spec.max_power - spec.idle_power) * dynamic
+        self.server_power_terms(spec).at_load(load)
     }
 
     /// The `(static floor, dynamic coefficient)` of the per-GPU power formula in watts: one

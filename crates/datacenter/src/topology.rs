@@ -281,6 +281,22 @@ impl Layout {
     pub fn total_max_power(&self) -> Kilowatts {
         self.servers.iter().map(|s| s.spec.max_power).sum()
     }
+
+    /// Returns the layout with every server's spec replaced by `f(server)` — the entry
+    /// point for mixed fleets (e.g. H100 rows inside an A100 site) and for differential
+    /// tests that need ragged GPU counts or mixed-spec rows, which exercise the physics
+    /// engine's general (non-row-uniform) kernels.
+    ///
+    /// Structure (rows, aisles, power hierarchy) and the provisioned budgets are left as
+    /// built; callers that change TDPs materially should build with matching provisioning
+    /// fractions instead.
+    #[must_use]
+    pub fn map_server_specs(mut self, mut f: impl FnMut(&Server) -> ServerSpec) -> Self {
+        for server in &mut self.servers {
+            server.spec = f(server);
+        }
+        self
+    }
 }
 
 /// Configuration used to construct a [`Layout`].

@@ -17,6 +17,7 @@ macro_rules! scalar_unit {
         $(#[$meta])*
         #[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
         #[serde(transparent)]
+        #[repr(transparent)]
         pub struct $name(f64);
 
         impl $name {

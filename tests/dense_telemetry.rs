@@ -208,7 +208,7 @@ fn temp_grid_and_aisle_grid_match_reference_models() {
             let inlet = outcome.inlet_temps[server.id.index()];
             let grid_row = outcome.gpu_temps.server(server.id);
             assert_eq!(grid_row.len(), server.spec.gpus_per_server, "case {case}");
-            for (slot, &actual) in grid_row.iter().enumerate() {
+            for (slot, actual) in grid_row.iter().enumerate() {
                 let power = dc.power_model().gpu_power(
                     &server.spec,
                     activity.gpu_utilization[slot],
