@@ -546,19 +546,6 @@ impl FleetConfig {
         self.site_experiment(site).resolved_timeline()
     }
 
-    /// Deprecated panicking validation, forwarding to [`Self::check`].
-    ///
-    /// # Panics
-    /// Panics with the [`ScenarioError`]'s message if the configuration is invalid.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `check()`, which returns a typed `ScenarioError` instead of panicking"
-    )]
-    pub fn validate(&self) {
-        if let Err(error) = self.check() {
-            panic!("{error}");
-        }
-    }
 }
 
 #[cfg(test)]
@@ -626,15 +613,6 @@ mod tests {
             .unwrap_err();
         assert_eq!(error, ScenarioError::PinnedSiteOutOfRange { site: 3, sites: 1 });
         assert!(error.to_string().contains("out of range"));
-    }
-
-    #[test]
-    #[should_panic(expected = "out of range")]
-    #[allow(deprecated)]
-    fn deprecated_validate_forwards_to_check_and_panics() {
-        FleetConfig::single_site(ExperimentConfig::small_smoke_test())
-            .with_geo(GeoPolicy::Pinned(3))
-            .validate();
     }
 
     #[test]

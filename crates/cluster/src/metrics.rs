@@ -6,6 +6,7 @@ use simkit::events::{EventKind, EventLog};
 use simkit::series::TimeSeries;
 use simkit::stats::Summary;
 use simkit::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
 
 /// Everything a simulation run records.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -105,6 +106,32 @@ impl RunReport {
     #[must_use]
     pub fn power_capped_time_fraction(&self) -> f64 {
         self.events.fraction_of_time(EventKind::PowerCap, self.horizon, self.step)
+    }
+
+    /// Largest number of SLO-violation events logged in any single step — the
+    /// "worst-step SLO" robustness metric of the scenario sweep. A run can keep mean
+    /// attainment high while a single emergency step craters; this catches that step.
+    #[must_use]
+    pub fn worst_step_slo_violations(&self) -> usize {
+        let step_minutes = self.step.as_minutes().max(1);
+        let mut buckets: BTreeMap<u64, usize> = BTreeMap::new();
+        for event in self.events.of_kind(EventKind::SloViolation) {
+            *buckets.entry(event.time.as_minutes() / step_minutes).or_insert(0) += 1;
+        }
+        buckets.values().copied().max().unwrap_or(0)
+    }
+
+    /// Minute of the last thermal-throttle or power-cap event, if any. The scenario
+    /// sweep compares it against the scenario's last emergency window
+    /// ([`crate::scenario::Scenario::last_emergency_end`]) to measure how long a policy
+    /// keeps struggling after the emergency itself has passed.
+    #[must_use]
+    pub fn last_stress_event_minute(&self) -> Option<u64> {
+        [EventKind::ThermalThrottle, EventKind::PowerCap]
+            .into_iter()
+            .flat_map(|kind| self.events.of_kind(kind))
+            .map(|event| event.time.as_minutes())
+            .max()
     }
 
     /// P99 of the observed latency factors (1.0 = unloaded latency; the SLO is 5.0).
@@ -226,6 +253,26 @@ impl FleetReport {
             .sum()
     }
 
+    /// Largest number of SLO-violation events logged in any single step, fleet-wide
+    /// (per-step counts sum across sites before taking the worst step).
+    #[must_use]
+    pub fn worst_step_slo_violations(&self) -> usize {
+        let mut buckets: BTreeMap<u64, usize> = BTreeMap::new();
+        for site in &self.sites {
+            let step_minutes = site.step.as_minutes().max(1);
+            for event in site.events.of_kind(EventKind::SloViolation) {
+                *buckets.entry(event.time.as_minutes() / step_minutes).or_insert(0) += 1;
+            }
+        }
+        buckets.values().copied().max().unwrap_or(0)
+    }
+
+    /// Minute of the last thermal-throttle or power-cap event across the fleet, if any.
+    #[must_use]
+    pub fn last_stress_event_minute(&self) -> Option<u64> {
+        self.sites.iter().filter_map(RunReport::last_stress_event_minute).max()
+    }
+
     /// The hottest GPU temperature any site reached.
     #[must_use]
     pub fn peak_temperature_c(&self) -> f64 {
@@ -324,6 +371,43 @@ mod tests {
         let line = report.one_liner();
         assert!(line.contains("TAPAS"));
         assert!(line.contains("peak_temp"));
+    }
+
+    #[test]
+    fn worst_step_slo_and_last_stress_event_bucket_the_event_log() {
+        let mut report = report_with_data();
+        assert_eq!(report.worst_step_slo_violations(), 0);
+        assert_eq!(report.last_stress_event_minute(), Some(5));
+        // Two violations in the step starting at minute 10, one at minute 15.
+        for minute in [10, 12, 15] {
+            report.events.record(Event {
+                time: SimTime::from_minutes(minute),
+                kind: EventKind::SloViolation,
+                entity: "vm-1".into(),
+                magnitude: 6.0,
+                detail: String::new(),
+            });
+        }
+        report.events.record(Event {
+            time: SimTime::from_minutes(15),
+            kind: EventKind::PowerCap,
+            entity: "row-0".into(),
+            magnitude: 1.1,
+            detail: String::new(),
+        });
+        assert_eq!(report.worst_step_slo_violations(), 2);
+        assert_eq!(report.last_stress_event_minute(), Some(15));
+
+        // Fleet-wide, the per-step counts of the two identical sites add up.
+        let fleet = FleetReport {
+            geo: "Headroom".to_string(),
+            site_names: vec!["a".to_string(), "b".to_string()],
+            sites: vec![report.clone(), report],
+            vms_routed: vec![1, 1],
+            emergency_diversions: 0,
+        };
+        assert_eq!(fleet.worst_step_slo_violations(), 4);
+        assert_eq!(fleet.last_stress_event_minute(), Some(15));
     }
 
     #[test]

@@ -76,6 +76,7 @@ impl PlacementStudy {
                     outside_temp: Celsius::new(self.outside_temp_c),
                     activity,
                     failures: FailureState::healthy(),
+                    power_cap: 1.0,
                 });
                 PlacementSample {
                     max_temp_c: outcome.max_gpu_temp().value(),

@@ -19,6 +19,11 @@
 //! * **Demand shaping** — multiplicative surges on SaaS request rates, fleet-wide or per
 //!   endpoint (trace replay enters through
 //!   [`crate::simulator::ClusterSimulator::with_arrivals`]).
+//! * **Power caps** — operator directives (modeled on rack-level power-cap operators)
+//!   that clamp every row and UPS budget of the targeted site(s) to a fraction of
+//!   provisioned capacity for a window. Unlike failures, a cap is not an outage: the
+//!   infrastructure is healthy but the site must live under a reduced envelope (grid
+//!   curtailment, demand-response, maintenance derating).
 //!
 //! # Resolution
 //!
@@ -28,8 +33,11 @@
 //! index math — no maps, no allocation — per the dense-telemetry contract. Resolution is
 //! a pure function of the scenario (no RNG): events apply in insertion order, weather
 //! offsets accumulate additively, demand multipliers multiplicatively, price events
-//! overwrite their window (later events win), and failure windows collapse through
-//! [`dc_sim::failures::FailureState`]'s most-severe rules.
+//! overwrite their window (later events win), failure windows collapse through
+//! [`dc_sim::failures::FailureState`]'s most-severe rules, and overlapping power caps
+//! min-compose (the most restrictive cap wins). In the engine a step's cap then
+//! *multiplies* the failure-derived capacity fractions, so a UPS failure under a cap is
+//! strictly worse than either alone.
 //!
 //! # Example
 //!
@@ -48,6 +56,8 @@
 //! assert!(scenario.validate(3).is_ok());
 //! assert!(scenario.validate(1).is_err()); // events target sites 0 and 1
 //! ```
+
+pub mod generator;
 
 use crate::metrics::RunReport;
 use dc_sim::failures::{FailureKind, FailureSchedule, FailureWindow};
@@ -131,6 +141,19 @@ pub enum ScenarioEvent {
         /// What failed.
         kind: FailureKind,
     },
+    /// Operator power-cap directive: row and UPS budgets of the targeted site(s) are
+    /// clamped to `fraction` of provisioned capacity during the window. Overlapping
+    /// caps min-compose (the most restrictive fraction wins).
+    PowerCap {
+        /// Affected site(s).
+        site: SiteSelector,
+        /// Start of the cap window (inclusive).
+        start: SimTime,
+        /// End of the cap window (exclusive).
+        end: SimTime,
+        /// Budget clamp in `(0, 1]`: effective budgets = provisioned × `fraction`.
+        fraction: f64,
+    },
     /// Demand multiplier on SaaS request rates. Overlapping surges multiply.
     Surge {
         /// Affected site(s).
@@ -154,6 +177,7 @@ impl ScenarioEvent {
             ScenarioEvent::Weather { site, .. }
             | ScenarioEvent::GridPrice { site, .. }
             | ScenarioEvent::Failure { site, .. }
+            | ScenarioEvent::PowerCap { site, .. }
             | ScenarioEvent::Surge { site, .. } => site,
         }
     }
@@ -165,6 +189,7 @@ impl ScenarioEvent {
             ScenarioEvent::Weather { start, end, .. }
             | ScenarioEvent::GridPrice { start, end, .. }
             | ScenarioEvent::Failure { start, end, .. }
+            | ScenarioEvent::PowerCap { start, end, .. }
             | ScenarioEvent::Surge { start, end, .. } => (start, end),
         }
     }
@@ -174,6 +199,7 @@ impl ScenarioEvent {
             ScenarioEvent::Weather { site, .. }
             | ScenarioEvent::GridPrice { site, .. }
             | ScenarioEvent::Failure { site, .. }
+            | ScenarioEvent::PowerCap { site, .. }
             | ScenarioEvent::Surge { site, .. } => *site = selector,
         }
         self
@@ -247,6 +273,13 @@ pub enum ScenarioError {
         /// Index of the offending event in the timeline.
         event: usize,
     },
+    /// A power-cap fraction is outside `(0, 1]` or non-finite.
+    InvalidPowerCapFraction {
+        /// Index of the offending event in the timeline.
+        event: usize,
+        /// The offending fraction.
+        fraction: f64,
+    },
     /// A surge multiplier is zero, negative or non-finite.
     InvalidMultiplier {
         /// Index of the offending event in the timeline.
@@ -296,6 +329,10 @@ impl fmt::Display for ScenarioError {
             ScenarioError::NoFailedUnits { event } => {
                 write!(f, "event {event} is an AHU failure that fails zero units")
             }
+            ScenarioError::InvalidPowerCapFraction { event, fraction } => write!(
+                f,
+                "event {event} has power-cap fraction {fraction}, expected within (0, 1]"
+            ),
             ScenarioError::InvalidMultiplier { event, multiplier } => write!(
                 f,
                 "event {event} has an invalid demand multiplier {multiplier}"
@@ -356,6 +393,25 @@ impl Scenario {
             .expect("preset windows are valid")
     }
 
+    /// End of the last *emergency* window — failures and power caps, the events that can
+    /// force throttling or capping. The robustness harness measures recovery time as how
+    /// long after this a policy keeps logging stress events
+    /// ([`crate::metrics::RunReport::last_stress_event_minute`]). `None` when the
+    /// scenario contains no emergencies.
+    #[must_use]
+    pub fn last_emergency_end(&self) -> Option<SimTime> {
+        self.events
+            .iter()
+            .filter(|event| {
+                matches!(
+                    event,
+                    ScenarioEvent::Failure { .. } | ScenarioEvent::PowerCap { .. }
+                )
+            })
+            .map(|event| event.window().1)
+            .max_by_key(|end| end.as_minutes())
+    }
+
     /// Validates the site-independent invariants: non-empty windows, finite deltas,
     /// valid prices/fractions/multipliers.
     ///
@@ -406,6 +462,14 @@ impl Scenario {
                         }
                     }
                 },
+                ScenarioEvent::PowerCap { fraction, .. } => {
+                    if !fraction.is_finite() || fraction <= 0.0 || fraction > 1.0 {
+                        return Err(ScenarioError::InvalidPowerCapFraction {
+                            event: index,
+                            fraction,
+                        });
+                    }
+                }
                 ScenarioEvent::Surge { multiplier, .. } => {
                     if !multiplier.is_finite() || multiplier <= 0.0 {
                         return Err(ScenarioError::InvalidMultiplier {
@@ -480,6 +544,7 @@ impl Scenario {
             temp_offset_c: vec![0.0; steps],
             grid_price_per_mwh: vec![self.base_grid_price_per_mwh; steps],
             demand_scale: vec![1.0; steps],
+            power_cap: vec![1.0; steps],
             endpoint_scale: Vec::new(),
             endpoint_count,
             failures: legacy_failures.clone(),
@@ -500,6 +565,11 @@ impl Scenario {
                 }
                 ScenarioEvent::Failure { kind, .. } => {
                     timeline.failures.add(FailureWindow { kind, start, end });
+                }
+                ScenarioEvent::PowerCap { fraction, .. } => {
+                    for slot in &mut timeline.power_cap[range] {
+                        *slot = slot.min(fraction);
+                    }
                 }
                 ScenarioEvent::Surge { endpoint, multiplier, .. } => match endpoint {
                     None => {
@@ -690,6 +760,25 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Operator power-cap directive on selected site(s): row and UPS budgets are
+    /// clamped to `fraction` of provisioned capacity during `[start, end)`.
+    #[must_use]
+    pub fn power_cap(
+        mut self,
+        site: impl Into<SiteSelector>,
+        start: SimTime,
+        end: SimTime,
+        fraction: f64,
+    ) -> Self {
+        self.scenario.events.push(ScenarioEvent::PowerCap {
+            site: site.into(),
+            start,
+            end,
+            fraction,
+        });
+        self
+    }
+
     /// Fleet-wide traffic surge: every endpoint's request rate is multiplied during the
     /// window.
     #[must_use]
@@ -756,6 +845,9 @@ pub struct ResolvedTimeline {
     temp_offset_c: Vec<f64>,
     grid_price_per_mwh: Vec<f64>,
     demand_scale: Vec<f64>,
+    /// Per-step power-cap fraction (1.0 outside cap windows; overlapping caps
+    /// min-composed at resolution).
+    power_cap: Vec<f64>,
     /// Step-major per-endpoint multipliers; empty unless an endpoint-targeted surge
     /// exists (the common all-endpoint case stays one flat vector).
     endpoint_scale: Vec<f64>,
@@ -807,6 +899,25 @@ impl ResolvedTimeline {
             return site_wide;
         }
         site_wide * self.endpoint_scale[index * self.endpoint_count + column]
+    }
+
+    /// Power-cap fraction at `now` (1.0 outside cap windows; the most restrictive
+    /// overlapping cap inside them).
+    #[must_use]
+    pub fn power_cap_at(&self, now: SimTime) -> f64 {
+        self.power_cap[self.index(now)]
+    }
+
+    /// The full per-step power-cap curve (step ordinal = index).
+    #[must_use]
+    pub fn power_caps(&self) -> &[f64] {
+        &self.power_cap
+    }
+
+    /// Simulated minutes spent under an active power cap (steps with fraction `< 1.0`).
+    #[must_use]
+    pub fn capped_minutes(&self) -> u64 {
+        self.power_cap.iter().filter(|&&f| f < 1.0).count() as u64 * self.step_minutes
     }
 
     /// The merged failure schedule (legacy config windows plus scenario failure events).
@@ -952,6 +1063,62 @@ mod tests {
     }
 
     #[test]
+    fn power_caps_min_compose_over_their_windows() {
+        let scenario = Scenario::builder()
+            .power_cap(SiteSelector::All, t(10), t(60), 0.8)
+            .power_cap(0, t(30), t(45), 0.6)
+            .power_cap(0, t(40), t(50), 0.9)
+            .build()
+            .expect("valid");
+        let timeline = resolve(&scenario, 0);
+        assert_eq!(timeline.power_cap_at(t(0)), 1.0);
+        assert_eq!(timeline.power_cap_at(t(10)), 0.8);
+        assert_eq!(timeline.power_cap_at(t(30)), 0.6, "most restrictive cap wins");
+        assert_eq!(timeline.power_cap_at(t(40)), 0.6);
+        assert_eq!(timeline.power_cap_at(t(45)), 0.8, "0.9 is weaker than the 0.8 backdrop");
+        assert_eq!(timeline.power_cap_at(t(60)), 1.0, "half-open window");
+        assert_eq!(timeline.power_caps().len(), timeline.step_count());
+        // Site 1 only sees the fleet-wide cap.
+        let other = resolve(&scenario, 1);
+        assert_eq!(other.power_cap_at(t(30)), 0.8);
+        // Capped minutes count steps with an active cap (10..60 at 5-minute steps).
+        assert_eq!(timeline.capped_minutes(), 50);
+        assert_eq!(resolve(&Scenario::default(), 0).capped_minutes(), 0);
+    }
+
+    #[test]
+    fn power_cap_fractions_are_validated() {
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            let result =
+                Scenario::builder().power_cap(SiteSelector::All, t(0), t(30), bad).build();
+            match result.unwrap_err() {
+                ScenarioError::InvalidPowerCapFraction { event: 0, fraction } => {
+                    assert!(fraction.is_nan() || fraction == bad);
+                }
+                other => panic!("unexpected error {other:?}"),
+            }
+        }
+        // A 1.0 cap is a valid no-op; window and site checks apply like any event.
+        assert!(Scenario::builder()
+            .power_cap(SiteSelector::All, t(0), t(30), 1.0)
+            .build()
+            .is_ok());
+        let empty = Scenario::builder().power_cap(0, t(30), t(30), 0.8).build();
+        assert_eq!(empty.unwrap_err(), ScenarioError::EmptyWindow { event: 0 });
+        let scenario = Scenario::builder()
+            .power_cap(3, t(0), t(30), 0.8)
+            .build()
+            .expect("event invariants hold");
+        assert_eq!(
+            scenario.validate(2).unwrap_err(),
+            ScenarioError::SiteOutOfRange { event: 0, site: 3, sites: 2 }
+        );
+        let message = ScenarioError::InvalidPowerCapFraction { event: 2, fraction: 1.5 }
+            .to_string();
+        assert!(message.contains("power-cap fraction"), "{message}");
+    }
+
+    #[test]
     fn for_site_filters_and_normalizes_selectors() {
         let scenario = Scenario::builder()
             .heatwave(0..2, 6.0)
@@ -1024,6 +1191,7 @@ mod tests {
             .grid_price_spike(1, t(100), t(200), 280.0)
             .fail_ups(0, t(50), t(90), 0.75)
             .fail_ahus(2, 1, 1, t(60), t(80))
+            .power_cap(1, t(70), t(120), 0.7)
             .surge(t(0), t(30), 1.8)
             .endpoint_ramp(EndpointId(2), t(10), t(40), 2.5)
             .build()

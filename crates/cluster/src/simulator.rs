@@ -81,6 +81,10 @@ struct EndpointPool {
     transition_until: Vec<Option<SimTime>>,
     /// Requests offered to the instance during the current step.
     offered: Vec<f64>,
+    /// Unclamped demand pressure: last step's offered load over effective goodput,
+    /// saturated at 1.5. Equals `utilization` below 1.0, but keeps signalling excess
+    /// demand above it so the configurator can upsize during surges.
+    pressure: Vec<f64>,
     /// Cached TAPAS risk flags, refreshed per step and after each routed quantum.
     risky: Vec<bool>,
 }
@@ -114,6 +118,7 @@ impl EndpointPool {
         self.boundedness.swap_remove(index);
         self.transition_until.swap_remove(index);
         self.offered.swap_remove(index);
+        self.pressure.swap_remove(index);
         self.risky.swap_remove(index);
     }
 }
@@ -161,6 +166,7 @@ impl InstanceRegistry {
         pool.boundedness.push(boundedness);
         pool.transition_until.push(None);
         pool.offered.push(0.0);
+        pool.pressure.push(0.0);
         pool.risky.push(false);
         self.endpoint_of.insert(vm, index as u32);
         self.position_of.insert(vm, position as u32);
@@ -667,6 +673,7 @@ impl ClusterSimulator {
         }
 
         // Convert offered load to utilization and record latency/quality samples.
+        let carryover = &self.carryover_freq;
         for pool in &mut self.registry.pools {
             for i in 0..pool.len() {
                 let offered = pool.offered[i];
@@ -678,8 +685,15 @@ impl ClusterSimulator {
                 }
                 .max(1.0);
                 let in_transition = pool.in_transition[i];
-                let effective_goodput = if in_transition { goodput * 0.5 } else { goodput };
+                // A hardware-throttled server serves proportionally fewer tokens: the
+                // carryover frequency scale from last step's thermal-throttle and
+                // power-capping directives degrades goodput exactly as it degrades the
+                // physics-side clock (1.0 on a healthy server is a bit-identical no-op).
+                let throttle = carryover[pool.server[i].index()];
+                let effective_goodput =
+                    if in_transition { goodput * 0.5 } else { goodput } * throttle;
                 let utilization = (offered_tokens_per_s / effective_goodput).min(1.5);
+                pool.pressure[i] = utilization;
                 pool.utilization[i] = utilization.min(1.0);
                 pool.outstanding[i] = offered.ceil() as u32;
 
@@ -724,6 +738,7 @@ impl ClusterSimulator {
             return;
         }
         let configurator = InstanceConfigurator::new(0.9);
+        let power_cap = self.timeline.power_cap_at(now);
         let layout = self.dc.layout();
 
         // Count SaaS instances per row to share row headroom.
@@ -741,6 +756,11 @@ impl ClusterSimulator {
                 let server = pool.server[position];
                 let current_config = pool.config[position];
                 let utilization = pool.utilization[position];
+                // Demand pressure is the unclamped utilization: identical to
+                // `utilization` below 1.0, above it it keeps signalling the surplus so
+                // the configurator upsizes under surges instead of mistaking a
+                // saturated instance for one that exactly meets its demand.
+                let pressure = pool.pressure[position];
                 let cached_goodput = pool.goodput[position];
                 let profile = self.profiles.server(server);
                 let row = profile.row;
@@ -750,15 +770,27 @@ impl ClusterSimulator {
                 let max_gpu_power =
                     profile.gpu_power_budget(inlet, self.profiles.thermal_headroom_target);
 
-                // Row power headroom -> per-instance server power budget.
-                let row_budget = self.profiles.row_budget(row);
+                // Row power headroom -> per-instance server power budget. An active
+                // power cap shrinks the budget the configurator plans against, so the
+                // TAPAS response to a cap window is proactive reconfiguration rather
+                // than reactive throttling (×1.0 outside cap windows is bit-identical).
+                let row_budget = self.profiles.row_budget(row) * power_cap;
                 let row_now = self.routing_context.row_power[row.index()];
                 let headroom = row_budget * 0.97 - row_now;
-                let share =
-                    headroom / self.saas_per_row[row.index()].max(1) as f64;
                 let current_power = profile.predicted_power(utilization);
-                let max_server_power =
-                    Kilowatts::new((current_power + share).value().max(0.3));
+                let max_server_power = if headroom.value() >= 0.0 {
+                    let share =
+                        headroom / self.saas_per_row[row.index()].max(1) as f64;
+                    Kilowatts::new((current_power + share).value().max(0.3))
+                } else {
+                    // Over budget (deep power cap or a demand spike): scale every
+                    // instance's envelope proportionally to its current draw instead of
+                    // subtracting the same absolute deficit from each — uniform
+                    // subtraction zeroes the smallest instances first and collapses
+                    // their SLOs while large ones barely notice.
+                    let scale = (row_budget * 0.97).value() / row_now.value();
+                    Kilowatts::new((current_power.value() * scale).max(0.3))
+                };
 
                 let goodput = if cached_goodput.is_nan() {
                     FALLBACK_GOODPUT
@@ -768,7 +800,7 @@ impl ClusterSimulator {
                 let limits = InstanceLimits {
                     max_gpu_power: Watts::new(max_gpu_power.value().max(1.0)),
                     max_server_power,
-                    demand_tokens_per_s: utilization * goodput,
+                    demand_tokens_per_s: pressure * goodput,
                 };
                 let decision = configurator.select(&current_config, &limits, &self.profiles);
                 if decision.config != current_config {
@@ -856,8 +888,10 @@ impl ClusterSimulator {
         self.fill_activity(now);
         self.step_input.outside_temp = outside;
         // The resolved timeline's schedule merges the legacy config windows with the
-        // scenario's failure events.
+        // scenario's failure events; the step's power cap rides along the same way
+        // (1.0 outside cap windows keeps the engine's uncapped path untouched).
         self.timeline.failures().state_into(now, &mut self.step_input.failures);
+        self.step_input.power_cap = self.timeline.power_cap_at(now);
         self.dc.evaluate_into(&self.step_input, &mut self.workspace);
         let outcome = &self.workspace.outcome;
 
@@ -1038,6 +1072,99 @@ mod tests {
             serde_json::to_string(&staged).expect("serialize"),
             "inactive scenario events must leave the run bit-identical"
         );
+    }
+
+    #[test]
+    fn power_cap_window_binds_then_the_site_returns_to_its_uncapped_trajectory() {
+        use crate::scenario::Scenario;
+        let start = SimTime::from_minutes(30);
+        let end = SimTime::from_minutes(60);
+        // An idle site (no VM arrivals) under a deep cap: even idle draw exceeds 5 % of
+        // the row budgets, so the cap binds hard during the window. Idle physics takes
+        // no control-loop feedback, which makes the recovery assertion exact: once the
+        // window closes every recorded sample must be bit-identical to the uncapped
+        // run — the pre-cap digest trajectory, not merely "close to it".
+        let uncapped =
+            ClusterSimulator::with_arrivals(ExperimentConfig::small_smoke_test(), Vec::new())
+                .run();
+        let scenario = Scenario::builder()
+            .power_cap(crate::scenario::SiteSelector::All, start, end, 0.05)
+            .build()
+            .expect("valid scenario");
+        let capped = ClusterSimulator::with_arrivals(
+            ExperimentConfig::small_smoke_test().with_scenario(scenario),
+            Vec::new(),
+        )
+        .run();
+
+        // The cap binds: over-budget rows are recorded, and only inside the window.
+        let cap_events: Vec<SimTime> = capped
+            .events
+            .of_kind(EventKind::PowerCap)
+            .map(|event| event.time)
+            .collect();
+        assert!(!cap_events.is_empty(), "a 5 % cap must put idle rows over budget");
+        assert!(
+            cap_events.iter().all(|&t| t >= start && t < end),
+            "cap events must be confined to the cap window: {cap_events:?}"
+        );
+
+        // Recovery: the physical trajectory never left the uncapped one (budgets moved,
+        // physics did not), so every series matches bit for bit — including after `end`.
+        assert_eq!(capped.max_gpu_temp.values(), uncapped.max_gpu_temp.values());
+        assert_eq!(capped.peak_row_power.values(), uncapped.peak_row_power.values());
+        assert_eq!(capped.datacenter_power.values(), uncapped.datacenter_power.values());
+        assert_eq!(capped.requests_served, uncapped.requests_served);
+    }
+
+    #[test]
+    fn loaded_site_recovers_headroom_after_a_power_cap_window() {
+        use crate::scenario::Scenario;
+        let start = SimTime::from_minutes(60);
+        let end = SimTime::from_minutes(90);
+        let mut config = ExperimentConfig::small_smoke_test();
+        config.policy = Policy::Tapas;
+        let scenario = Scenario::builder()
+            .power_cap(crate::scenario::SiteSelector::All, start, end, 0.4)
+            .build()
+            .expect("valid scenario");
+        let mut sim = ClusterSimulator::new(config.with_scenario(scenario));
+
+        // Step through the run recording the router-visible power headroom.
+        let mut headroom = Vec::new();
+        let mut clock = simkit::time::SimClock::new(
+            simkit::time::SimDuration::from_minutes(5),
+            SimTime::from_hours(2),
+        );
+        loop {
+            let now = clock.now();
+            sim.step_at(now);
+            headroom.push((now, sim.site_signals().power_headroom_kw));
+            if clock.tick().is_none() {
+                break;
+            }
+        }
+        let mean = |samples: &[(SimTime, f64)], lo: SimTime, hi: SimTime| {
+            let picked: Vec<f64> = samples
+                .iter()
+                .filter(|(t, _)| *t >= lo && *t < hi)
+                .map(|(_, h)| *h)
+                .collect();
+            picked.iter().sum::<f64>() / picked.len() as f64
+        };
+        let before = mean(&headroom, SimTime::from_minutes(30), start);
+        let during = mean(&headroom, start, end);
+        let after = mean(&headroom, end, SimTime::from_hours(2));
+        // The cap visibly shrinks the headroom the geo router sees, and the site
+        // recovers most of it once the window closes (recovery asserted, not assumed).
+        assert!(during < before * 0.75, "cap must bite: {before} -> {during}");
+        assert!(after > during, "headroom must recover after the window: {during} -> {after}");
+        assert!(after > before * 0.8, "recovery must approach the pre-cap level: {before} -> {after}");
+
+        // Once recovered, the run keeps serving and records the cap in its event log.
+        let report = sim.into_report();
+        assert!(report.events.count(EventKind::PowerCap) > 0);
+        assert!(report.requests_served > 0);
     }
 
     #[test]

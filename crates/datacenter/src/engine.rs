@@ -81,6 +81,10 @@ pub struct StepInput {
     pub activity: Vec<ServerActivity>,
     /// Active infrastructure failures.
     pub failures: FailureState,
+    /// Operator power-cap fraction in `(0, 1]`: every row and UPS budget is clamped to
+    /// this fraction of provisioned capacity, multiplying any failure-derived
+    /// reductions. `1.0` (the constructors' default) is a bit-identical no-op.
+    pub power_cap: f64,
 }
 
 impl StepInput {
@@ -95,6 +99,7 @@ impl StepInput {
                 .map(|s| ServerActivity::idle(s.spec.gpus_per_server))
                 .collect(),
             failures: FailureState::healthy(),
+            power_cap: 1.0,
         }
     }
 
@@ -109,6 +114,7 @@ impl StepInput {
                 .map(|s| ServerActivity::uniform(s.spec.gpus_per_server, utilization))
                 .collect(),
             failures: FailureState::healthy(),
+            power_cap: 1.0,
         }
     }
 }
@@ -631,6 +637,15 @@ impl Datacenter {
         input
             .failures
             .capacity_state_into(&self.layout, &mut workspace.capacity);
+        // An operator power cap clamps row/UPS budgets on top of the failure-derived
+        // fractions. Guarded so the uncapped path never touches (or grows) the grids.
+        if input.power_cap < 1.0 {
+            workspace.capacity.apply_power_cap(
+                input.power_cap,
+                self.layout.upses().len(),
+                self.layout.rows().len(),
+            );
+        }
         self.hierarchy.assess_into(
             &workspace.outcome.server_power,
             &workspace.capacity,
@@ -1321,6 +1336,35 @@ mod tests {
             dc.evaluate(&StepInput::uniform_load(dc.layout(), Celsius::new(20.0), 1.0));
         assert!(outcome.power.any_over_budget());
         assert!(!outcome.power.capping.is_empty());
+    }
+
+    #[test]
+    fn power_cap_reduces_effective_budgets_and_triggers_capping() {
+        let dc = datacenter();
+        let mut input = StepInput::uniform_load(dc.layout(), Celsius::new(20.0), 0.8);
+        let uncapped = dc.evaluate(&input);
+        assert!(!uncapped.power.any_over_budget());
+
+        // Cap the site to 60 %: the same load now exceeds every row and UPS budget.
+        input.power_cap = 0.6;
+        let capped = dc.evaluate(&input);
+        assert!(capped.power.any_over_budget());
+        assert!(!capped.power.capping.is_empty());
+        let row0 = dc.layout().rows()[0].id;
+        assert!(
+            (capped.power.rows[row0].budget.value()
+                - uncapped.power.rows[row0].budget.value() * 0.6)
+                .abs()
+                < 1e-9,
+            "effective row budget must be provisioned × cap"
+        );
+        // Physical draw is unchanged — the cap shifts budgets, not physics.
+        assert_eq!(capped.server_power, uncapped.server_power);
+        assert_eq!(capped.gpu_temps, uncapped.gpu_temps);
+
+        // A 1.0 cap is byte-identical to the uncapped step.
+        input.power_cap = 1.0;
+        assert_eq!(dc.evaluate(&input), uncapped);
     }
 
     #[test]

@@ -163,8 +163,12 @@ pub fn evaluate_scalar(dc: &Datacenter, input: &StepInput) -> StepOutcome {
         }
     }
 
-    // 5. Power hierarchy assessment and capping.
-    let capacity = input.failures.capacity_state(layout);
+    // 5. Power hierarchy assessment and capping. An operator power cap clamps row/UPS
+    // budgets on top of the failure-derived fractions, exactly as the engine does.
+    let mut capacity = input.failures.capacity_state(layout);
+    if input.power_cap < 1.0 {
+        capacity.apply_power_cap(input.power_cap, layout.upses().len(), layout.rows().len());
+    }
     let power = dc.hierarchy().assess(&server_power, &capacity);
 
     StepOutcome {

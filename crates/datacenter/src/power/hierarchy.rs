@@ -236,6 +236,27 @@ impl CapacityState {
         self.row_capacity.get(id).copied().unwrap_or(1.0)
     }
 
+    /// Clamps every row and UPS budget to `fraction` of provisioned capacity — an
+    /// operator power-cap directive rather than a failure. The cap *multiplies* any
+    /// failure-derived reductions already present, so a UPS failure under a cap is
+    /// strictly worse than either alone. The grids grow to the layout's counts on first
+    /// use and are then reused across steps ([`Self::reset`] keeps the allocations), so
+    /// the steady-state step loop stays allocation-free.
+    pub fn apply_power_cap(&mut self, fraction: f64, ups_count: usize, row_count: usize) {
+        if self.ups_capacity.len() < ups_count {
+            self.ups_capacity.resize(ups_count, 1.0);
+        }
+        if self.row_capacity.len() < row_count {
+            self.row_capacity.resize(row_count, 1.0);
+        }
+        for slot in self.ups_capacity.values_mut() {
+            *slot *= fraction;
+        }
+        for slot in self.row_capacity.values_mut() {
+            *slot *= fraction;
+        }
+    }
+
     /// Returns `true` if every level is at full capacity.
     #[must_use]
     pub fn is_full(&self) -> bool {
@@ -641,6 +662,34 @@ mod tests {
         state.reset();
         assert!(state.is_full());
         assert!((state.ups(UpsId::new(1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_cap_clamps_rows_and_upses_and_composes_with_failures() {
+        let (hierarchy, layout) = hierarchy_and_layout();
+        // 80 % of TDP: fine at full capacity, over budget once capped to 60 %.
+        let power = vec![Kilowatts::new(5.2); layout.server_count()];
+        let mut state = CapacityState::healthy();
+        state.apply_power_cap(0.6, layout.upses().len(), layout.rows().len());
+        assert!(!state.is_full());
+        assert!((state.row(RowId::new(0)) - 0.6).abs() < 1e-12);
+        assert!((state.ups(UpsId::new(0)) - 0.6).abs() < 1e-12);
+        let capped = hierarchy.assess(&power, &state);
+        assert!(capped.any_over_budget());
+        assert_eq!(capped.capping.len(), layout.server_count());
+
+        // The cap multiplies failure-derived reductions: 0.8 failure × 0.75 cap = 0.6.
+        let mut composed = CapacityState::healthy();
+        composed.set_ups_capacity(UpsId::new(0), 0.8);
+        composed.apply_power_cap(0.75, layout.upses().len(), layout.rows().len());
+        assert!((composed.ups(UpsId::new(0)) - 0.6).abs() < 1e-12);
+        assert!((composed.row(RowId::new(0)) - 0.75).abs() < 1e-12);
+
+        // A 1.0 cap leaves the state bit-identical (reset grids read as full).
+        let mut neutral = CapacityState::healthy();
+        neutral.apply_power_cap(1.0, layout.upses().len(), layout.rows().len());
+        assert!(neutral.is_full());
+        assert_eq!(hierarchy.assess(&power, &neutral), hierarchy.assess(&power, &CapacityState::healthy()));
     }
 
     #[test]

@@ -51,6 +51,7 @@ fn main() {
     let fleet_base = ExperimentConfig::real_cluster_hour(Policy::Tapas)
         .with_duration(SimTime::from_hours(3))
         .with_step(SimDuration::from_minutes(5));
+    let generator_base = fleet_base.clone();
     let fleet = FleetSimulator::new(FleetConfig::evaluation(fleet_base.clone(), 3)).run();
     let fleet_json = serde_json::to_string(&fleet).expect("serializable fleet report");
     println!("fleet-digest: {:#018x}", fnv1a(fleet_json.as_bytes()));
@@ -79,6 +80,31 @@ fn main() {
     println!(
         "scenario-fleet-requests-served: {}",
         scenario_fleet.total_requests_served()
+    );
+
+    // A *generated* adversarial scenario (every event family, including operator power
+    // caps) through the same 3-site fleet: covers the seeded generator and the power-cap
+    // budget-clamp hot path, which must also be bit-identical across feature builds.
+    let generated = generate(
+        2025,
+        &GeneratorConfig {
+            tier: IntensityTier::Adversarial,
+            sites: 3,
+            duration: generator_base.duration,
+            endpoints: generator_base.endpoint_count,
+        },
+    );
+    let generated_fleet = FleetSimulator::new(
+        FleetConfig::evaluation(generator_base.with_scenario(generated), 3),
+    )
+    .run();
+    let generated_json =
+        serde_json::to_string(&generated_fleet).expect("serializable fleet report");
+    println!("generated-fleet-digest: {:#018x}", fnv1a(generated_json.as_bytes()));
+    println!("generated-fleet-vms-routed: {:?}", generated_fleet.vms_routed);
+    println!(
+        "generated-fleet-capped-minutes: {}",
+        generated_fleet.power_capped_minutes().round()
     );
 }
 

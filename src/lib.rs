@@ -34,6 +34,7 @@ pub mod prelude {
     pub use cluster_sim::experiment::{ExperimentConfig, FleetConfig, GeoPolicy, SiteConfig};
     pub use cluster_sim::fleet::FleetSimulator;
     pub use cluster_sim::metrics::{FleetReport, RunReport};
+    pub use cluster_sim::scenario::generator::{generate, GeneratorConfig, IntensityTier};
     pub use cluster_sim::scenario::{
         energy_cost_usd, fleet_energy_cost_usd, ResolvedTimeline, Scenario, ScenarioBuilder,
         ScenarioError, ScenarioEvent, SiteSelector,
