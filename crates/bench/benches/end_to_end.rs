@@ -1,7 +1,8 @@
 //! Criterion benchmarks for the end-to-end simulator: one full smoke-test run and one
-//! physics step at three scales — the 80-server real cluster (the inner loop of every
-//! evaluation figure), the 1040-server production datacenter, and a 10240-server site
-//! (128 aisles) proving the SoA row-batched kernels scale near-linearly in ns/server.
+//! physics step at four scales — the 80-server real cluster (the inner loop of every
+//! evaluation figure), the 1040-server production datacenter, a 10240-server site
+//! (128 aisles), and a 102400-server hyperscale site (1280 aisles) proving the SoA
+//! activity-plane kernels hold their ns/server price at DRAM-streaming scale.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use cluster_sim::experiment::ExperimentConfig;
@@ -31,6 +32,9 @@ fn bench_end_to_end(c: &mut Criterion) {
     let mut huge = LayoutConfig::production_datacenter();
     huge.aisles = 128; // 128 aisles x 2 rows x 10 racks x 4 servers = 10240 servers
     physics_step_bench(c, "physics_step_10240_servers", &huge);
+    let mut hyper = LayoutConfig::production_datacenter();
+    hyper.aisles = 1280; // 102400 servers, ~820k GPUs — one hyperscale site.
+    physics_step_bench(c, "physics_step_102400_servers", &hyper);
 
     let mut group = c.benchmark_group("simulation");
     group.sample_size(10);

@@ -51,8 +51,7 @@ fn main() {
                 break;
             }
             let load = iaas.load_at(vm, now);
-            let gpus = dc.layout().servers()[i].spec.gpus_per_server;
-            input.activity[i] = dc_sim::engine::ServerActivity::uniform(gpus, load);
+            input.activity.set_uniform(i, load);
         }
         let outcome = dc.evaluate(&input);
         for (row, power) in outcome.row_power() {

@@ -5,7 +5,7 @@
 //! and maximum temperature and peak power are uncorrelated across placements — the
 //! motivation for considering both dimensions when placing VMs.
 
-use dc_sim::engine::{Datacenter, ServerActivity, StepInput};
+use dc_sim::engine::{ActivityPlanes, Datacenter, StepInput};
 use dc_sim::failures::FailureState;
 use dc_sim::topology::LayoutConfig;
 use serde::{Deserialize, Serialize};
@@ -62,15 +62,9 @@ impl PlacementStudy {
             .map(|_| {
                 let mut servers: Vec<usize> = (0..server_count).collect();
                 rng.shuffle(&mut servers);
-                let mut activity: Vec<ServerActivity> = dc
-                    .layout()
-                    .servers()
-                    .iter()
-                    .map(|s| ServerActivity::idle(s.spec.gpus_per_server))
-                    .collect();
+                let mut activity = ActivityPlanes::idle_for(dc.layout());
                 for (vm, &server) in vm_loads.iter().zip(servers.iter()) {
-                    let gpus = dc.layout().servers()[server].spec.gpus_per_server;
-                    activity[server] = ServerActivity::uniform(gpus, *vm);
+                    activity.set_uniform(server, *vm);
                 }
                 let outcome = dc.evaluate(&StepInput {
                     outside_temp: Celsius::new(self.outside_temp_c),

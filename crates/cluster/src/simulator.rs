@@ -826,32 +826,28 @@ impl ClusterSimulator {
         }
     }
 
-    /// Fills the per-server activity for the physics engine in place.
+    /// Fills the per-server activity planes for the physics engine in place: each quantum
+    /// writes directly into the flat SoA planes, never rebuilding per-server `Vec`s.
     fn fill_activity(&mut self, now: SimTime) {
         let layout = self.dc.layout();
         for server in layout.servers() {
             let gpus = server.spec.gpus_per_server;
             let carry = self.carryover_freq[server.id.index()];
-            let activity = &mut self.step_input.activity[server.id.index()];
+            let index = server.id.index();
             match self.state.vm_on(server.id) {
-                None => {
-                    activity.gpu_utilization.fill(0.0);
-                    activity.frequency_scale.fill(1.0);
-                    activity.memory_boundedness = 0.0;
-                }
+                None => self.step_input.activity.set_idle(index),
                 Some(placed) => match placed.vm.kind {
                     VmKind::Iaas { .. } => {
                         let load = self.iaas_model.load_at(&placed.vm, now);
+                        let activity = self.step_input.activity.server_mut(index);
                         activity.gpu_utilization.fill(load);
                         activity.frequency_scale.fill(carry);
-                        activity.memory_boundedness = 0.5;
+                        *activity.memory_boundedness = 0.5;
                     }
                     VmKind::Saas { .. } => {
                         let Some((endpoint, position)) = self.registry.lookup(placed.vm.id)
                         else {
-                            activity.gpu_utilization.fill(0.0);
-                            activity.frequency_scale.fill(1.0);
-                            activity.memory_boundedness = 0.0;
+                            self.step_input.activity.set_idle(index);
                             continue;
                         };
                         let pool = &self.registry.pools[endpoint];
@@ -860,13 +856,14 @@ impl ClusterSimulator {
                         let util =
                             (pool.sat_util[position] * pool.utilization[position]).clamp(0.0, 1.0);
                         let freq = config.frequency.value() * carry;
+                        let activity = self.step_input.activity.server_mut(index);
                         activity.gpu_utilization.fill(0.0);
                         activity.frequency_scale.fill(1.0);
                         for slot in 0..active_gpus {
                             activity.gpu_utilization[slot] = util;
                             activity.frequency_scale[slot] = freq;
                         }
-                        activity.memory_boundedness = pool.boundedness[position];
+                        *activity.memory_boundedness = pool.boundedness[position];
                     }
                 },
             }

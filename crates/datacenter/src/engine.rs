@@ -29,6 +29,16 @@ use serde::{Deserialize, Serialize};
 use simkit::units::{Celsius, CubicFeetPerMinute, Kilowatts, Watts};
 use std::sync::Arc;
 
+/// `true` when this build compiled the opt-in AVX2+FMA kernel lane
+/// (`RUSTFLAGS="-C target-feature=+avx2,+fma"`). Wide builds are deterministic for a
+/// given binary but use fused multiply-adds and four-lane accumulators, which change the
+/// FP rounding/order relative to the pinned scalar contract — so they are **excluded
+/// from the digest and bitwise-vs-reference test contracts** (those tests skip
+/// themselves when this is `true` and tolerance-based sanity tests run instead).
+/// Default builds compile the SSE2/scalar kernels and stay bit-identical.
+pub const WIDE_KERNELS: bool =
+    cfg!(all(target_arch = "x86_64", target_feature = "avx2", target_feature = "fma"));
+
 /// Activity of one server during a step.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServerActivity {
@@ -72,13 +82,239 @@ impl ServerActivity {
     }
 }
 
+/// Structure-of-arrays per-GPU activity of the whole datacenter: the step input the
+/// row-batched kernels stream directly.
+///
+/// Instead of one heap-allocated [`ServerActivity`] per server (two pointer-chased
+/// `Vec<f64>` payloads each — the last array-of-structs on the hot path), the planes
+/// store every GPU's utilization and frequency scale in two flat server-major vectors
+/// windowed by the same GPU prefix sums a [`TopologyIndex`] freezes
+/// ([`TopologyIndex::gpu_offsets`]), plus one per-server memory-boundedness vector.
+/// Row kernels slice contiguous windows out of the planes with no per-server indirection,
+/// and building an idle cluster costs four allocations total instead of two per server.
+///
+/// The serialized encoding is exactly the legacy `Vec<ServerActivity>` sequence-of-maps
+/// form (see the hand-written serde impls), so golden artifacts and digests that captured
+/// the old shape remain byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityPlanes {
+    /// Flat server-major per-GPU utilization in `[0, 1]`, windowed by `offsets`.
+    gpu_utilization: Vec<f64>,
+    /// Flat server-major per-GPU frequency scale in `(0, 1]`, windowed by `offsets`.
+    frequency_scale: Vec<f64>,
+    /// Per-server memory-boundedness in `[0, 1]` (0 = prefill-like, 1 = decode-like).
+    memory_boundedness: Vec<f64>,
+    /// Server-major GPU prefix sums (length `server_count + 1`), mirroring the layout's
+    /// [`TopologyIndex::gpu_offsets`]. The engine validates them against its topology in
+    /// one up-front comparison instead of per-server length checks.
+    offsets: Vec<u32>,
+}
+
+/// Read-only view of one server's activity inside [`ActivityPlanes`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerActivityRef<'a> {
+    /// The server's window of the utilization plane.
+    pub gpu_utilization: &'a [f64],
+    /// The server's window of the frequency-scale plane.
+    pub frequency_scale: &'a [f64],
+    /// The server's memory-boundedness.
+    pub memory_boundedness: f64,
+}
+
+/// Mutable view of one server's activity inside [`ActivityPlanes`].
+#[derive(Debug)]
+pub struct ServerActivityMut<'a> {
+    /// The server's window of the utilization plane.
+    pub gpu_utilization: &'a mut [f64],
+    /// The server's window of the frequency-scale plane.
+    pub frequency_scale: &'a mut [f64],
+    /// The server's memory-boundedness.
+    pub memory_boundedness: &'a mut f64,
+}
+
+impl ActivityPlanes {
+    /// All-idle planes shaped for a layout: utilization 0, nominal frequency, no
+    /// memory-boundedness. Four allocations for the whole datacenter.
+    #[must_use]
+    pub fn idle_for(layout: &Layout) -> Self {
+        let offsets = Self::offsets_for(layout);
+        let gpu_count = *offsets.last().expect("offsets non-empty") as usize;
+        Self {
+            gpu_utilization: vec![0.0; gpu_count],
+            frequency_scale: vec![1.0; gpu_count],
+            memory_boundedness: vec![0.0; layout.server_count()],
+            offsets,
+        }
+    }
+
+    /// Planes with every GPU at the same utilization and nominal frequency (the
+    /// [`ServerActivity::uniform`] shape, datacenter-wide).
+    #[must_use]
+    pub fn uniform_for(layout: &Layout, utilization: f64) -> Self {
+        let offsets = Self::offsets_for(layout);
+        let gpu_count = *offsets.last().expect("offsets non-empty") as usize;
+        Self {
+            gpu_utilization: vec![utilization.clamp(0.0, 1.0); gpu_count],
+            frequency_scale: vec![1.0; gpu_count],
+            memory_boundedness: vec![0.5; layout.server_count()],
+            offsets,
+        }
+    }
+
+    /// Compat constructor from the legacy per-server shape. The planes' offsets are
+    /// derived from each entry's GPU count, so a shape that disagrees with the layout is
+    /// still representable (and rejected by the engine's validation, exactly as before).
+    ///
+    /// # Panics
+    /// Panics if a server's utilization and frequency vectors have different lengths —
+    /// that shape has no plane representation.
+    #[must_use]
+    pub fn from_servers(servers: &[ServerActivity]) -> Self {
+        let mut offsets = Vec::with_capacity(servers.len() + 1);
+        let mut total = 0u32;
+        offsets.push(0);
+        for activity in servers {
+            assert_eq!(
+                activity.frequency_scale.len(),
+                activity.gpu_utilization.len(),
+                "activity frequency count must match the activity GPU count"
+            );
+            total += u32::try_from(activity.gpu_utilization.len())
+                .expect("per-server GPU count fits in u32");
+            offsets.push(total);
+        }
+        let mut gpu_utilization = Vec::with_capacity(total as usize);
+        let mut frequency_scale = Vec::with_capacity(total as usize);
+        let mut memory_boundedness = Vec::with_capacity(servers.len());
+        for activity in servers {
+            gpu_utilization.extend_from_slice(&activity.gpu_utilization);
+            frequency_scale.extend_from_slice(&activity.frequency_scale);
+            memory_boundedness.push(activity.memory_boundedness);
+        }
+        Self { gpu_utilization, frequency_scale, memory_boundedness, offsets }
+    }
+
+    fn offsets_for(layout: &Layout) -> Vec<u32> {
+        let mut offsets = Vec::with_capacity(layout.server_count() + 1);
+        let mut total = 0u32;
+        offsets.push(0);
+        for server in layout.servers() {
+            total += u32::try_from(server.spec.gpus_per_server)
+                .expect("per-server GPU count fits in u32");
+            offsets.push(total);
+        }
+        offsets
+    }
+
+    /// Number of servers the planes cover.
+    #[must_use]
+    pub fn server_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of GPU lanes.
+    #[must_use]
+    pub fn gpu_count(&self) -> usize {
+        *self.offsets.last().expect("offsets non-empty") as usize
+    }
+
+    /// The server-major GPU prefix sums (length `server_count + 1`).
+    #[must_use]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The flat kernel planes: `(utilization, frequency scale, memory boundedness)`.
+    #[must_use]
+    pub fn planes(&self) -> (&[f64], &[f64], &[f64]) {
+        (&self.gpu_utilization, &self.frequency_scale, &self.memory_boundedness)
+    }
+
+    /// Read-only view of one server's activity.
+    ///
+    /// # Panics
+    /// Panics if the server ordinal is out of range.
+    #[must_use]
+    pub fn server(&self, server: usize) -> ServerActivityRef<'_> {
+        let window = self.offsets[server] as usize..self.offsets[server + 1] as usize;
+        ServerActivityRef {
+            gpu_utilization: &self.gpu_utilization[window.clone()],
+            frequency_scale: &self.frequency_scale[window],
+            memory_boundedness: self.memory_boundedness[server],
+        }
+    }
+
+    /// Mutable view of one server's activity (the simulator's per-quantum fill path).
+    ///
+    /// # Panics
+    /// Panics if the server ordinal is out of range.
+    #[must_use]
+    pub fn server_mut(&mut self, server: usize) -> ServerActivityMut<'_> {
+        let window = self.offsets[server] as usize..self.offsets[server + 1] as usize;
+        ServerActivityMut {
+            gpu_utilization: &mut self.gpu_utilization[window.clone()],
+            frequency_scale: &mut self.frequency_scale[window],
+            memory_boundedness: &mut self.memory_boundedness[server],
+        }
+    }
+
+    /// Resets one server to the idle shape (allocation-free).
+    ///
+    /// # Panics
+    /// Panics if the server ordinal is out of range.
+    pub fn set_idle(&mut self, server: usize) {
+        let a = self.server_mut(server);
+        a.gpu_utilization.fill(0.0);
+        a.frequency_scale.fill(1.0);
+        *a.memory_boundedness = 0.0;
+    }
+
+    /// Sets one server to the [`ServerActivity::uniform`] shape (allocation-free).
+    ///
+    /// # Panics
+    /// Panics if the server ordinal is out of range.
+    pub fn set_uniform(&mut self, server: usize, utilization: f64) {
+        let a = self.server_mut(server);
+        a.gpu_utilization.fill(utilization.clamp(0.0, 1.0));
+        a.frequency_scale.fill(1.0);
+        *a.memory_boundedness = 0.5;
+    }
+}
+
+// The serialized form is the legacy `Vec<ServerActivity>` encoding — a sequence of
+// per-server `{gpu_utilization, frequency_scale, memory_boundedness}` maps — written out
+// by hand (the vendored derive cannot express the planes-to-sequence projection). Golden
+// artifacts and digests captured before the SoA conversion stay byte-identical.
+impl Serialize for ActivityPlanes {
+    fn to_value(&self) -> serde::Value {
+        let mut servers = Vec::with_capacity(self.server_count());
+        for i in 0..self.server_count() {
+            let s = self.server(i);
+            servers.push(serde::Value::Map(vec![
+                (String::from("gpu_utilization"), s.gpu_utilization.to_value()),
+                (String::from("frequency_scale"), s.frequency_scale.to_value()),
+                (String::from("memory_boundedness"), serde::Value::F64(s.memory_boundedness)),
+            ]));
+        }
+        serde::Value::Seq(servers)
+    }
+}
+
+impl Deserialize for ActivityPlanes {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let servers = Vec::<ServerActivity>::from_value(value)?;
+        Ok(Self::from_servers(&servers))
+    }
+}
+
 /// Input to one evaluation step.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StepInput {
     /// Outside air temperature.
     pub outside_temp: Celsius,
-    /// Per-server activity, indexed by [`ServerId::index`].
-    pub activity: Vec<ServerActivity>,
+    /// Per-server activity as flat SoA planes, windowed by [`ServerId::index`]-ordered
+    /// GPU offsets.
+    pub activity: ActivityPlanes,
     /// Active infrastructure failures.
     pub failures: FailureState,
     /// Operator power-cap fraction in `(0, 1]`: every row and UPS budget is clamped to
@@ -88,16 +324,14 @@ pub struct StepInput {
 }
 
 impl StepInput {
-    /// An all-idle cluster at a given outside temperature (useful for tests and baselines).
+    /// An all-idle cluster at a given outside temperature (useful for tests and
+    /// baselines). Allocation-free per server: the planes are four datacenter-wide
+    /// vectors, not two heap payloads per server.
     #[must_use]
     pub fn idle(layout: &Layout, outside_temp: Celsius) -> Self {
         Self {
             outside_temp,
-            activity: layout
-                .servers()
-                .iter()
-                .map(|s| ServerActivity::idle(s.spec.gpus_per_server))
-                .collect(),
+            activity: ActivityPlanes::idle_for(layout),
             failures: FailureState::healthy(),
             power_cap: 1.0,
         }
@@ -108,11 +342,7 @@ impl StepInput {
     pub fn uniform_load(layout: &Layout, outside_temp: Celsius, utilization: f64) -> Self {
         Self {
             outside_temp,
-            activity: layout
-                .servers()
-                .iter()
-                .map(|s| ServerActivity::uniform(s.spec.gpus_per_server, utilization))
-                .collect(),
+            activity: ActivityPlanes::uniform_for(layout, utilization),
             failures: FailureState::healthy(),
             power_cap: 1.0,
         }
@@ -472,9 +702,16 @@ impl Datacenter {
     /// server's activity has a different GPU count than its spec.
     pub fn evaluate_into(&self, input: &StepInput, workspace: &mut StepWorkspace) {
         assert_eq!(
-            input.activity.len(),
+            input.activity.server_count(),
             self.layout.server_count(),
             "activity must cover every server"
+        );
+        // One dense comparison of the planes' prefix sums against the frozen topology
+        // replaces the per-server length checks of the array-of-structs shape: equal
+        // offsets mean every server's GPU window matches its spec.
+        assert!(
+            input.activity.offsets() == workspace.topology.gpu_offsets(),
+            "activity GPU count must match the server spec"
         );
         workspace.reset(&self.layout);
         let server_count = self.layout.server_count();
@@ -482,11 +719,17 @@ impl Datacenter {
         let topology = Arc::clone(&workspace.topology);
         let row_ranges = topology.row_ranges();
         let gpu_offsets = topology.gpu_offsets();
+        let (utilization_all, frequency_all, boundedness_all) = input.activity.planes();
 
         // 1. Per-server loads, airflow demand and power, processed per contiguous row slice.
-        let parallel = parallel_active(server_count, row_ranges.len());
+        let threads = physics_threads(workspace.thread_limit);
+        let parallel = parallel_active(server_count, row_ranges.len(), threads);
+        if parallel {
+            topology.balanced_row_chunks_into(threads, &mut workspace.row_chunks);
+        }
         {
             let outcome = &mut workspace.outcome;
+            let row_chunks = &workspace.row_chunks;
             // The junction plane doubles as the per-GPU power staging area: this pass
             // writes watts into it, the thermal pass transforms them to temperatures in
             // place. One plane streamed twice beats two planes streamed once each.
@@ -494,7 +737,6 @@ impl Datacenter {
             let mut airflow_rest = outcome.server_airflow.as_mut_slice();
             let mut power_rest = outcome.server_power.as_mut_slice();
             let mut power_stage_rest = power_stage_all;
-            let mut memb_rest = workspace.memory_boundedness.as_mut_slice();
             let mut load_rest = workspace.row_load.as_mut_slice();
             let mut tasks: Vec<RowPowerTask<'_>> = Vec::new();
             if parallel {
@@ -502,8 +744,9 @@ impl Datacenter {
             }
             for (row, range) in row_ranges.iter().enumerate() {
                 let row_len = range.end - range.start;
-                let gpu_len =
-                    (gpu_offsets[range.end] - gpu_offsets[range.start]) as usize;
+                let gpu_window =
+                    gpu_offsets[range.start] as usize..gpu_offsets[range.end] as usize;
+                let gpu_len = gpu_window.end - gpu_window.start;
                 let (airflow, rest) = airflow_rest.split_at_mut(row_len);
                 airflow_rest = rest;
                 let (power, rest) = power_rest.split_at_mut(row_len);
@@ -512,16 +755,14 @@ impl Datacenter {
                 power_stage_rest = rest;
                 let (load, rest) = load_rest.split_at_mut(1);
                 load_rest = rest;
-                let (memb, rest) = memb_rest.split_at_mut(row_len);
-                memb_rest = rest;
                 let mut task = RowPowerTask {
                     plan: &self.row_plans[row],
                     servers: &servers[range.clone()],
-                    activity: &input.activity[range.clone()],
+                    utilization: &utilization_all[gpu_window.clone()],
+                    frequency: &frequency_all[gpu_window],
                     airflow,
                     power,
                     power_stage,
-                    memory_boundedness: memb,
                     row_load: &mut load[0],
                 };
                 if parallel {
@@ -530,7 +771,7 @@ impl Datacenter {
                     task.run(&self.airflow_model, &self.power_model);
                 }
             }
-            run_row_tasks(&mut tasks, |task| {
+            run_row_tasks(&mut tasks, row_chunks.iter().copied(), |task| {
                 task.run(&self.airflow_model, &self.power_model);
             });
         }
@@ -576,6 +817,7 @@ impl Datacenter {
         let coeffs = *self.gpu_model.coefficients();
         {
             let outcome = &mut workspace.outcome;
+            let row_chunks = &workspace.row_chunks;
             let (gpu_plane, mem_offsets_plane) = outcome.gpu_temps.kernel_planes_mut();
             let mut inlet_rest = outcome.inlet_temps.as_mut_slice();
             let mut gpu_rest = gpu_plane;
@@ -607,7 +849,7 @@ impl Datacenter {
                     plan: &self.row_plans[row],
                     servers: &servers[range.clone()],
                     row_start: range.start,
-                    memory_boundedness: &workspace.memory_boundedness[range.clone()],
+                    memory_boundedness: &boundedness_all[range.clone()],
                     spatial: &spatial_all[range.clone()],
                     thermal_offsets: &thermal_offsets_all[gpu_start..gpu_end],
                     aisle_penalty: &workspace.aisle_penalty,
@@ -624,7 +866,9 @@ impl Datacenter {
                     task.run(&coeffs);
                 }
             }
-            run_row_tasks(&mut tasks, |task| {
+            // The tasks were staged tail-first, so the chunk walk reverses too — every
+            // chunk still covers the same contiguous row range as in the power pass.
+            run_row_tasks(&mut tasks, row_chunks.iter().rev().copied(), |task| {
                 task.run(&coeffs);
             });
         }
@@ -671,10 +915,6 @@ pub struct StepWorkspace {
     pub outcome: StepOutcome,
     /// The frozen ordinal geometry the grids follow.
     topology: Arc<TopologyIndex>,
-    /// Per-server memory-boundedness, staged by the power pass (which already walks the
-    /// activity headers) so the thermal pass reads one dense plane instead of re-walking
-    /// the per-server `ServerActivity` structs.
-    memory_boundedness: Vec<f64>,
     /// Recirculation penalty per aisle index.
     aisle_penalty: Vec<f64>,
     /// Sum of mean server loads per row.
@@ -684,6 +924,13 @@ pub struct StepWorkspace {
     /// Reusable power-capacity state derived from the step's failures.
     capacity: CapacityState,
     hierarchy_scratch: crate::power::hierarchy::HierarchyScratch,
+    /// Optional cap on intra-site worker threads (`parallel` feature). `None` uses the
+    /// machine's available parallelism; `Some(1)` forces the serial inline path. Results
+    /// are bit-identical for every value — the digest tests pin this.
+    thread_limit: Option<std::num::NonZeroUsize>,
+    /// Reused chunk table for the intra-site row sharding: rows per contiguous chunk,
+    /// balanced by server count (see [`TopologyIndex::balanced_row_chunks_into`]).
+    row_chunks: Vec<usize>,
 }
 
 impl StepWorkspace {
@@ -722,12 +969,13 @@ impl StepWorkspace {
         };
         Self {
             outcome,
-            memory_boundedness: vec![0.0; server_count],
             aisle_penalty: vec![0.0; topology.aisle_count()],
             row_load: vec![0.0; topology.row_count()],
             row_throttles: vec![Vec::new(); topology.row_count()],
             capacity: CapacityState::healthy(),
             hierarchy_scratch: crate::power::hierarchy::HierarchyScratch::default(),
+            thread_limit: None,
+            row_chunks: Vec::new(),
             topology,
         }
     }
@@ -736,6 +984,21 @@ impl StepWorkspace {
     #[must_use]
     pub fn topology(&self) -> &Arc<TopologyIndex> {
         &self.topology
+    }
+
+    /// Caps how many scoped worker threads the intra-site row sharding may use (only
+    /// meaningful with the `parallel` feature). `None` restores the default (the
+    /// machine's available parallelism); `Some(1)` forces the serial inline path.
+    /// Outcomes are bit-identical for every limit — chunks cover contiguous row ranges
+    /// and all cross-row reductions happen in fixed row order after the sharded passes.
+    pub fn set_thread_limit(&mut self, limit: Option<std::num::NonZeroUsize>) {
+        self.thread_limit = limit;
+    }
+
+    /// The current intra-site thread cap (see [`Self::set_thread_limit`]).
+    #[must_use]
+    pub fn thread_limit(&self) -> Option<std::num::NonZeroUsize> {
+        self.thread_limit
     }
 
     fn reset(&mut self, layout: &Layout) {
@@ -760,7 +1023,6 @@ impl StepWorkspace {
         let (gpu_c, mem_offsets) = self.outcome.gpu_temps.kernel_planes_mut();
         gpu_c.fill(f64::NAN);
         mem_offsets.fill(f64::NAN);
-        self.memory_boundedness.fill(f64::NAN);
         self.row_load.fill(f64::NAN);
     }
 
@@ -784,60 +1046,8 @@ impl StepWorkspace {
         // Derived memory values inherit NaN from either an unwritten junction lane or an
         // unwritten per-server offset, so this sweep covers the offset plane too.
         sweep("mem-temp", self.outcome.gpu_temps.iter().map(|t| t.memory.value()));
-        sweep("staged-boundedness", self.memory_boundedness.iter().copied());
         sweep("row-load", self.row_load.iter().copied());
     }
-}
-
-/// How many servers ahead the power pass prefetches activity payloads. Six servers ≈ a
-/// dozen cache lines in flight — measured best on the reference box at the 10k-server
-/// scale (deeper distances start evicting lines before use).
-const PREFETCH_DISTANCE: usize = 6;
-
-/// Prefetches the utilization/frequency payloads of the next server's activity while the
-/// current server's lanes are being computed. The per-server `Vec`s are reached through
-/// two dependent pointer loads each; on sites too large for cache those form a serial
-/// DRAM-latency chain that the hardware prefetcher cannot follow. A pure hint: no effect
-/// on results.
-#[inline(always)]
-fn prefetch_activity(activity: &[ServerActivity], next: usize) {
-    #[cfg(target_arch = "x86_64")]
-    if let Some(next) = activity.get(next) {
-        // SAFETY: prefetch is a hint and never faults; the pointers are valid. Both ends
-        // of each payload are requested — a 64-byte vector is only 16-byte aligned, so
-        // it can straddle two cache lines.
-        unsafe {
-            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
-            let u = next.gpu_utilization.as_ptr();
-            let f = next.frequency_scale.as_ptr();
-            let last = next.gpu_utilization.len().saturating_sub(1);
-            _mm_prefetch(u.cast::<i8>(), _MM_HINT_T0);
-            _mm_prefetch(u.add(last).cast::<i8>(), _MM_HINT_T0);
-            _mm_prefetch(f.cast::<i8>(), _MM_HINT_T0);
-            _mm_prefetch(f.add(last).cast::<i8>(), _MM_HINT_T0);
-        }
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    let _ = (activity, next);
-}
-
-/// Validates one server's activity shape against its GPU count. Lives at the head of the
-/// fused per-server pass — outside the lane loops, on vector lengths the pass is about
-/// to read anyway — so validation costs two predicted branches per server instead of a
-/// separate datacenter-wide sweep over the activity headers (at 10k servers that sweep
-/// is ~0.5 MB of extra memory traffic per step).
-#[inline(always)]
-fn validate_server_activity(activity: &ServerActivity, gpus: usize) {
-    assert_eq!(
-        activity.gpu_utilization.len(),
-        gpus,
-        "activity GPU count must match the server spec"
-    );
-    assert_eq!(
-        activity.frequency_scale.len(),
-        gpus,
-        "activity frequency count must match the server spec"
-    );
 }
 
 /// Fused per-server GPU lane pass of the power kernel: writes each GPU's power
@@ -854,6 +1064,7 @@ fn validate_server_activity(activity: &ServerActivity, gpus: usize) {
 /// results are bit-identical (see `kernel_reference` and `tests/soa_physics.rs`); NaN
 /// activity is outside the engine's contract either way (the debug poison sweep rejects
 /// it).
+#[cfg(not(all(target_arch = "x86_64", target_feature = "avx2", target_feature = "fma")))]
 #[inline(always)]
 fn power_lanes(
     static_power: f64,
@@ -933,18 +1144,91 @@ fn power_lanes(
     (gpu_sum, mean_load)
 }
 
+/// Opt-in wide build of [`power_lanes`]: four-wide AVX2 lanes with fused multiply-adds,
+/// compiled in place of the SSE2 pair loop when the build enables both target features
+/// (`RUSTFLAGS="-C target-feature=+avx2,+fma"`), mirroring the SSE2 kernels'
+/// compile-time detection. FMA fuses `dynamic·u·f³ + static` into one rounding and the
+/// four-lane accumulator reduces in a different order than the two-lane contract, so
+/// wide builds are deterministic for a given binary but **excluded from the digest and
+/// bitwise-vs-reference contracts** (see [`WIDE_KERNELS`]). Default builds never compile
+/// this path and stay bit-identical to the scalar reference.
+#[cfg(all(target_arch = "x86_64", target_feature = "avx2", target_feature = "fma"))]
+#[inline(always)]
+fn power_lanes(
+    static_power: f64,
+    dynamic_coeff: f64,
+    utilization: &[f64],
+    frequency: &[f64],
+    out: &mut [f64],
+) -> (f64, f64) {
+    let lanes = out.len();
+    let utilization = &utilization[..lanes];
+    let frequency = &frequency[..lanes];
+    let quads = lanes / 4;
+    let mut util_sum;
+    let mut pow_sum;
+    // SAFETY: the cfg gate guarantees AVX2+FMA at compile time; every pointer below
+    // stays within the resliced `lanes` bound (`4 * quads <= lanes`).
+    unsafe {
+        use std::arch::x86_64::{
+            _mm256_add_pd, _mm256_fmadd_pd, _mm256_loadu_pd, _mm256_max_pd, _mm256_min_pd,
+            _mm256_mul_pd, _mm256_set1_pd, _mm256_storeu_pd,
+        };
+        let zero = _mm256_set1_pd(0.0);
+        let one = _mm256_set1_pd(1.0);
+        let freq_floor = _mm256_set1_pd(0.1);
+        let static_4 = _mm256_set1_pd(static_power);
+        let dynamic_4 = _mm256_set1_pd(dynamic_coeff);
+        let mut util_acc_4 = zero;
+        let mut pow_acc_4 = zero;
+        for i in 0..quads {
+            let u = _mm256_loadu_pd(utilization.as_ptr().add(4 * i));
+            let f = _mm256_loadu_pd(frequency.as_ptr().add(4 * i));
+            let clamped_u = _mm256_min_pd(_mm256_max_pd(u, zero), one);
+            let clamped_f = _mm256_min_pd(_mm256_max_pd(f, freq_floor), one);
+            let f3 = _mm256_mul_pd(_mm256_mul_pd(clamped_f, clamped_f), clamped_f);
+            let power = _mm256_fmadd_pd(_mm256_mul_pd(dynamic_4, clamped_u), f3, static_4);
+            _mm256_storeu_pd(out.as_mut_ptr().add(4 * i), power);
+            util_acc_4 = _mm256_add_pd(util_acc_4, u);
+            pow_acc_4 = _mm256_add_pd(pow_acc_4, power);
+        }
+        let mut u4 = [0.0f64; 4];
+        let mut p4 = [0.0f64; 4];
+        _mm256_storeu_pd(u4.as_mut_ptr(), util_acc_4);
+        _mm256_storeu_pd(p4.as_mut_ptr(), pow_acc_4);
+        // Fixed pairwise reduction: deterministic within a wide build, but a different
+        // FP order than the two-lane contract.
+        util_sum = (u4[0] + u4[2]) + (u4[1] + u4[3]);
+        pow_sum = (p4[0] + p4[2]) + (p4[1] + p4[3]);
+    }
+    // Scalar tail for the 1–3 trailing lanes of ragged GPU counts.
+    for i in 4 * quads..lanes {
+        let u = utilization[i];
+        let clamped_u = u.clamp(0.0, 1.0);
+        let clamped_f = frequency[i].clamp(0.1, 1.0);
+        let f3 = (clamped_f * clamped_f) * clamped_f;
+        let power = (dynamic_coeff * clamped_u).mul_add(f3, static_power);
+        util_sum += u;
+        pow_sum += power;
+        out[i] = power;
+    }
+    let mean_load = if lanes == 0 { 0.0 } else { util_sum / lanes as f64 };
+    (pow_sum, mean_load)
+}
+
 struct RowPowerTask<'a> {
     plan: &'a RowPlan,
     servers: &'a [crate::topology::Server],
-    activity: &'a [ServerActivity],
+    /// The row's window of the flat utilization plane (validated against the topology's
+    /// GPU offsets up front, so no per-server shape checks remain in the loop).
+    utilization: &'a [f64],
+    /// The row's window of the flat frequency-scale plane.
+    frequency: &'a [f64],
     airflow: &'a mut [CubicFeetPerMinute],
     power: &'a mut [Kilowatts],
     /// The row's window of the junction-temperature plane, used as per-GPU power staging
     /// (in watts) until the thermal pass transforms it in place.
     power_stage: &'a mut [f64],
-    /// The row's window of the per-server memory-boundedness plane, staged here for the
-    /// thermal pass (this pass already has the activity structs in cache).
-    memory_boundedness: &'a mut [f64],
     row_load: &'a mut f64,
 }
 
@@ -958,21 +1242,21 @@ impl RowPowerTask<'_> {
 
     /// Fast path for a spec-homogeneous row: every spec-derived term arrives hoisted in
     /// the row plan, so the per-server stride is fixed and the loop never touches the
-    /// `Server` structs.
+    /// `Server` structs. The activity arrives as dense plane windows, so the loop is
+    /// three linear streams the hardware prefetcher follows on its own (the old
+    /// per-server `Vec` shape needed explicit prefetch hints to hide its pointer chase).
     fn run_uniform(&mut self, t: &RowUniformTerms) {
         let gpus = t.gpus_per_server;
         let mut load_sum = 0.0;
         let mut gpu_offset = 0usize;
-        for (i, activity) in self.activity.iter().enumerate() {
-            prefetch_activity(self.activity, i + PREFETCH_DISTANCE);
-            validate_server_activity(activity, gpus);
-            self.memory_boundedness[i] = activity.memory_boundedness;
+        for i in 0..self.power.len() {
+            let lanes = gpu_offset..gpu_offset + gpus;
             let (gpu_sum, mean_load) = power_lanes(
                 t.gpu_static_w,
                 t.gpu_dynamic_w,
-                &activity.gpu_utilization,
-                &activity.frequency_scale,
-                &mut self.power_stage[gpu_offset..gpu_offset + gpus],
+                &self.utilization[lanes.clone()],
+                &self.frequency[lanes.clone()],
+                &mut self.power_stage[lanes],
             );
             load_sum += mean_load;
             self.airflow[i] = t.airflow_idle + t.airflow_span * mean_load.clamp(0.0, 1.0);
@@ -993,18 +1277,16 @@ impl RowPowerTask<'_> {
     fn run_mixed(&mut self, airflow_model: &AirflowModel, power_model: &ServerPowerModel) {
         let mut load_sum = 0.0;
         let mut gpu_offset = 0usize;
-        for (i, (server, activity)) in self.servers.iter().zip(self.activity).enumerate() {
-            prefetch_activity(self.activity, i + PREFETCH_DISTANCE);
+        for (i, server) in self.servers.iter().enumerate() {
             let spec = &server.spec;
-            validate_server_activity(activity, spec.gpus_per_server);
-            self.memory_boundedness[i] = activity.memory_boundedness;
             let (static_power, dynamic_coeff) = power_model.gpu_power_terms(spec);
+            let lanes = gpu_offset..gpu_offset + spec.gpus_per_server;
             let (gpu_sum, mean_load) = power_lanes(
                 static_power,
                 dynamic_coeff,
-                &activity.gpu_utilization,
-                &activity.frequency_scale,
-                &mut self.power_stage[gpu_offset..gpu_offset + spec.gpus_per_server],
+                &self.utilization[lanes.clone()],
+                &self.frequency[lanes.clone()],
+                &mut self.power_stage[lanes],
             );
             load_sum += mean_load;
             self.airflow[i] = airflow_model.server_airflow(spec, mean_load);
@@ -1032,6 +1314,7 @@ impl RowPowerTask<'_> {
 /// As in [`power_lanes`], the x86-64 pair loop uses explicit SSE2 packed doubles; every
 /// packed op is the lane-wise IEEE operation of the scalar path, so results are
 /// bit-identical to the retained scalar reference.
+#[cfg(not(all(target_arch = "x86_64", target_feature = "avx2", target_feature = "fma")))]
 #[inline(always)]
 fn thermal_lanes(
     base_common: f64,
@@ -1080,6 +1363,52 @@ fn thermal_lanes(
     if lanes % 2 == 1 {
         let base = base_common + power_coeff * gpu_out[lanes - 1] + offsets[lanes - 1];
         gpu_out[lanes - 1] = base;
+        any_hot |= base > limit;
+    }
+    any_hot
+}
+
+/// Opt-in wide build of [`thermal_lanes`]: four-wide AVX2 lanes with one fused
+/// multiply-add per GPU, compiled in place of the SSE2 pair loop under
+/// `-C target-feature=+avx2,+fma`. Same determinism caveat as the wide
+/// [`power_lanes`]: excluded from digest contracts (see [`WIDE_KERNELS`]).
+#[cfg(all(target_arch = "x86_64", target_feature = "avx2", target_feature = "fma"))]
+#[inline(always)]
+fn thermal_lanes(
+    base_common: f64,
+    power_coeff: f64,
+    limit: f64,
+    offsets: &[f64],
+    gpu_out: &mut [f64],
+) -> bool {
+    let lanes = gpu_out.len();
+    let offsets = &offsets[..lanes];
+    let quads = lanes / 4;
+    let mut any_hot;
+    // SAFETY: the cfg gate guarantees AVX2+FMA at compile time; every pointer below
+    // stays within the resliced `lanes` bound (`4 * quads <= lanes`).
+    unsafe {
+        use std::arch::x86_64::{
+            _mm256_add_pd, _mm256_cmp_pd, _mm256_fmadd_pd, _mm256_loadu_pd,
+            _mm256_movemask_pd, _mm256_set1_pd, _mm256_storeu_pd, _CMP_GT_OQ,
+        };
+        let base_4 = _mm256_set1_pd(base_common);
+        let coeff_4 = _mm256_set1_pd(power_coeff);
+        let limit_4 = _mm256_set1_pd(limit);
+        let mut hot_mask = 0i32;
+        for i in 0..quads {
+            let power = _mm256_loadu_pd(gpu_out.as_ptr().add(4 * i));
+            let offset = _mm256_loadu_pd(offsets.as_ptr().add(4 * i));
+            let base = _mm256_add_pd(_mm256_fmadd_pd(coeff_4, power, base_4), offset);
+            _mm256_storeu_pd(gpu_out.as_mut_ptr().add(4 * i), base);
+            hot_mask |= _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_GT_OQ>(base, limit_4));
+        }
+        any_hot = hot_mask != 0;
+    }
+    // Scalar tail for the 1–3 trailing lanes of ragged GPU counts.
+    for i in 4 * quads..lanes {
+        let base = power_coeff.mul_add(gpu_out[i], base_common) + offsets[i];
+        gpu_out[i] = base;
         any_hot |= base > limit;
     }
     any_hot
@@ -1214,45 +1543,73 @@ impl RowThermalTask<'_> {
 #[cfg(feature = "parallel")]
 const PARALLEL_MIN_SERVERS: usize = 256;
 
-/// Returns `true` when per-row tasks should be dispatched to threads. Always `false`
-/// without the `parallel` feature; with it, requires a large enough cluster and available
-/// cores. When this returns `false`, rows are processed inline in row order with no task
-/// staging at all.
+/// The worker-thread budget for intra-site row sharding: the workspace's explicit limit
+/// when set (the digest tests force 1, 2 and N), otherwise the machine's available
+/// parallelism.
 #[cfg(feature = "parallel")]
-fn parallel_active(server_count: usize, row_count: usize) -> bool {
-    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+fn physics_threads(limit: Option<std::num::NonZeroUsize>) -> usize {
+    limit
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+}
+
+#[cfg(not(feature = "parallel"))]
+fn physics_threads(_limit: Option<std::num::NonZeroUsize>) -> usize {
+    1
+}
+
+/// Returns `true` when per-row tasks should be dispatched to threads. Always `false`
+/// without the `parallel` feature; with it, requires a large enough cluster, at least two
+/// worker threads and at least two rows. When this returns `false`, rows are processed
+/// inline in row order with no task staging at all.
+#[cfg(feature = "parallel")]
+fn parallel_active(server_count: usize, row_count: usize, threads: usize) -> bool {
     server_count >= PARALLEL_MIN_SERVERS && threads >= 2 && row_count >= 2
 }
 
 #[cfg(not(feature = "parallel"))]
-fn parallel_active(_server_count: usize, _row_count: usize) -> bool {
+fn parallel_active(_server_count: usize, _row_count: usize, _threads: usize) -> bool {
     false
 }
 
-/// Runs staged per-row tasks concurrently (only called with a non-empty task list when
-/// [`parallel_active`] returned `true`). Each task owns disjoint output slices, and every
-/// cross-row reduction downstream happens in fixed row order, so results are bit-identical
-/// with and without threads.
+/// Runs staged per-row tasks concurrently, one scoped thread per pre-balanced chunk of
+/// contiguous rows (only called with a non-empty task list when [`parallel_active`]
+/// returned `true`; `chunks` yields each chunk's task count and must sum to
+/// `tasks.len()`). Each task owns disjoint output slices, and every cross-row reduction
+/// downstream happens in fixed row order after the sharded passes, so results are
+/// bit-identical with and without threads — for any thread count.
 #[cfg(feature = "parallel")]
-fn run_row_tasks<T: Send>(tasks: &mut [T], run: impl Fn(&mut T) + Sync) {
+fn run_row_tasks<T: Send>(
+    tasks: &mut [T],
+    chunks: impl Iterator<Item = usize>,
+    run: impl Fn(&mut T) + Sync,
+) {
     if tasks.is_empty() {
         return;
     }
-    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let chunk = tasks.len().div_ceil(threads.min(tasks.len()));
+    let run = &run;
     std::thread::scope(|scope| {
-        for group in tasks.chunks_mut(chunk) {
-            scope.spawn(|| {
+        let mut rest = tasks;
+        for len in chunks {
+            let (group, tail) = rest.split_at_mut(len);
+            rest = tail;
+            if group.is_empty() {
+                continue;
+            }
+            scope.spawn(move || {
                 for task in group {
                     run(task);
                 }
             });
         }
+        debug_assert!(rest.is_empty(), "row chunks must cover every staged task");
     });
 }
 
 #[cfg(not(feature = "parallel"))]
-fn run_row_tasks<T>(tasks: &mut [T], run: impl Fn(&mut T)) {
+fn run_row_tasks<T>(tasks: &mut [T], _chunks: impl Iterator<Item = usize>, run: impl Fn(&mut T)) {
     for task in tasks {
         run(task);
     }
@@ -1414,12 +1771,25 @@ mod tests {
         assert!(gpu_spread > 1.0);
     }
 
+    /// The legacy per-server shape with one entry removed, rebuilt through the compat
+    /// constructor (planes derive their offsets from the entries, so malformed shapes
+    /// stay representable and the engine's validation still fires).
+    fn legacy_activity(dc: &Datacenter) -> Vec<ServerActivity> {
+        dc.layout()
+            .servers()
+            .iter()
+            .map(|s| ServerActivity::idle(s.spec.gpus_per_server))
+            .collect()
+    }
+
     #[test]
     #[should_panic(expected = "activity must cover every server")]
     fn mismatched_activity_length_panics() {
         let dc = datacenter();
+        let mut servers = legacy_activity(&dc);
+        servers.pop();
         let mut input = StepInput::idle(dc.layout(), Celsius::new(20.0));
-        input.activity.pop();
+        input.activity = ActivityPlanes::from_servers(&servers);
         let _ = dc.evaluate(&input);
     }
 
@@ -1427,8 +1797,74 @@ mod tests {
     #[should_panic(expected = "match the server spec")]
     fn mismatched_gpu_count_panics() {
         let dc = datacenter();
+        let mut servers = legacy_activity(&dc);
+        servers[0].gpu_utilization.pop();
+        servers[0].frequency_scale.pop();
         let mut input = StepInput::idle(dc.layout(), Celsius::new(20.0));
-        input.activity[0].gpu_utilization.pop();
+        input.activity = ActivityPlanes::from_servers(&servers);
         let _ = dc.evaluate(&input);
+    }
+
+    #[test]
+    #[should_panic(expected = "activity frequency count must match")]
+    fn ragged_legacy_activity_is_unrepresentable() {
+        let mut servers = vec![ServerActivity::idle(8)];
+        servers[0].frequency_scale.pop();
+        let _ = ActivityPlanes::from_servers(&servers);
+    }
+
+    /// The planes' hand-written serde must reproduce the legacy `Vec<ServerActivity>`
+    /// byte encoding exactly — golden artifacts that captured step inputs before the SoA
+    /// conversion depend on it — and round-trip losslessly.
+    #[test]
+    fn activity_planes_serde_matches_legacy_encoding() {
+        let dc = datacenter();
+        let mut input = StepInput::uniform_load(dc.layout(), Celsius::new(25.0), 0.7);
+        let mid = input.activity.server_mut(3);
+        mid.gpu_utilization[1] = 0.123;
+        mid.frequency_scale[5] = 0.88;
+        *mid.memory_boundedness = 0.9;
+        let legacy: Vec<ServerActivity> = (0..input.activity.server_count())
+            .map(|i| {
+                let s = input.activity.server(i);
+                ServerActivity {
+                    gpu_utilization: s.gpu_utilization.to_vec(),
+                    frequency_scale: s.frequency_scale.to_vec(),
+                    memory_boundedness: s.memory_boundedness,
+                }
+            })
+            .collect();
+        let planes_json =
+            serde_json::to_string(&input.activity).expect("serialize planes");
+        let legacy_json = serde_json::to_string(&legacy).expect("serialize legacy");
+        assert_eq!(planes_json, legacy_json, "planes must keep the legacy encoding");
+
+        let restored = ActivityPlanes::from_value(&input.activity.to_value())
+            .expect("planes deserialize");
+        assert_eq!(restored, input.activity);
+        assert_eq!(ActivityPlanes::from_servers(&legacy), input.activity);
+    }
+
+    /// Per-server views and the allocation-free fill helpers agree with the legacy
+    /// constructors.
+    #[test]
+    fn planes_views_match_legacy_constructors() {
+        let dc = datacenter();
+        let mut planes = ActivityPlanes::idle_for(dc.layout());
+        assert_eq!(planes.server_count(), 80);
+        assert_eq!(planes.gpu_count(), 640);
+        assert_eq!(planes.offsets(), dc.topology().gpu_offsets());
+        let idle = ServerActivity::idle(8);
+        let s0 = planes.server(0);
+        assert_eq!(s0.gpu_utilization, &idle.gpu_utilization[..]);
+        assert_eq!(s0.frequency_scale, &idle.frequency_scale[..]);
+        assert_eq!(s0.memory_boundedness, idle.memory_boundedness);
+        planes.set_uniform(2, 1.7);
+        let expected = ServerActivity::uniform(8, 1.7);
+        let s2 = planes.server(2);
+        assert_eq!(s2.gpu_utilization, &expected.gpu_utilization[..]);
+        assert_eq!(s2.memory_boundedness, expected.memory_boundedness);
+        planes.set_idle(2);
+        assert_eq!(planes, ActivityPlanes::idle_for(dc.layout()));
     }
 }

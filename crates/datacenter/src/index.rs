@@ -374,6 +374,46 @@ impl TopologyIndex {
         let servers = &self.row_ranges[row.index()];
         self.gpu_offsets[servers.start] as usize..self.gpu_offsets[servers.end] as usize
     }
+
+    /// Partition the row sweep into at most `parts` chunks of *contiguous* rows, balanced
+    /// by server count (rows can be ragged, so balancing on row count alone would skew
+    /// the work). `out` receives the per-chunk row counts in row-ordinal order; the counts
+    /// are all non-zero and sum to `row_count`. Intra-site parallel streaming shards on
+    /// these chunks: because each chunk is a contiguous row range and directives are
+    /// merged back in row order, the sharded sweep is bit-identical to the serial one.
+    pub fn balanced_row_chunks_into(&self, parts: usize, out: &mut Vec<usize>) {
+        out.clear();
+        let rows = self.row_ranges.len();
+        if rows == 0 {
+            return;
+        }
+        let parts = parts.clamp(1, rows);
+        let total_servers = self.server_count;
+        let mut row = 0usize;
+        let mut remaining = total_servers;
+        for part in 0..parts {
+            let start = row;
+            if part + 1 == parts {
+                row = rows;
+            } else {
+                let target = remaining.div_ceil(parts - part);
+                let mut taken = 0usize;
+                while row < rows && (taken < target || row == start) {
+                    taken += self.row_ranges[row].len();
+                    row += 1;
+                }
+                remaining -= taken;
+            }
+            if row > start {
+                out.push(row - start);
+            }
+        }
+        debug_assert_eq!(
+            out.iter().sum::<usize>(),
+            rows,
+            "row chunks must cover every row exactly once"
+        );
+    }
 }
 
 #[cfg(test)]
@@ -442,6 +482,28 @@ mod tests {
         assert!(is_contiguous_run(&[ServerId::new(3), ServerId::new(4), ServerId::new(5)]));
         assert!(!is_contiguous_run(&[ServerId::new(3), ServerId::new(5)]));
         assert!(!is_contiguous_run(&[ServerId::new(4), ServerId::new(3)]));
+    }
+
+    #[test]
+    fn balanced_row_chunks_cover_rows_and_balance_servers() {
+        let layout = LayoutConfig::production_datacenter().build();
+        let index = TopologyIndex::from_layout(&layout);
+        let rows = index.row_ranges().len();
+        let mut chunks = Vec::new();
+        for parts in [1, 2, 3, rows, rows + 5, 64] {
+            index.balanced_row_chunks_into(parts, &mut chunks);
+            assert!(!chunks.is_empty());
+            assert!(chunks.len() <= parts.min(rows));
+            assert!(chunks.iter().all(|&len| len > 0));
+            assert_eq!(chunks.iter().sum::<usize>(), rows);
+        }
+        // Two-way split of a uniform layout lands within one row of even.
+        index.balanced_row_chunks_into(2, &mut chunks);
+        assert_eq!(chunks.len(), 2);
+        assert!(chunks[0].abs_diff(chunks[1]) <= 1);
+        // parts = 0 behaves like 1 (single serial chunk).
+        index.balanced_row_chunks_into(0, &mut chunks);
+        assert_eq!(chunks, vec![rows]);
     }
 
     #[test]

@@ -41,24 +41,24 @@ pub fn evaluate_scalar(dc: &Datacenter, input: &StepInput) -> StepOutcome {
     let layout = dc.layout();
     let topology = dc.topology();
     let server_count = layout.server_count();
-    assert_eq!(input.activity.len(), server_count, "activity must cover every server");
+    assert_eq!(
+        input.activity.server_count(),
+        server_count,
+        "activity must cover every server"
+    );
 
     // 1. Per-server loads, airflow demand and power — one server at a time.
     let mut server_airflow = Vec::with_capacity(server_count);
     let mut server_power = Vec::with_capacity(server_count);
     let mut gpu_power_flat: Vec<Watts> = Vec::with_capacity(topology.gpu_count());
     let mut mean_loads = Vec::with_capacity(server_count);
-    for (server, activity) in layout.servers().iter().zip(&input.activity) {
+    for (i, server) in layout.servers().iter().enumerate() {
         let spec = &server.spec;
+        let activity = input.activity.server(i);
         assert_eq!(
             activity.gpu_utilization.len(),
             spec.gpus_per_server,
             "activity GPU count must match the server spec"
-        );
-        assert_eq!(
-            activity.frequency_scale.len(),
-            spec.gpus_per_server,
-            "activity frequency count must match the server spec"
         );
         // Contract order #1: two alternating accumulator lanes, combined low + high.
         let mut util_acc = [0.0f64; 2];
@@ -66,7 +66,7 @@ pub fn evaluate_scalar(dc: &Datacenter, input: &StepInput) -> StepOutcome {
         for (slot, (&u, &f)) in activity
             .gpu_utilization
             .iter()
-            .zip(&activity.frequency_scale)
+            .zip(activity.frequency_scale)
             .enumerate()
         {
             let power = dc.power_model().gpu_power(spec, u, f);
@@ -121,9 +121,8 @@ pub fn evaluate_scalar(dc: &Datacenter, input: &StepInput) -> StepOutcome {
     {
         let (gpu_plane, mem_offsets) = gpu_temps.kernel_planes_mut();
         let mut flat = 0usize;
-        for (i, (server, activity)) in
-            layout.servers().iter().zip(&input.activity).enumerate()
-        {
+        for (i, server) in layout.servers().iter().enumerate() {
+            let activity = input.activity.server(i);
             let penalty = aisle_penalty[server.aisle.index()];
             // Contract order #3 lives inside `inlet_temp`.
             let inlet = dc.inlet_model().inlet_temp(
