@@ -25,7 +25,7 @@ use tapas_bench::snapshot::{
     BenchResult,
 };
 
-const DEFAULT_BENCHES: &str = "router,end_to_end,hierarchy,fleet,scenario";
+const DEFAULT_BENCHES: &str = "router,end_to_end,hierarchy,fleet,scenario,request_fabric";
 
 struct Args {
     section: String,

@@ -19,8 +19,27 @@ use workload::arrivals::{ArrivalConfig, VmArrivalGenerator};
 use workload::endpoints::EndpointCatalog;
 use workload::vm::Vm;
 
+/// Tunables of the per-request serving fabric (see `crate::fabric`). The fabric is
+/// opt-in: [`ExperimentConfig::request_fabric`] is `None` by default and every legacy
+/// code path (RNG draws, report bytes, digests) is untouched until it is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestFabricConfig {
+    /// Scales the generated request rate relative to the endpoint catalog's diurnal
+    /// per-VM peak rates (`1.0` = the catalog's calibrated demand).
+    pub rate_scale: f64,
+    /// The headline SLO multiplier for attainment reporting. The paper's SLO is 5× the
+    /// unloaded latency; the full attainment curve is recorded regardless.
+    pub slo_multiplier: f64,
+}
+
+impl Default for RequestFabricConfig {
+    fn default() -> Self {
+        Self { rate_scale: 1.0, slo_multiplier: 5.0 }
+    }
+}
+
 /// Everything that defines one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentConfig {
     /// Physical layout of the datacenter.
     pub layout: LayoutConfig,
@@ -58,11 +77,46 @@ pub struct ExperimentConfig {
     pub scenario: Scenario,
     /// Random seed (drives weather, arrivals, request shapes and per-entity offsets).
     pub seed: u64,
+    /// Per-request serving fabric, off by default. `None` keeps the run byte-identical
+    /// to a build without the fabric subsystem.
+    pub request_fabric: Option<RequestFabricConfig>,
 }
 
-// Hand-written (the other configs use the derive) so experiment artifacts serialized
-// before `arrivals_per_day` / `scenario` existed still load: the vendored derive rejects
-// a missing key, but these fields must default for backward compatibility.
+// Hand-written serde on both sides. Serialize: the vendored derive writes `Option` as
+// `null`, which would insert a `request_fabric` key into every artifact and break the
+// pinned pre-fabric goldens — so the key is emitted only when the fabric is enabled,
+// with every pre-existing field in declaration order exactly as the derive wrote it.
+impl Serialize for ExperimentConfig {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            (String::from("layout"), self.layout.to_value()),
+            (String::from("policy"), self.policy.to_value()),
+            (String::from("saas_fraction"), self.saas_fraction.to_value()),
+            (String::from("climate"), self.climate.to_value()),
+            (String::from("duration"), self.duration.to_value()),
+            (String::from("step"), self.step.to_value()),
+            (String::from("endpoint_count"), self.endpoint_count.to_value()),
+            (
+                String::from("requests_per_vm_per_minute"),
+                self.requests_per_vm_per_minute.to_value(),
+            ),
+            (String::from("initial_occupancy"), self.initial_occupancy.to_value()),
+            (String::from("arrivals_per_day"), self.arrivals_per_day.to_value()),
+            (String::from("failures"), self.failures.to_value()),
+            (String::from("scenario"), self.scenario.to_value()),
+            (String::from("seed"), self.seed.to_value()),
+        ];
+        if let Some(fabric) = &self.request_fabric {
+            entries.push((String::from("request_fabric"), fabric.to_value()));
+        }
+        serde::Value::Map(entries)
+    }
+}
+
+// Deserialize is hand-written (the other configs use the derive) so experiment artifacts
+// serialized before `arrivals_per_day` / `scenario` / `request_fabric` existed still
+// load: the vendored derive rejects a missing key, but these fields must default for
+// backward compatibility.
 impl Deserialize for ExperimentConfig {
     fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
         Ok(Self {
@@ -87,6 +141,10 @@ impl Deserialize for ExperimentConfig {
                 Err(_) => Scenario::default(),
             },
             seed: Deserialize::from_value(value.get("seed")?)?,
+            request_fabric: match value.get("request_fabric") {
+                Ok(field) => Some(Deserialize::from_value(field)?),
+                Err(_) => None,
+            },
         })
     }
 }
@@ -110,6 +168,7 @@ impl ExperimentConfig {
             failures: FailureSchedule::none(),
             scenario: Scenario::default(),
             seed: 42,
+            request_fabric: None,
         }
     }
 
@@ -131,6 +190,7 @@ impl ExperimentConfig {
             failures: FailureSchedule::none(),
             scenario: Scenario::default(),
             seed: 7,
+            request_fabric: None,
         }
     }
 
@@ -152,6 +212,7 @@ impl ExperimentConfig {
             failures: FailureSchedule::none(),
             scenario: Scenario::default(),
             seed: 11,
+            request_fabric: None,
         }
     }
 
@@ -173,6 +234,7 @@ impl ExperimentConfig {
             failures: FailureSchedule::none(),
             scenario: Scenario::default(),
             seed: 13,
+            request_fabric: None,
         }
     }
 
@@ -245,6 +307,13 @@ impl ExperimentConfig {
     #[must_use]
     pub fn with_scenario(mut self, scenario: Scenario) -> Self {
         self.scenario = scenario;
+        self
+    }
+
+    /// Enables the per-request serving fabric (see `crate::fabric`).
+    #[must_use]
+    pub fn with_request_fabric(mut self, fabric: RequestFabricConfig) -> Self {
+        self.request_fabric = Some(fabric);
         self
     }
 
@@ -660,6 +729,28 @@ mod tests {
 
     fn scenario_json(scenario: &Scenario) -> String {
         serde_json::to_string(scenario).expect("serialize scenario")
+    }
+
+    #[test]
+    fn disabled_fabric_leaves_config_artifacts_byte_free_of_the_key() {
+        // The opt-in field must be invisible in pre-fabric artifacts: pinned goldens
+        // serialized before the fabric existed stay bit-identical.
+        let config = ExperimentConfig::small_smoke_test();
+        let json = serde_json::to_string(&config).expect("serialize");
+        assert!(!json.contains("request_fabric"), "disabled fabric must not serialize");
+        let back: ExperimentConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, config);
+    }
+
+    #[test]
+    fn enabled_fabric_round_trips_through_json() {
+        let config = ExperimentConfig::small_smoke_test().with_request_fabric(
+            RequestFabricConfig { rate_scale: 2.5, slo_multiplier: 5.0 },
+        );
+        let json = serde_json::to_string(&config).expect("serialize");
+        assert!(json.ends_with("\"request_fabric\":{\"rate_scale\":2.5,\"slo_multiplier\":5}}"));
+        let back: ExperimentConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, config);
     }
 
     #[test]

@@ -23,13 +23,17 @@
 //! routing counters live in pre-sized site-ordinal vectors, and each cell's step loop is
 //! allocation-free per the dense-telemetry contract.
 
-use crate::experiment::{FleetConfig, GeoPolicy};
+use crate::experiment::{FleetConfig, GeoPolicy, RequestFabricConfig};
+use crate::fabric::{FabricGenerator, FabricRequest, MS_PER_MINUTE};
 use crate::metrics::{FleetReport, RunReport};
+use crate::scenario::ResolvedTimeline;
 use crate::simulator::ClusterSimulator;
+use simkit::queue::EventQueue;
 use simkit::time::{SimClock, SimTime};
 use std::collections::VecDeque;
 use tapas::geo::{GeoPlacement, SiteSignals};
 use workload::arrivals::WeightedSplitter;
+use workload::trace::{TraceError, TraceRecord};
 use workload::vm::Vm;
 
 /// The multi-datacenter fleet simulator.
@@ -46,6 +50,18 @@ pub struct FleetSimulator {
     /// VM arrivals routed to each site so far.
     routed: Vec<u64>,
     emergency_diversions: u64,
+    /// Fleet-wide request-fabric generator (None unless the base experiment opts in, or
+    /// when a replayed trace preloaded the queue instead).
+    fabric_generator: Option<FabricGenerator>,
+    /// The fleet-wide fabric stream, ordered by millisecond timestamp (FIFO on ties).
+    fabric_queue: EventQueue<FabricRequest>,
+    /// The base scenario's resolved timeline, driving fleet-wide fabric demand shaping.
+    /// (Per-site demand events still shape each cell's *legacy* serving path; the fabric
+    /// stream is generated once fleet-wide from the base view.)
+    base_timeline: ResolvedTimeline,
+    /// Round-robin splitter for per-request routing — a separate instance from the VM
+    /// splitter so request traffic never perturbs the VM round-robin phase.
+    request_splitter: WeightedSplitter,
 }
 
 impl FleetSimulator {
@@ -77,16 +93,67 @@ impl FleetSimulator {
             vec![1.0; cells.len()]
         };
         let routed = vec![0; cells.len()];
+        // The fabric stream is generated once fleet-wide, from the base seed and base
+        // catalog, and scaled with the fleet's arrival scale exactly like the VM stream
+        // (for a single-site fleet both scales are 1.0 and the stream is bit-identical
+        // to the one a standalone simulator generates for itself).
+        let fabric_generator = config.base.request_fabric.map(|mut fabric_config| {
+            fabric_config.rate_scale *= config.arrival_scale;
+            FabricGenerator::new(config.base.seed, &catalog, fabric_config)
+        });
+        let base_timeline = config.base.resolved_timeline();
         Self {
             geo: GeoPlacement::default(),
             splitter: WeightedSplitter::new(&shares),
+            request_splitter: WeightedSplitter::new(&shares),
             stream,
             signals,
             routed,
             emergency_diversions: 0,
+            fabric_generator,
+            fabric_queue: EventQueue::new(),
+            base_timeline,
             cells,
             config,
         }
+    }
+
+    /// Builds a fleet that replays an externally supplied request trace through the
+    /// fabric instead of generating a stream (the fleet-level trace-replay entry; the
+    /// VM arrival stream is still generated as usual). Requests are geo-routed across
+    /// sites per record exactly like generated traffic.
+    ///
+    /// # Errors
+    /// Returns [`TraceError::UnknownEndpoint`] if a record names an endpoint outside the
+    /// base experiment's catalog.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`FleetConfig::check`].
+    pub fn with_request_trace(
+        mut config: FleetConfig,
+        records: &[TraceRecord],
+    ) -> Result<Self, TraceError> {
+        if config.base.request_fabric.is_none() {
+            config.base.request_fabric = Some(RequestFabricConfig::default());
+        }
+        let endpoints = config.base.endpoint_catalog().len() as u64;
+        if let Some(bad) = records.iter().find(|r| r.endpoint >= endpoints) {
+            return Err(TraceError::UnknownEndpoint { endpoint: bad.endpoint });
+        }
+        let mut fleet = Self::new(config);
+        fleet.fabric_generator = None;
+        for (line, record) in records.iter().enumerate() {
+            fleet.fabric_queue.push(
+                record.timestamp_ms,
+                FabricRequest {
+                    id: line as u64,
+                    endpoint: record.endpoint as u32,
+                    prompt_tokens: record.prompt_tokens,
+                    output_tokens: record.output_tokens,
+                },
+            );
+        }
+        Ok(fleet)
     }
 
     /// The fleet configuration.
@@ -140,6 +207,37 @@ impl FleetSimulator {
             };
             self.routed[site] += 1;
             self.cells[site].enqueue(vm);
+        }
+
+        // 1b. Generate this step's fabric requests fleet-wide and route them per request
+        //     (in millisecond-timestamp order, FIFO on ties) into the cells' inboxes.
+        //     Routing happens before the cells step, so serial and `parallel` execution
+        //     see identical per-cell event sequences.
+        if let Some(generator) = self.fabric_generator.as_mut() {
+            generator.generate_step(
+                now,
+                self.config.base.step,
+                &self.base_timeline,
+                &mut self.fabric_queue,
+            );
+        }
+        if !self.fabric_queue.is_empty() {
+            let end_ms =
+                (now.as_minutes() + self.config.base.step.as_minutes()) * MS_PER_MINUTE;
+            let geo_policy = self.config.geo;
+            let cells = &mut self.cells;
+            let signals = &self.signals;
+            let geo = &mut self.geo;
+            let request_splitter = &mut self.request_splitter;
+            // `drain_until` is inclusive; the step window is half-open.
+            self.fabric_queue.drain_until(end_ms - 1, |time_ms, request| {
+                let site = match geo_policy {
+                    GeoPolicy::Pinned(site) => site,
+                    GeoPolicy::RoundRobin => request_splitter.next_site(),
+                    GeoPolicy::Headroom => geo.choose_request(signals),
+                };
+                cells[site].deliver_request(time_ms, request);
+            });
         }
 
         // 2. Step every cell (the outer across-datacenter parallel dimension).

@@ -17,6 +17,10 @@
 //!   bookkeeping and weekly profile refinement.
 //! * [`fleet`] — the fleet step loop: N datacenter cells under distinct climates, with
 //!   geo-aware arrival splitting and an across-datacenter parallel dimension.
+//! * [`fabric`] — the opt-in request fabric: an event-timestamped (millisecond) fleet-wide
+//!   inference-request stream, geo-routed per request and admitted into per-endpoint
+//!   continuous-batching schedulers under KV-cache occupancy constraints, yielding
+//!   per-request TTFT/TBT histograms and SLO attainment curves.
 //! * [`metrics`] — per-run report: time series of maximum GPU temperature and peak row power,
 //!   event counts, capped-time fractions, SLO attainment and average result quality;
 //!   fleet-wide aggregation in [`metrics::FleetReport`].
@@ -42,6 +46,7 @@
 
 pub mod emergency;
 pub mod experiment;
+pub mod fabric;
 pub mod fleet;
 pub mod metrics;
 pub mod oversubscription;
@@ -49,9 +54,10 @@ pub mod placement_study;
 pub mod scenario;
 pub mod simulator;
 
-pub use experiment::{ExperimentConfig, FleetConfig, GeoPolicy, SiteConfig};
+pub use experiment::{ExperimentConfig, FleetConfig, GeoPolicy, RequestFabricConfig, SiteConfig};
+pub use fabric::{FabricGenerator, FabricRequest, RequestFabric};
 pub use fleet::FleetSimulator;
-pub use metrics::{FleetReport, RunReport};
+pub use metrics::{FleetReport, LatencyHistogram, RequestMetrics, RunReport};
 pub use scenario::{
     ResolvedTimeline, Scenario, ScenarioBuilder, ScenarioError, ScenarioEvent, SiteSelector,
 };

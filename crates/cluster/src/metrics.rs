@@ -8,8 +8,232 @@ use simkit::stats::Summary;
 use simkit::time::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 
+/// Upper bucket edges (milliseconds, inclusive) of the request-fabric latency
+/// histograms: log-spaced powers of two from 1 ms to ~70 simulated minutes, plus an
+/// implicit overflow bucket. Fixed edges keep recorded artifacts comparable across runs
+/// and trivially mergeable across sites.
+pub const LATENCY_BUCKET_EDGES_MS: [u64; 23] = [
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536,
+    131_072, 262_144, 524_288, 1_048_576, 2_097_152, 4_194_304,
+];
+
+/// SLO multipliers at which the attainment curves are sampled. A request counts toward
+/// multiplier `m` when its latency is within `m ×` the unloaded target, so each curve
+/// entry is already cumulative ("attainment if the SLO were `m ×`"). The paper's
+/// headline SLO (5× unloaded latency) is one of the sampled points.
+pub const SLO_CURVE_MULTIPLIERS: [f64; 8] = [1.0, 1.5, 2.0, 3.0, 5.0, 8.0, 12.0, 20.0];
+
+/// A fixed-edge latency histogram over [`LATENCY_BUCKET_EDGES_MS`] (the last bucket is
+/// the overflow bucket), plus a running sum for means.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Bucket counts: `counts[i]` holds samples `<= LATENCY_BUCKET_EDGES_MS[i]` (and
+    /// greater than the previous edge); the final extra entry counts overflow samples.
+    pub counts: Vec<u64>,
+    /// Sum of all recorded samples (ms), for the mean.
+    pub sum_ms: f64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { counts: vec![0; LATENCY_BUCKET_EDGES_MS.len() + 1], sum_ms: 0.0 }
+    }
+
+    /// Records one sample (milliseconds).
+    pub fn record(&mut self, sample_ms: f64) {
+        let bucket = LATENCY_BUCKET_EDGES_MS
+            .iter()
+            .position(|&edge| sample_ms <= edge as f64)
+            .unwrap_or(LATENCY_BUCKET_EDGES_MS.len());
+        self.counts[bucket] += 1;
+        self.sum_ms += sample_ms.max(0.0);
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean sample (ms), `0.0` when empty.
+    #[must_use]
+    pub fn mean_ms(&self) -> f64 {
+        let total = self.total();
+        if total == 0 { 0.0 } else { self.sum_ms / total as f64 }
+    }
+
+    /// The upper bucket edge (ms) below which at least `quantile` (in `[0, 1]`) of the
+    /// samples fall — a conservative percentile read off the fixed buckets. Overflow
+    /// samples report the largest edge.
+    #[must_use]
+    pub fn quantile_edge_ms(&self, quantile: f64) -> u64 {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (quantile.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (bucket, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                let edge = bucket.min(LATENCY_BUCKET_EDGES_MS.len() - 1);
+                return LATENCY_BUCKET_EDGES_MS[edge];
+            }
+        }
+        LATENCY_BUCKET_EDGES_MS[LATENCY_BUCKET_EDGES_MS.len() - 1]
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &Self) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.sum_ms += other.sum_ms;
+    }
+}
+
+/// Per-request serving metrics the request fabric records: TTFT and TBT histograms plus
+/// SLO attainment curves sampled at [`SLO_CURVE_MULTIPLIERS`]. Sites merge losslessly
+/// (fixed bucket edges, cumulative curve counters), which is how the fleet-level curves
+/// are produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestMetrics {
+    /// Requests that ran to completion.
+    pub completed: u64,
+    /// Time-to-first-token distribution (ms).
+    pub ttft: LatencyHistogram,
+    /// Mean time-between-tokens distribution (ms), over requests with 2+ output tokens.
+    pub tbt: LatencyHistogram,
+    /// `ttft_curve[i]` = completed requests whose TTFT was within
+    /// `SLO_CURVE_MULTIPLIERS[i] ×` the unloaded TTFT target.
+    pub ttft_curve: Vec<u64>,
+    /// `tbt_curve[i]` = completed requests whose mean TBT was within
+    /// `SLO_CURVE_MULTIPLIERS[i] ×` the unloaded TBT target.
+    pub tbt_curve: Vec<u64>,
+    /// `joint_curve[i]` = completed requests meeting *both* targets at multiplier `i` —
+    /// the curve SLO attainment is read from.
+    pub joint_curve: Vec<u64>,
+}
+
+impl Default for RequestMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RequestMetrics {
+    /// An empty metrics block.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            completed: 0,
+            ttft: LatencyHistogram::new(),
+            tbt: LatencyHistogram::new(),
+            ttft_curve: vec![0; SLO_CURVE_MULTIPLIERS.len()],
+            tbt_curve: vec![0; SLO_CURVE_MULTIPLIERS.len()],
+            joint_curve: vec![0; SLO_CURVE_MULTIPLIERS.len()],
+        }
+    }
+
+    /// Records one completed request against its endpoint's unloaded latency targets
+    /// (seconds, from the perf model). Requests with a single output token have no TBT;
+    /// they count as meeting any TBT multiplier.
+    pub fn record(
+        &mut self,
+        ttft_ms: f64,
+        mean_tbt_ms: f64,
+        ttft_target_s: f64,
+        tbt_target_s: f64,
+    ) {
+        self.completed += 1;
+        self.ttft.record(ttft_ms);
+        if mean_tbt_ms > 0.0 {
+            self.tbt.record(mean_tbt_ms);
+        }
+        let ttft_target_ms = (ttft_target_s * 1000.0).max(f64::MIN_POSITIVE);
+        let tbt_target_ms = (tbt_target_s * 1000.0).max(f64::MIN_POSITIVE);
+        for (i, &multiplier) in SLO_CURVE_MULTIPLIERS.iter().enumerate() {
+            let ttft_ok = ttft_ms <= multiplier * ttft_target_ms;
+            let tbt_ok = mean_tbt_ms <= 0.0 || mean_tbt_ms <= multiplier * tbt_target_ms;
+            if ttft_ok {
+                self.ttft_curve[i] += 1;
+            }
+            if tbt_ok {
+                self.tbt_curve[i] += 1;
+            }
+            if ttft_ok && tbt_ok {
+                self.joint_curve[i] += 1;
+            }
+        }
+    }
+
+    /// SLO attainment (fraction of completed requests meeting both TTFT and TBT) at the
+    /// smallest sampled multiplier `>= multiplier`; `1.0` when nothing completed.
+    #[must_use]
+    pub fn attainment_at(&self, multiplier: f64) -> f64 {
+        if self.completed == 0 {
+            return 1.0;
+        }
+        let index = SLO_CURVE_MULTIPLIERS
+            .iter()
+            .position(|&m| m >= multiplier)
+            .unwrap_or(SLO_CURVE_MULTIPLIERS.len() - 1);
+        self.joint_curve[index] as f64 / self.completed as f64
+    }
+
+    /// The full joint attainment curve, one fraction per [`SLO_CURVE_MULTIPLIERS`] entry.
+    #[must_use]
+    pub fn attainment_curve(&self) -> Vec<f64> {
+        if self.completed == 0 {
+            return vec![1.0; SLO_CURVE_MULTIPLIERS.len()];
+        }
+        self.joint_curve
+            .iter()
+            .map(|&count| count as f64 / self.completed as f64)
+            .collect()
+    }
+
+    /// Merges another site's metrics into this one (lossless: fixed edges, counters).
+    pub fn merge(&mut self, other: &Self) {
+        self.completed += other.completed;
+        self.ttft.merge(&other.ttft);
+        self.tbt.merge(&other.tbt);
+        for (mine, theirs) in self.ttft_curve.iter_mut().zip(&other.ttft_curve) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.tbt_curve.iter_mut().zip(&other.tbt_curve) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.joint_curve.iter_mut().zip(&other.joint_curve) {
+            *mine += theirs;
+        }
+    }
+
+    /// One-line textual summary (used by examples and the fabric smoke output).
+    #[must_use]
+    pub fn one_liner(&self) -> String {
+        format!(
+            "requests={} ttft_p50={}ms ttft_p99={}ms tbt_p50={}ms tbt_p99={}ms slo5x={:.4}",
+            self.completed,
+            self.ttft.quantile_edge_ms(0.50),
+            self.ttft.quantile_edge_ms(0.99),
+            self.tbt.quantile_edge_ms(0.50),
+            self.tbt.quantile_edge_ms(0.99),
+            self.attainment_at(5.0),
+        )
+    }
+}
+
 /// Everything a simulation run records.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// The policy label the run used.
     pub policy: String,
@@ -39,6 +263,63 @@ pub struct RunReport {
     pub requests_served: u64,
     /// Requests that violated their latency SLO.
     pub slo_violations: u64,
+    /// Per-request serving metrics, present only when the run had the request fabric
+    /// enabled (`None` keeps pre-fabric report artifacts byte-identical).
+    pub request_fabric: Option<RequestMetrics>,
+}
+
+// Hand-written serde: the vendored derive writes `Option` as `null`, which would insert
+// a `request_fabric` key into every report artifact and change the pinned pre-fabric
+// digests — so the key is emitted only when the fabric ran, with every pre-existing
+// field in declaration order exactly as the derive wrote it.
+impl Serialize for RunReport {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            (String::from("policy"), self.policy.to_value()),
+            (String::from("horizon"), self.horizon.to_value()),
+            (String::from("step"), self.step.to_value()),
+            (String::from("max_gpu_temp"), self.max_gpu_temp.to_value()),
+            (String::from("peak_row_power"), self.peak_row_power.to_value()),
+            (String::from("datacenter_power"), self.datacenter_power.to_value()),
+            (String::from("saas_utilization"), self.saas_utilization.to_value()),
+            (String::from("row_power_budget_kw"), self.row_power_budget_kw.to_value()),
+            (String::from("gpu_throttle_temp_c"), self.gpu_throttle_temp_c.to_value()),
+            (String::from("events"), self.events.to_value()),
+            (String::from("latency_factors"), self.latency_factors.to_value()),
+            (String::from("request_quality"), self.request_quality.to_value()),
+            (String::from("requests_served"), self.requests_served.to_value()),
+            (String::from("slo_violations"), self.slo_violations.to_value()),
+        ];
+        if let Some(fabric) = &self.request_fabric {
+            entries.push((String::from("request_fabric"), fabric.to_value()));
+        }
+        serde::Value::Map(entries)
+    }
+}
+
+impl Deserialize for RunReport {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            policy: Deserialize::from_value(value.get("policy")?)?,
+            horizon: Deserialize::from_value(value.get("horizon")?)?,
+            step: Deserialize::from_value(value.get("step")?)?,
+            max_gpu_temp: Deserialize::from_value(value.get("max_gpu_temp")?)?,
+            peak_row_power: Deserialize::from_value(value.get("peak_row_power")?)?,
+            datacenter_power: Deserialize::from_value(value.get("datacenter_power")?)?,
+            saas_utilization: Deserialize::from_value(value.get("saas_utilization")?)?,
+            row_power_budget_kw: Deserialize::from_value(value.get("row_power_budget_kw")?)?,
+            gpu_throttle_temp_c: Deserialize::from_value(value.get("gpu_throttle_temp_c")?)?,
+            events: Deserialize::from_value(value.get("events")?)?,
+            latency_factors: Deserialize::from_value(value.get("latency_factors")?)?,
+            request_quality: Deserialize::from_value(value.get("request_quality")?)?,
+            requests_served: Deserialize::from_value(value.get("requests_served")?)?,
+            slo_violations: Deserialize::from_value(value.get("slo_violations")?)?,
+            request_fabric: match value.get("request_fabric") {
+                Ok(field) => Some(Deserialize::from_value(field)?),
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 impl RunReport {
@@ -60,6 +341,7 @@ impl RunReport {
             request_quality: Vec::new(),
             requests_served: 0,
             slo_violations: 0,
+            request_fabric: None,
         }
     }
 
@@ -294,6 +576,22 @@ impl FleetReport {
         sum / count as f64
     }
 
+    /// Fleet-level request-fabric metrics: the lossless merge of every site's
+    /// [`RequestMetrics`] (fixed histogram edges and cumulative curve counters make the
+    /// merge exact). `None` when no site ran the fabric. Fleet-wide TTFT/TBT percentile
+    /// and SLO-attainment curves are read off the merged block; per-site curves stay
+    /// available on each [`RunReport::request_fabric`].
+    #[must_use]
+    pub fn request_fabric(&self) -> Option<RequestMetrics> {
+        let mut merged: Option<RequestMetrics> = None;
+        for site in &self.sites {
+            if let Some(metrics) = &site.request_fabric {
+                merged.get_or_insert_with(RequestMetrics::new).merge(metrics);
+            }
+        }
+        merged
+    }
+
     /// Fraction of requests fleet-wide that met the latency SLO.
     #[must_use]
     pub fn slo_attainment(&self) -> f64 {
@@ -424,9 +722,84 @@ mod tests {
     fn serde_round_trip() {
         let report = report_with_data();
         let json = serde_json::to_string(&report).unwrap();
+        assert!(
+            !json.contains("request_fabric"),
+            "fabric-less reports must not grow a fabric key"
+        );
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.policy, report.policy);
         assert_eq!(back.requests_served, report.requests_served);
+        assert_eq!(back.request_fabric, None);
+    }
+
+    #[test]
+    fn request_metrics_histograms_curves_and_merge() {
+        let mut metrics = RequestMetrics::new();
+        // Targets: TTFT 100 ms, TBT 10 ms. A fast, a mid and a slow request.
+        metrics.record(80.0, 9.0, 0.1, 0.01);
+        metrics.record(250.0, 18.0, 0.1, 0.01);
+        metrics.record(2500.0, 300.0, 0.1, 0.01);
+        assert_eq!(metrics.completed, 3);
+        assert_eq!(metrics.ttft.total(), 3);
+        assert!((metrics.ttft.mean_ms() - (80.0 + 250.0 + 2500.0) / 3.0).abs() < 1e-9);
+        // At 1x only the fast request qualifies; at 3x the mid one joins; the slow one
+        // (25x TTFT, 30x TBT) is outside even the 20x tail.
+        let curve = metrics.attainment_curve();
+        assert!((curve[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((metrics.attainment_at(3.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((metrics.attainment_at(5.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((metrics.attainment_at(20.0) - 2.0 / 3.0).abs() < 1e-12);
+        // Percentiles read conservative bucket edges.
+        assert_eq!(metrics.ttft.quantile_edge_ms(0.5), 256);
+        assert_eq!(metrics.ttft.quantile_edge_ms(0.99), 4096);
+        // Single-token requests have no TBT and meet any TBT multiplier.
+        let mut single = RequestMetrics::new();
+        single.record(80.0, 0.0, 0.1, 0.01);
+        assert_eq!(single.tbt.total(), 0);
+        assert!((single.attainment_at(1.0) - 1.0).abs() < 1e-12);
+        // Merge is lossless counter addition.
+        let mut merged = metrics.clone();
+        merged.merge(&single);
+        assert_eq!(merged.completed, 4);
+        assert_eq!(merged.joint_curve[0], 2);
+        assert!(merged.one_liner().contains("requests=4"));
+        // Empty metrics default to full attainment.
+        assert!((RequestMetrics::new().attainment_at(5.0) - 1.0).abs() < 1e-12);
+        assert_eq!(RequestMetrics::new().ttft.quantile_edge_ms(0.99), 0);
+    }
+
+    #[test]
+    fn fabric_reports_round_trip_and_aggregate_fleet_wide() {
+        let mut report = report_with_data();
+        let mut metrics = RequestMetrics::new();
+        metrics.record(120.0, 12.0, 0.1, 0.01);
+        report.request_fabric = Some(metrics.clone());
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"request_fabric\":{"));
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.request_fabric, Some(metrics.clone()));
+
+        // Fleet aggregation merges only the sites that ran the fabric.
+        let fleet = FleetReport {
+            geo: "Headroom".to_string(),
+            site_names: vec!["a".to_string(), "b".to_string()],
+            sites: vec![report, report_with_data()],
+            vms_routed: vec![1, 1],
+            emergency_diversions: 0,
+        };
+        let merged = fleet.request_fabric().expect("one site ran the fabric");
+        assert_eq!(merged.completed, 1);
+        assert_eq!(
+            FleetReport {
+                geo: String::new(),
+                site_names: Vec::new(),
+                sites: vec![report_with_data()],
+                vms_routed: Vec::new(),
+                emergency_diversions: 0,
+            }
+            .request_fabric(),
+            None
+        );
     }
 
     #[test]

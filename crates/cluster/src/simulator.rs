@@ -19,7 +19,8 @@
 //! ordinal-aligned with those vectors, and metric recording walks the grids without any
 //! map lookups — the steady-state step loop is allocation-free end to end.
 
-use crate::experiment::ExperimentConfig;
+use crate::experiment::{ExperimentConfig, RequestFabricConfig};
+use crate::fabric::{FabricRequest, RequestFabric};
 use crate::metrics::RunReport;
 use crate::scenario::ResolvedTimeline;
 use dc_sim::engine::{Datacenter, StepInput, StepWorkspace};
@@ -27,7 +28,7 @@ use dc_sim::weather::WeatherModel;
 use llm_sim::config::InstanceConfig;
 use llm_sim::hardware::GpuHardware;
 use llm_sim::request::{CustomerId, InferenceRequest, RequestId};
-use simkit::events::EventKind;
+use simkit::events::{EventKind, LabelInterner};
 use simkit::rng::SimRng;
 use simkit::time::{SimClock, SimTime};
 use simkit::units::{Celsius, CubicFeetPerMinute, Kilowatts, Watts};
@@ -47,6 +48,7 @@ use tapas::state::{ClusterState, VmSlotMap};
 use workload::diurnal::DiurnalPattern;
 use workload::endpoints::{EndpointCatalog, EndpointId};
 use workload::iaas::IaasLoadModel;
+use workload::trace::{TraceError, TraceRecord};
 use workload::vm::{Vm, VmId, VmKind};
 
 /// Mean tokens processed per request (prompt + output) used to convert request rates into
@@ -251,6 +253,20 @@ fn profile_figures(profiles: &ProfileStore, config: &InstanceConfig) -> (f64, f6
     }
 }
 
+/// Per-entity-class [`LabelInterner`]s for the hot event-recording paths.
+///
+/// Every recorded event names its entity (a VM, GPU, row or aisle); formatting that name
+/// per event allocated a fresh `String` on every throttle/cap/SLO event. Each class keys
+/// its interner by the entity's dense ordinal, so steady-state recording reuses shared
+/// labels and never formats.
+#[derive(Debug, Default, Clone)]
+struct EntityLabels {
+    vm: LabelInterner,
+    gpu: LabelInterner,
+    row: LabelInterner,
+    aisle: LabelInterner,
+}
+
 /// The end-to-end cluster simulator.
 #[derive(Debug)]
 pub struct ClusterSimulator {
@@ -288,6 +304,14 @@ pub struct ClusterSimulator {
     next_request_id: u64,
     step_input: StepInput,
     workspace: StepWorkspace,
+    /// Interned entity labels for allocation-free event recording.
+    labels: EntityLabels,
+    /// GPUs per server (for the flat GPU-label ordinal `server * gpus_per_server + slot`).
+    gpus_per_server: usize,
+    /// The opt-in per-request serving overlay (None unless the experiment enables it).
+    fabric: Option<RequestFabric>,
+    /// Scratch: per-endpoint placed-instance counts handed to the fabric each step.
+    fabric_replicas: Vec<u32>,
     report: RunReport,
 }
 
@@ -302,7 +326,7 @@ impl ClusterSimulator {
     pub fn new(config: ExperimentConfig) -> Self {
         let catalog = config.endpoint_catalog();
         let pending: VecDeque<Vm> = config.vm_stream(&catalog, 1.0).into();
-        Self::build(config, catalog, pending)
+        Self::build(config, catalog, pending, true)
     }
 
     /// Builds a fleet cell: identical to [`Self::new`] except that the arrival queue
@@ -311,7 +335,9 @@ impl ClusterSimulator {
     #[must_use]
     pub(crate) fn fleet_cell(config: ExperimentConfig) -> Self {
         let catalog = config.endpoint_catalog();
-        Self::build(config, catalog, VecDeque::new())
+        // Fleet cells never self-generate fabric traffic: the fleet loop generates the
+        // stream once fleet-wide and routes per request into each cell's inbox.
+        Self::build(config, catalog, VecDeque::new(), false)
     }
 
     /// Builds a simulator that replays an externally supplied VM arrival trace instead
@@ -329,10 +355,45 @@ impl ClusterSimulator {
             "replayed arrival traces must be sorted by arrival time"
         );
         let catalog = config.endpoint_catalog();
-        Self::build(config, catalog, arrivals.into())
+        Self::build(config, catalog, arrivals.into(), true)
     }
 
-    fn build(config: ExperimentConfig, catalog: EndpointCatalog, pending: VecDeque<Vm>) -> Self {
+    /// Builds a simulator that replays an externally supplied *request* trace through the
+    /// request fabric (the inference-side trace-ingestion hook, mirroring
+    /// [`Self::with_arrivals`] on the VM side). The fabric is enabled with its default
+    /// configuration if the experiment did not opt in explicitly; the VM arrival stream
+    /// is still generated as in [`Self::new`] so the trace has instances to land on.
+    ///
+    /// # Errors
+    /// Returns [`TraceError::UnknownEndpoint`] if a record names an endpoint outside the
+    /// experiment's catalog.
+    ///
+    /// # Panics
+    /// Panics with the [`crate::scenario::ScenarioError`]'s message if the composed
+    /// scenario fails [`ExperimentConfig::validate`].
+    pub fn with_request_trace(
+        mut config: ExperimentConfig,
+        records: &[TraceRecord],
+    ) -> Result<Self, TraceError> {
+        if config.request_fabric.is_none() {
+            config.request_fabric = Some(RequestFabricConfig::default());
+        }
+        let catalog = config.endpoint_catalog();
+        let pending: VecDeque<Vm> = config.vm_stream(&catalog, 1.0).into();
+        let mut sim = Self::build(config, catalog, pending, false);
+        sim.fabric
+            .as_mut()
+            .expect("request_fabric was just enabled")
+            .load_trace(records)?;
+        Ok(sim)
+    }
+
+    fn build(
+        config: ExperimentConfig,
+        catalog: EndpointCatalog,
+        pending: VecDeque<Vm>,
+        generate_fabric: bool,
+    ) -> Self {
         // Scenarios reach here from three entry points (generated stream, replayed
         // trace, fleet cell); deserialized or hand-mutated ones may have skipped
         // `ScenarioBuilder::build`, so the event invariants are (re-)checked before
@@ -382,6 +443,10 @@ impl ClusterSimulator {
         let step_input = StepInput::idle(dc.layout(), Celsius::new(20.0));
         let workspace = StepWorkspace::for_topology(Arc::clone(dc.topology()));
         let timeline = config.resolved_timeline();
+        let fabric = config
+            .request_fabric
+            .map(|fc| RequestFabric::new(config.seed, &catalog, fc, generate_fabric));
+        let gpus_per_server = dc.layout().servers()[0].spec.gpus_per_server;
         Self {
             timeline,
             rng: SimRng::seed_from(config.seed).derive("cluster-sim"),
@@ -408,6 +473,10 @@ impl ClusterSimulator {
             next_request_id: 0,
             step_input,
             workspace,
+            labels: EntityLabels::default(),
+            gpus_per_server,
+            fabric,
+            fabric_replicas: Vec::new(),
             report,
             dc,
             config,
@@ -437,13 +506,22 @@ impl ClusterSimulator {
                 break;
             }
         }
-        self.report
+        self.into_report()
     }
 
     /// Queues a fleet-routed VM arrival. Arrivals must be enqueued in the same
     /// non-decreasing arrival order the fleet stream produces.
     pub(crate) fn enqueue(&mut self, vm: Vm) {
         self.pending.push_back(vm);
+    }
+
+    /// Delivers a fleet-routed fabric request into this cell's inbox (no-op unless the
+    /// cell's experiment enabled the fabric). The inbox is an event queue, so delivery
+    /// order only tie-breaks among equal millisecond timestamps.
+    pub(crate) fn deliver_request(&mut self, time_ms: u64, request: FabricRequest) {
+        if let Some(fabric) = self.fabric.as_mut() {
+            fabric.deliver(time_ms, request);
+        }
     }
 
     /// Advances the cell by one step (the fleet step loop's per-site entry point).
@@ -480,8 +558,12 @@ impl ClusterSimulator {
         }
     }
 
-    /// Consumes the cell and returns its report (the fleet's end-of-run collection).
-    pub(crate) fn into_report(self) -> RunReport {
+    /// Consumes the cell and returns its report (the fleet's end-of-run collection),
+    /// folding the fabric's per-request metrics in when the fabric ran.
+    pub(crate) fn into_report(mut self) -> RunReport {
+        if let Some(fabric) = self.fabric.as_mut() {
+            self.report.request_fabric = Some(fabric.take_metrics());
+        }
         self.report
     }
 
@@ -543,7 +625,7 @@ impl ClusterSimulator {
                     self.report.events.record_kind(
                         now,
                         EventKind::VmPlaced,
-                        vm.id.to_string(),
+                        self.labels.vm.get_or_insert_with(vm.id.0 as usize, || vm.id.to_string()),
                         0.0,
                         format!("on {server}"),
                     );
@@ -552,7 +634,7 @@ impl ClusterSimulator {
                     self.report.events.record_kind(
                         now,
                         EventKind::VmRejected,
-                        vm.id.to_string(),
+                        self.labels.vm.get_or_insert_with(vm.id.0 as usize, || vm.id.to_string()),
                         0.0,
                         "no feasible server",
                     );
@@ -566,10 +648,11 @@ impl ClusterSimulator {
             self.registry.remove(retired.vm.id);
             self.planner
                 .on_remove(retired.server, retired.predicted_peak_load, &self.profiles);
+            let vm_id = retired.vm.id;
             self.report.events.record_kind(
                 now,
                 EventKind::VmRetired,
-                retired.vm.id.to_string(),
+                self.labels.vm.get_or_insert_with(vm_id.0 as usize, || vm_id.to_string()),
                 0.0,
                 "",
             );
@@ -706,12 +789,15 @@ impl ClusterSimulator {
                     let quality = pool.config[i].quality();
                     let requests = offered.round().max(1.0) as u64;
                     self.report.requests_served += requests;
+                    let vm_id = pool.vm[i];
                     if latency_factor > SLO_LATENCY_FACTOR {
                         self.report.slo_violations += requests;
                         self.report.events.record_kind(
                             now,
                             EventKind::SloViolation,
-                            pool.vm[i].to_string(),
+                            self.labels
+                                .vm
+                                .get_or_insert_with(vm_id.0 as usize, || vm_id.to_string()),
                             latency_factor,
                             "",
                         );
@@ -722,12 +808,45 @@ impl ClusterSimulator {
                         self.report.events.record_kind(
                             now,
                             EventKind::QualityDegraded,
-                            pool.vm[i].to_string(),
+                            self.labels
+                                .vm
+                                .get_or_insert_with(vm_id.0 as usize, || vm_id.to_string()),
                             quality,
                             "",
                         );
                     }
                 }
+            }
+        }
+    }
+
+    /// Advances the request fabric by one step (no-op unless the experiment enabled it):
+    /// generates the step's arrivals (single-site mode), admits and serves them through
+    /// the per-endpoint continuous-batching schedulers, and blends the fabric's
+    /// KV/backlog pressure into the endpoint pools' demand pressure so the instance
+    /// configurator reacts to request-level congestion, not just aggregate rates.
+    fn step_fabric(&mut self, now: SimTime) {
+        if self.fabric.is_none() {
+            return;
+        }
+        self.fabric_replicas.clear();
+        for ordinal in 0..self.catalog.len() {
+            let placed = self.registry.pools.get(ordinal).map_or(0, |pool| pool.len() as u32);
+            self.fabric_replicas.push(placed);
+        }
+        let fabric = self.fabric.as_mut().expect("checked above");
+        fabric.generate_step(now, self.config.step, &self.timeline);
+        fabric.serve_step(now, self.config.step, &self.fabric_replicas);
+        for (ordinal, pool) in self.registry.pools.iter_mut().enumerate() {
+            // The fabric's pressure can exceed the legacy saturation point (deep KV
+            // backlogs); clamp to the pool's own 1.5 ceiling so the configurator sees
+            // one consistent scale.
+            let request_pressure = fabric.pressure(ordinal).min(1.5);
+            if request_pressure <= 0.0 {
+                continue;
+            }
+            for pressure in &mut pool.pressure {
+                *pressure = pressure.max(request_pressure);
             }
         }
     }
@@ -817,7 +936,7 @@ impl ClusterSimulator {
                     self.report.events.record_kind(
                         now,
                         EventKind::InstanceReconfigured,
-                        vm_id.to_string(),
+                        self.labels.vm.get_or_insert_with(vm_id.0 as usize, || vm_id.to_string()),
                         downtime,
                         format!("-> {}", decision.config),
                     );
@@ -880,6 +999,7 @@ impl ClusterSimulator {
         self.retire_vms(now);
         self.place_pending_vms(now);
         self.route_requests(now, outside);
+        self.step_fabric(now);
         self.reconfigure_instances(now, outside);
 
         self.fill_activity(now);
@@ -907,10 +1027,12 @@ impl ClusterSimulator {
             .push(now, self.registry.mean_utilization());
 
         for throttle in &outcome.thermal_throttles {
+            let gpu = throttle.gpu;
+            let ordinal = gpu.server.index() * self.gpus_per_server + gpu.slot;
             self.report.events.record_kind(
                 now,
                 EventKind::ThermalThrottle,
-                throttle.gpu.to_string(),
+                self.labels.gpu.get_or_insert_with(ordinal, || gpu.to_string()),
                 throttle.temperature.value() - self.report.gpu_throttle_temp_c,
                 "",
             );
@@ -920,7 +1042,7 @@ impl ClusterSimulator {
                 self.report.events.record_kind(
                     now,
                     EventKind::PowerCap,
-                    row.to_string(),
+                    self.labels.row.get_or_insert_with(row.index(), || row.to_string()),
                     utilization.utilization,
                     "",
                 );
@@ -931,7 +1053,7 @@ impl ClusterSimulator {
                 self.report.events.record_kind(
                     now,
                     EventKind::AirflowViolation,
-                    aisle.to_string(),
+                    self.labels.aisle.get_or_insert_with(aisle.index(), || aisle.to_string()),
                     assessment.utilization,
                     "",
                 );

@@ -100,31 +100,44 @@ impl Default for GeoConfig {
     }
 }
 
+/// Requests one free server is assumed to absorb per step before the request-routing
+/// burst penalty reaches one full server's worth of charge. Mirrors the per-endpoint
+/// quanta cap the cluster layer uses when splitting a step's demand.
+const REQUESTS_PER_SERVER_SLOT: f64 = 64.0;
+
 /// The headroom-seeking geo router.
 ///
 /// Per step, call [`GeoPlacement::begin_step`] once, then [`GeoPlacement::choose`] once per
 /// arrival. Within a step the router spreads a burst by charging each site for the
 /// arrivals already assigned to it (one predicted server each), so a single step's burst
 /// cannot pile onto one site just because its last-telemetry score was best.
+///
+/// The request fabric reuses the same scoring through [`GeoPlacement::choose_request`],
+/// which keeps its own per-step counter so inference-request routing and VM routing do
+/// not perturb each other's burst accounting.
 #[derive(Debug, Clone, Default)]
 pub struct GeoPlacement {
     /// Scoring weights.
     pub config: GeoConfig,
     /// Arrivals assigned to each site during the current step.
     assigned: Vec<u32>,
+    /// Inference requests routed to each site during the current step.
+    request_assigned: Vec<u32>,
 }
 
 impl GeoPlacement {
     /// Creates a router with explicit weights.
     #[must_use]
     pub fn new(config: GeoConfig) -> Self {
-        Self { config, assigned: Vec::new() }
+        Self { config, assigned: Vec::new(), request_assigned: Vec::new() }
     }
 
     /// Resets the per-step assignment scratch (sizes it on first use, then reuses it).
     pub fn begin_step(&mut self, site_count: usize) {
         self.assigned.resize(site_count, 0);
         self.assigned.fill(0);
+        self.request_assigned.resize(site_count, 0);
+        self.request_assigned.fill(0);
     }
 
     /// Picks the site for the next arrival. Deterministic: ties break toward the lowest
@@ -167,7 +180,10 @@ impl GeoPlacement {
             if any_capacity && remaining == 0 {
                 continue;
             }
-            let mut score = self.score(signal, assigned, max_headroom);
+            // Charge the site for arrivals already routed to it this step, relative to
+            // its remaining capacity, so bursts spread across comparable sites.
+            let burst = f64::from(assigned) / f64::from(signal.free_servers.max(1));
+            let mut score = self.score(signal, burst, max_headroom);
             if price_span > 0.0 {
                 score -= self.config.price_weight
                     * ((signal.grid_price_per_mwh - min_price) / price_span);
@@ -181,15 +197,63 @@ impl GeoPlacement {
         best
     }
 
-    /// The score of one site (higher is better).
-    fn score(&self, signal: &SiteSignals, assigned: u32, max_headroom: f64) -> f64 {
+    /// Picks the site for the next inference request. Deterministic: ties break toward
+    /// the lowest site ordinal, and no RNG is consumed. Unlike [`GeoPlacement::choose`]
+    /// a site with zero free servers is never skipped — requests are served by the
+    /// instances a site already runs, not by spare servers — and the burst charge is
+    /// per-request scale (one free server absorbs [`REQUESTS_PER_SERVER_SLOT`] requests
+    /// per step before the penalty reaches one server's worth), so routing a step's
+    /// request stream does not instantly saturate the counter that VM `choose` uses.
+    ///
+    /// # Panics
+    /// Panics if `signals` is empty or its length differs from the `begin_step` size.
+    #[must_use]
+    pub fn choose_request(&mut self, signals: &[SiteSignals]) -> usize {
+        assert!(!signals.is_empty(), "geo placement needs at least one site");
+        assert_eq!(
+            signals.len(),
+            self.request_assigned.len(),
+            "begin_step must size the scratch"
+        );
+        let max_headroom = signals
+            .iter()
+            .map(|s| s.power_headroom_kw)
+            .fold(0.0, f64::max)
+            .max(1.0);
+        let min_price = signals
+            .iter()
+            .map(|s| s.grid_price_per_mwh)
+            .fold(f64::INFINITY, f64::min);
+        let price_span = signals
+            .iter()
+            .map(|s| s.grid_price_per_mwh)
+            .fold(f64::NEG_INFINITY, f64::max)
+            - min_price;
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for (site, signal) in signals.iter().enumerate() {
+            let burst = f64::from(self.request_assigned[site])
+                / (f64::from(signal.free_servers.max(1)) * REQUESTS_PER_SERVER_SLOT);
+            let mut score = self.score(signal, burst, max_headroom);
+            if price_span > 0.0 {
+                score -= self.config.price_weight
+                    * ((signal.grid_price_per_mwh - min_price) / price_span);
+            }
+            if score > best_score {
+                best_score = score;
+                best = site;
+            }
+        }
+        self.request_assigned[best] += 1;
+        best
+    }
+
+    /// The score of one site (higher is better), given its pre-computed burst charge.
+    fn score(&self, signal: &SiteSignals, burst: f64, max_headroom: f64) -> f64 {
         let c = &self.config;
         let headroom = (signal.power_headroom_kw / max_headroom).clamp(0.0, 1.0);
         let thermal =
             (signal.thermal_slack_c / c.thermal_slack_scale_c).clamp(-1.0, 1.0);
-        // Charge the site for arrivals already routed to it this step, relative to its
-        // remaining capacity, so bursts spread across comparable sites.
-        let burst = f64::from(assigned) / f64::from(signal.free_servers.max(1));
         let mut score = c.power_weight * headroom + c.thermal_weight * thermal
             - c.load_weight * signal.dc_load
             - burst;
@@ -316,6 +380,56 @@ mod tests {
             let with_price: Vec<usize> = (0..5).map(|_| geo.choose(&priced)).collect();
             assert_eq!(plain, with_price);
         }
+    }
+
+    #[test]
+    fn request_routing_prefers_slack_and_avoids_emergencies() {
+        let mut geo = GeoPlacement::default();
+        geo.begin_step(3);
+        let signals = [
+            comfortable(50.0, 5.0, 0.9),
+            comfortable(400.0, 30.0, 0.3),
+            comfortable(200.0, 15.0, 0.6),
+        ];
+        assert_eq!(geo.choose_request(&signals), 1);
+        let mut hot = comfortable(500.0, 25.0, 0.2);
+        hot.throttled_gpus = 4;
+        geo.begin_step(2);
+        assert_eq!(geo.choose_request(&[hot, comfortable(10.0, 3.0, 0.95)]), 1);
+    }
+
+    #[test]
+    fn request_routing_spreads_large_bursts_without_touching_vm_state() {
+        let mut geo = GeoPlacement::default();
+        geo.begin_step(2);
+        let signals = [comfortable(100.0, 20.0, 0.5), comfortable(100.0, 20.0, 0.5)];
+        let mut counts = [0usize; 2];
+        for _ in 0..1000 {
+            counts[geo.choose_request(&signals)] += 1;
+        }
+        assert!(counts[0] > 0 && counts[1] > 0, "request burst must spread: {counts:?}");
+        // The VM burst counter is untouched: the next VM pick still ties to ordinal 0.
+        assert_eq!(geo.choose(&signals), 0);
+    }
+
+    #[test]
+    fn request_routing_never_skips_sites_without_free_servers() {
+        // A site serving at capacity (no free servers) still holds running instances;
+        // requests may be routed there when its score wins.
+        let mut geo = GeoPlacement::default();
+        geo.begin_step(2);
+        let mut busy = comfortable(400.0, 30.0, 0.3);
+        busy.free_servers = 0;
+        let idle = comfortable(10.0, 3.0, 0.9);
+        assert_eq!(geo.choose_request(&[busy, idle]), 0);
+    }
+
+    #[test]
+    fn request_routing_ties_break_toward_the_lowest_ordinal() {
+        let mut geo = GeoPlacement::default();
+        geo.begin_step(3);
+        let same = comfortable(100.0, 20.0, 0.5);
+        assert_eq!(geo.choose_request(&[same, same, same]), 0);
     }
 
     #[test]

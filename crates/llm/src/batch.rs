@@ -1,0 +1,526 @@
+//! Request-fabric batch scheduler: continuous batching with KV-cache admission.
+//!
+//! [`InstanceEngine`](crate::engine::InstanceEngine) models one vLLM-style instance with
+//! float-second timestamps and an up-front KV reservation (`total_tokens` charged at
+//! admission). The request fabric needs something slightly different: an aggregate,
+//! *event-timestamped* scheduler for all the replicas an endpoint runs at a site, on an
+//! integer-millisecond clock that composes with the fabric's
+//! [`EventQueue`](simkit::queue::EventQueue), and with KV-cache occupancy tracked the way
+//! "Online Scheduling for LLM Inference with KV Cache Constraints" (PAPERS.md) models it —
+//! **incrementally**: the prompt is pinned at admission, occupancy grows by one token per
+//! running sequence per decode iteration, and the sequence's whole footprint is evicted on
+//! completion.
+//!
+//! Admission is still safe against the incremental growth: the scheduler tracks the
+//! *committed peak* (current occupancy plus the remaining decode growth of every running
+//! sequence) and admits a request only when the committed peak plus the request's full
+//! footprint fits. Because every admitted sequence runs to completion, observed occupancy
+//! can never exceed capacity — the invariant `tests/request_fabric.rs` pins — while the
+//! occupancy curve itself is the incremental prefill + per-token-growth + eviction shape.
+
+use crate::config::InstanceConfig;
+use crate::hardware::GpuHardware;
+use crate::perf::PerfModel;
+use std::collections::VecDeque;
+
+/// KV-cache capacity in tokens of one replica: the HBM left after weights are resident
+/// (with a 10 % activation margin), divided by the per-token KV footprint. Identical to
+/// the derivation [`crate::engine::InstanceEngine::new`] uses.
+#[must_use]
+pub fn kv_capacity_tokens(config: &InstanceConfig, gpu: &GpuHardware) -> usize {
+    let total_hbm_gb = gpu.memory_capacity_gb * config.parallelism.gpus() as f64;
+    let free_gb = (total_hbm_gb - config.variant.weight_bytes_gb()).max(1.0) * 0.9;
+    (free_gb * 1.0e9 / config.variant.kv_bytes_per_token()).max(1024.0) as usize
+}
+
+/// A request that finished serving, with integer-millisecond per-request timings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchCompletion {
+    /// Caller-provided cookie identifying the request (e.g. a request id).
+    pub tag: u64,
+    /// Prompt length in tokens.
+    pub prompt_tokens: usize,
+    /// Output length in tokens.
+    pub output_tokens: usize,
+    /// When the request arrived at the scheduler (fabric event time).
+    pub arrival_ms: u64,
+    /// When the first output token was produced.
+    pub first_token_ms: u64,
+    /// When the final output token was produced.
+    pub finish_ms: u64,
+}
+
+impl BatchCompletion {
+    /// Time to first token in milliseconds.
+    #[must_use]
+    pub fn ttft_ms(&self) -> u64 {
+        self.first_token_ms.saturating_sub(self.arrival_ms)
+    }
+
+    /// Mean time between output tokens in milliseconds (0 for single-token outputs).
+    #[must_use]
+    pub fn mean_tbt_ms(&self) -> f64 {
+        if self.output_tokens > 1 {
+            (self.finish_ms - self.first_token_ms) as f64 / (self.output_tokens - 1) as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// End-to-end latency in milliseconds.
+    #[must_use]
+    pub fn latency_ms(&self) -> u64 {
+        self.finish_ms.saturating_sub(self.arrival_ms)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    tag: u64,
+    prompt_tokens: usize,
+    output_tokens: usize,
+    arrival_ms: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Active {
+    tag: u64,
+    prompt_tokens: usize,
+    output_tokens: usize,
+    generated: usize,
+    arrival_ms: u64,
+    first_token_ms: Option<u64>,
+}
+
+/// Aggregate continuous-batching scheduler for the replicas of one endpoint at one site.
+///
+/// Time is an integer millisecond clock; iteration durations come from the same analytic
+/// [`PerfModel`] as the per-instance engine (rounded up to whole milliseconds), so the
+/// schedule is exactly reproducible for a pinned arrival stream — no floats accumulate in
+/// the clock.
+#[derive(Debug, Clone)]
+pub struct BatchScheduler {
+    config: InstanceConfig,
+    perf: PerfModel,
+    kv_capacity_per_replica: usize,
+    replicas: usize,
+    kv_in_use: usize,
+    kv_committed: usize,
+    queued_tokens: usize,
+    queue: VecDeque<Pending>,
+    running: Vec<Active>,
+    now_ms: u64,
+    completed_total: u64,
+}
+
+impl BatchScheduler {
+    /// Creates a scheduler for `replicas` instances of `config` on a GPU generation.
+    #[must_use]
+    pub fn new(config: InstanceConfig, gpu: &GpuHardware, replicas: usize) -> Self {
+        Self {
+            config,
+            perf: PerfModel::new(*gpu),
+            kv_capacity_per_replica: kv_capacity_tokens(&config, gpu),
+            replicas: replicas.max(1),
+            kv_in_use: 0,
+            kv_committed: 0,
+            queued_tokens: 0,
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            now_ms: 0,
+            completed_total: 0,
+        }
+    }
+
+    /// The scheduler's configuration.
+    #[must_use]
+    pub fn config(&self) -> &InstanceConfig {
+        &self.config
+    }
+
+    /// The performance model backing the scheduler.
+    #[must_use]
+    pub fn perf(&self) -> &PerfModel {
+        &self.perf
+    }
+
+    /// Aggregate KV-cache capacity in tokens across the current replica count.
+    #[must_use]
+    pub fn kv_capacity(&self) -> usize {
+        self.kv_capacity_per_replica * self.replicas
+    }
+
+    /// KV-cache tokens currently resident (prompts of running sequences plus every token
+    /// they have generated so far).
+    #[must_use]
+    pub fn kv_in_use(&self) -> usize {
+        self.kv_in_use
+    }
+
+    /// Committed KV peak: current occupancy plus the remaining decode growth of every
+    /// running sequence. Admission compares this, not raw occupancy, against capacity.
+    #[must_use]
+    pub fn kv_committed(&self) -> usize {
+        self.kv_committed
+    }
+
+    /// Requests waiting for admission.
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Sequences currently in the running batch.
+    #[must_use]
+    pub fn running_len(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Requests completed over the scheduler's lifetime.
+    #[must_use]
+    pub fn completed_total(&self) -> u64 {
+        self.completed_total
+    }
+
+    /// Current scheduler time in milliseconds.
+    #[must_use]
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Demand pressure on the endpoint's KV budget: committed peak plus the queued
+    /// backlog's footprint, over capacity. 1.0 means admission is about to stall;
+    /// values above it measure backlog depth. Saturates at 4.0.
+    #[must_use]
+    pub fn pressure(&self) -> f64 {
+        let demand = (self.kv_committed + self.queued_tokens) as f64;
+        (demand / self.kv_capacity() as f64).min(4.0)
+    }
+
+    /// Rescales the scheduler to a new replica count (pool grew or shrank).
+    ///
+    /// Only admission is affected: in-flight sequences always run to completion, so a
+    /// downsize below the current committed peak simply pauses admission until enough
+    /// sequences finish.
+    pub fn set_replicas(&mut self, replicas: usize) {
+        self.replicas = replicas.max(1);
+    }
+
+    /// Enqueues a request. `arrival_ms` must be non-decreasing across calls — the fabric
+    /// drains its event queue in timestamp order, which guarantees it.
+    pub fn offer(&mut self, tag: u64, prompt_tokens: usize, output_tokens: usize, arrival_ms: u64) {
+        debug_assert!(
+            self.queue.back().is_none_or(|p| p.arrival_ms <= arrival_ms),
+            "requests must be offered in arrival order"
+        );
+        let output_tokens = output_tokens.max(1);
+        self.queued_tokens += prompt_tokens + output_tokens;
+        self.queue.push_back(Pending {
+            tag,
+            prompt_tokens,
+            output_tokens,
+            arrival_ms,
+        });
+    }
+
+    fn max_batch(&self) -> usize {
+        self.config.max_batch_size * self.replicas
+    }
+
+    /// Per-replica share of an aggregate quantity (batch slots or prompt tokens).
+    fn per_replica(&self, aggregate: usize) -> usize {
+        aggregate.div_ceil(self.replicas)
+    }
+
+    /// Admits queued requests while batch slots and committed KV headroom allow; returns
+    /// the admitted prompt tokens (they prefill in the current iteration).
+    fn admit(&mut self) -> usize {
+        let mut admitted_prompt_tokens = 0;
+        while self.running.len() < self.max_batch() {
+            let Some(front) = self.queue.front() else { break };
+            if front.arrival_ms > self.now_ms {
+                break;
+            }
+            let footprint = front.prompt_tokens + front.output_tokens;
+            if self.kv_committed + footprint > self.kv_capacity() {
+                break;
+            }
+            let pending = self.queue.pop_front().expect("checked front");
+            self.queued_tokens -= footprint;
+            self.kv_committed += footprint;
+            // Incremental accounting: the prompt is pinned now, decode tokens as they
+            // are produced.
+            self.kv_in_use += pending.prompt_tokens;
+            admitted_prompt_tokens += pending.prompt_tokens;
+            self.running.push(Active {
+                tag: pending.tag,
+                prompt_tokens: pending.prompt_tokens,
+                output_tokens: pending.output_tokens,
+                generated: 0,
+                arrival_ms: pending.arrival_ms,
+                first_token_ms: None,
+            });
+        }
+        admitted_prompt_tokens
+    }
+
+    /// Advances the scheduler to `deadline_ms`, appending finished requests to `out`.
+    ///
+    /// The final iteration may overshoot the deadline (iterations are atomic); the clock
+    /// carries across calls, so the next window resumes exactly where this one stopped.
+    /// A deadline at or before the current clock (the previous window overshot past it)
+    /// is a no-op.
+    pub fn advance_to(&mut self, deadline_ms: u64, out: &mut Vec<BatchCompletion>) {
+        while self.now_ms < deadline_ms {
+            let admitted_prompt_tokens = self.admit();
+
+            if self.running.is_empty() {
+                // Idle: jump to the next arrival (the queue is arrival-ordered) or the
+                // deadline, whichever is earlier.
+                match self.queue.front() {
+                    Some(front) if front.arrival_ms <= deadline_ms => {
+                        self.now_ms = front.arrival_ms;
+                        continue;
+                    }
+                    _ => {
+                        self.now_ms = deadline_ms;
+                        break;
+                    }
+                }
+            }
+
+            // One scheduler iteration: prefill newly admitted prompts, then one decode
+            // step for the whole running batch. Replicas split the batch evenly, so the
+            // aggregate iteration time is the per-replica share's time.
+            let prefill_s = if admitted_prompt_tokens > 0 {
+                self.perf
+                    .prefill_time_s(&self.config, self.per_replica(admitted_prompt_tokens))
+            } else {
+                0.0
+            };
+            let mean_context = (self.kv_in_use / self.running.len()).max(1);
+            let decode_s = self.perf.decode_step_time_s(
+                &self.config,
+                self.per_replica(self.running.len()),
+                mean_context,
+            );
+            let iteration_ms = (((prefill_s + decode_s) * 1000.0).ceil() as u64).max(1);
+            self.now_ms += iteration_ms;
+
+            // Every running sequence produces one token (+1 KV token each); completed
+            // sequences evict their whole footprint.
+            let now_ms = self.now_ms;
+            self.kv_in_use += self.running.len();
+            let mut index = 0;
+            while index < self.running.len() {
+                let seq = &mut self.running[index];
+                seq.generated += 1;
+                if seq.first_token_ms.is_none() {
+                    seq.first_token_ms = Some(now_ms);
+                }
+                if seq.generated >= seq.output_tokens {
+                    let seq = self.running.swap_remove(index);
+                    let footprint = seq.prompt_tokens + seq.output_tokens;
+                    self.kv_in_use -= footprint;
+                    self.kv_committed -= footprint;
+                    self.completed_total += 1;
+                    out.push(BatchCompletion {
+                        tag: seq.tag,
+                        prompt_tokens: seq.prompt_tokens,
+                        output_tokens: seq.output_tokens,
+                        arrival_ms: seq.arrival_ms,
+                        first_token_ms: seq.first_token_ms.expect("set above"),
+                        finish_ms: now_ms,
+                    });
+                } else {
+                    index += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheduler(replicas: usize) -> BatchScheduler {
+        BatchScheduler::new(InstanceConfig::default_70b(), &GpuHardware::a100(), replicas)
+    }
+
+    #[test]
+    fn capacity_matches_the_instance_engine_derivation() {
+        use crate::engine::InstanceEngine;
+        let config = InstanceConfig::default_70b();
+        let gpu = GpuHardware::a100();
+        let engine = InstanceEngine::new(config, &gpu);
+        assert_eq!(kv_capacity_tokens(&config, &gpu), engine.kv_capacity_tokens());
+        assert_eq!(scheduler(1).kv_capacity(), engine.kv_capacity_tokens());
+        assert_eq!(scheduler(3).kv_capacity(), 3 * engine.kv_capacity_tokens());
+    }
+
+    #[test]
+    fn idle_scheduler_jumps_to_the_deadline() {
+        let mut s = scheduler(1);
+        let mut out = Vec::new();
+        s.advance_to(10_000, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(s.now_ms(), 10_000);
+        assert_eq!(s.kv_in_use(), 0);
+    }
+
+    #[test]
+    fn single_request_completes_with_sane_timings() {
+        let mut s = scheduler(1);
+        s.offer(7, 512, 64, 1_000);
+        let mut out = Vec::new();
+        s.advance_to(60_000, &mut out);
+        assert_eq!(out.len(), 1);
+        let done = out[0];
+        assert_eq!(done.tag, 7);
+        assert!(done.first_token_ms > done.arrival_ms);
+        assert!(done.finish_ms > done.first_token_ms);
+        assert!(done.ttft_ms() > 0);
+        assert!(done.mean_tbt_ms() > 0.0);
+        assert_eq!(done.latency_ms(), done.finish_ms - 1_000);
+        // Everything evicted on completion.
+        assert_eq!(s.kv_in_use(), 0);
+        assert_eq!(s.kv_committed(), 0);
+        assert_eq!(s.completed_total(), 1);
+    }
+
+    #[test]
+    fn occupancy_grows_incrementally_and_never_exceeds_capacity() {
+        // A fast configuration with prompts sized so the KV budget (not the batch-size
+        // cap) is the binding admission constraint.
+        let mut s =
+            BatchScheduler::new(InstanceConfig::small_fallback(), &GpuHardware::a100(), 1);
+        let prompt = s.kv_capacity() / 12;
+        let output = 200;
+        let footprint = prompt + output;
+        let count = ((3 * s.kv_capacity()) / footprint).max(30) as u64;
+        for i in 0..count {
+            s.offer(i, prompt, output, 0);
+        }
+        let mut out = Vec::new();
+        let mut prev_in_use = 0;
+        let mut saw_growth_between_observations = false;
+        let mut peak_committed = 0;
+        let mut window = 0u64;
+        while s.completed_total() < count {
+            window += 1;
+            assert!(window < 50_000, "scheduler failed to drain the backlog");
+            s.advance_to(window * 500, &mut out);
+            assert!(s.kv_in_use() <= s.kv_capacity(), "occupancy exceeded capacity");
+            assert!(s.kv_committed() <= s.kv_capacity(), "commitment exceeded capacity");
+            if s.kv_in_use() > prev_in_use && prev_in_use > 0 {
+                saw_growth_between_observations = true;
+            }
+            prev_in_use = s.kv_in_use();
+            peak_committed = peak_committed.max(s.kv_committed());
+        }
+        assert_eq!(out.len() as u64, count);
+        assert!(saw_growth_between_observations, "decode growth never observed");
+        // The KV constraint actually bound admission at some point.
+        assert!(peak_committed > s.kv_capacity() / 2);
+        assert_eq!(s.kv_in_use(), 0);
+        assert_eq!(s.kv_committed(), 0);
+    }
+
+    #[test]
+    fn draining_everything_frees_the_cache() {
+        let mut s = scheduler(2);
+        for i in 0..40 {
+            s.offer(i, 256, 32, i * 50);
+        }
+        let mut out = Vec::new();
+        s.advance_to(600_000, &mut out);
+        assert_eq!(out.len(), 40);
+        assert_eq!(s.kv_in_use(), 0);
+        assert_eq!(s.kv_committed(), 0);
+        assert_eq!(s.queue_len(), 0);
+        assert_eq!(s.running_len(), 0);
+    }
+
+    #[test]
+    fn same_offers_produce_identical_schedules() {
+        let run = || {
+            let mut s = scheduler(2);
+            for i in 0..64 {
+                s.offer(i, 300 + (i as usize * 37) % 900, 40 + (i as usize * 13) % 120, i * 111);
+            }
+            let mut out = Vec::new();
+            for window in 1..=20u64 {
+                s.advance_to(window * 5_000, &mut out);
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn more_replicas_serve_a_burst_faster() {
+        let burst = |replicas| {
+            let mut s = scheduler(replicas);
+            for i in 0..128 {
+                s.offer(i, 512, 128, 0);
+            }
+            let mut out = Vec::new();
+            s.advance_to(3_600_000, &mut out);
+            assert_eq!(out.len(), 128);
+            out.iter().map(|c| c.finish_ms).max().unwrap()
+        };
+        assert!(burst(4) < burst(1));
+    }
+
+    #[test]
+    fn queueing_delay_shows_up_in_ttft() {
+        let mut s = scheduler(1);
+        // Saturate, then measure a late arrival's TTFT.
+        for i in 0..400 {
+            s.offer(i, 2_000, 200, 0);
+        }
+        let mut out = Vec::new();
+        s.advance_to(600_000, &mut out);
+        let first = out.iter().find(|c| c.tag == 0).expect("first request completes");
+        let ttfts: Vec<u64> = out.iter().map(|c| c.ttft_ms()).collect();
+        let worst = *ttfts.iter().max().unwrap();
+        assert!(worst > 4 * first.ttft_ms(), "queueing should inflate tail TTFT");
+    }
+
+    #[test]
+    fn pressure_reflects_backlog() {
+        let mut s = scheduler(1);
+        assert_eq!(s.pressure(), 0.0);
+        for i in 0..10_000 {
+            s.offer(i, 4_000, 400, 0);
+        }
+        assert!(s.pressure() > 1.0);
+        assert!(s.pressure() <= 4.0);
+    }
+
+    #[test]
+    fn downsize_pauses_admission_but_finishes_in_flight_work() {
+        let mut s = scheduler(4);
+        for i in 0..64 {
+            s.offer(i, 4_000, 100, 0);
+        }
+        let mut out = Vec::new();
+        s.advance_to(2_000, &mut out);
+        let running_before = s.running_len();
+        assert!(running_before > 0);
+        s.set_replicas(1);
+        s.advance_to(1_200_000, &mut out);
+        assert_eq!(out.len(), 64, "all sequences still complete after the downsize");
+        assert_eq!(s.kv_in_use(), 0);
+    }
+
+    #[test]
+    fn past_deadlines_are_no_ops() {
+        let mut s = scheduler(1);
+        let mut out = Vec::new();
+        s.advance_to(1_000, &mut out);
+        s.advance_to(500, &mut out);
+        assert_eq!(s.now_ms(), 1_000);
+    }
+}

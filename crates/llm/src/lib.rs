@@ -23,6 +23,10 @@
 //! * [`engine`] — an iteration-level continuous-batching engine simulator (vLLM-like) that
 //!   serves requests and records TTFT/TBT/goodput, used to validate the analytic model and to
 //!   drive the real-cluster-scale experiments.
+//! * [`batch`] — the request fabric's aggregate batch scheduler: continuous batching on an
+//!   integer-millisecond event clock with *incremental* KV-cache admission accounting
+//!   (prompt pinned at admission, +1 token per sequence per decode iteration, eviction on
+//!   completion).
 //!
 //! # Example
 //!
@@ -40,6 +44,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod config;
 pub mod engine;
 pub mod hardware;
@@ -49,6 +54,7 @@ pub mod perf;
 pub mod profile;
 pub mod request;
 
+pub use batch::{BatchCompletion, BatchScheduler};
 pub use config::{InstanceConfig, TensorParallelism};
 pub use hardware::GpuHardware;
 pub use model::{ModelSize, Quantization};

@@ -6,9 +6,10 @@
 //! to an [`EventLog`] which the report generators then slice by kind, entity and time window.
 
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// The category of a logged event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -59,6 +60,126 @@ impl fmt::Display for EventKind {
     }
 }
 
+/// An interned entity label: a cheap-to-clone, shared string.
+///
+/// Hot recording paths log many events against the same entity ("row-3" every capped
+/// step, one label per routed quantum for a misbehaving VM). Formatting a fresh `String`
+/// per event made `record_kind` an allocation hot spot; an `EntityLabel` is an
+/// `Arc<str>`, so re-recording against a cached label is a reference-count bump. Labels
+/// serialize exactly like the plain strings they replaced, keeping every golden artifact
+/// byte-identical.
+///
+/// Build one from any string (`"row-3".into()`), or cache per-ordinal labels in a
+/// [`LabelInterner`] so each entity's label is formatted at most once per run.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EntityLabel(Arc<str>);
+
+impl EntityLabel {
+    /// The label text.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for EntityLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for EntityLabel {
+    fn from(value: &str) -> Self {
+        Self(Arc::from(value))
+    }
+}
+
+impl From<String> for EntityLabel {
+    fn from(value: String) -> Self {
+        Self(Arc::from(value))
+    }
+}
+
+impl From<&String> for EntityLabel {
+    fn from(value: &String) -> Self {
+        Self(Arc::from(value.as_str()))
+    }
+}
+
+impl PartialEq<str> for EntityLabel {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for EntityLabel {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+// Hand-written serde: the vendored derive would also produce `Value::Str`, but the
+// facade's derive macro rejects tuple structs around non-`String` fields; encoding is
+// identical to the `String` field this type replaced.
+impl Serialize for EntityLabel {
+    fn to_value(&self) -> Value {
+        Value::Str(self.0.to_string())
+    }
+}
+
+impl Deserialize for EntityLabel {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(Self::from(s.as_str())),
+            other => Err(Error::new(format!("expected a string entity label, got {other:?}"))),
+        }
+    }
+}
+
+/// A per-ordinal cache of [`EntityLabel`]s.
+///
+/// Recording paths index entities by dense ordinals (VM ids, row ordinals, GPU slots).
+/// The interner formats each ordinal's label at most once and hands out shared clones
+/// afterwards, so steady-state event recording performs no formatting or allocation.
+#[derive(Debug, Default, Clone)]
+pub struct LabelInterner {
+    labels: Vec<Option<EntityLabel>>,
+}
+
+impl LabelInterner {
+    /// Creates an empty interner.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached label for `ordinal`, formatting it with `make` on first use.
+    pub fn get_or_insert_with(
+        &mut self,
+        ordinal: usize,
+        make: impl FnOnce() -> String,
+    ) -> EntityLabel {
+        if ordinal >= self.labels.len() {
+            self.labels.resize(ordinal + 1, None);
+        }
+        self.labels[ordinal]
+            .get_or_insert_with(|| EntityLabel::from(make()))
+            .clone()
+    }
+
+    /// Number of ordinals with a cached label.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Returns `true` if no labels are cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// A single logged event.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Event {
@@ -67,7 +188,7 @@ pub struct Event {
     /// What happened.
     pub kind: EventKind,
     /// The affected entity, e.g. `"row-3"`, `"server-0412"`, `"vm-saas-17"`.
-    pub entity: String,
+    pub entity: EntityLabel,
     /// Optional magnitude (degrees above the limit, kilowatts shed, …).
     pub magnitude: f64,
     /// Free-form detail for reports and debugging.
@@ -93,11 +214,14 @@ impl EventLog {
     }
 
     /// Convenience constructor-and-append.
+    ///
+    /// Pass a cached [`EntityLabel`] (e.g. from a [`LabelInterner`]) on hot paths so the
+    /// append does not format or allocate; `&str`/`String` still convert for cold paths.
     pub fn record_kind(
         &mut self,
         time: SimTime,
         kind: EventKind,
-        entity: impl Into<String>,
+        entity: impl Into<EntityLabel>,
         magnitude: f64,
         detail: impl Into<String>,
     ) {
@@ -190,7 +314,7 @@ mod tests {
         Event {
             time: SimTime::from_minutes(minute),
             kind,
-            entity: entity.to_string(),
+            entity: entity.into(),
             magnitude: 1.0,
             detail: String::new(),
         }
@@ -259,6 +383,36 @@ mod tests {
         a.merge(b);
         assert_eq!(a.events()[0].entity, "vm-2");
         assert_eq!(a.events()[1].entity, "vm-1");
+    }
+
+    #[test]
+    fn entity_labels_serialize_like_plain_strings() {
+        let label = EntityLabel::from("row-3");
+        assert_eq!(label.to_value(), Value::Str("row-3".to_string()));
+        let back = EntityLabel::from_value(&Value::Str("row-3".to_string())).unwrap();
+        assert_eq!(back, label);
+        assert_eq!(label, "row-3");
+        assert_eq!(label.to_string(), "row-3");
+        assert!(EntityLabel::from_value(&Value::U64(3)).is_err());
+    }
+
+    #[test]
+    fn interner_formats_each_ordinal_once() {
+        let mut interner = LabelInterner::new();
+        let mut calls = 0;
+        let first = interner.get_or_insert_with(3, || {
+            calls += 1;
+            "row-3".to_string()
+        });
+        let again = interner.get_or_insert_with(3, || {
+            calls += 1;
+            "unreachable".to_string()
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(first, again);
+        assert_eq!(first, "row-3");
+        assert_eq!(interner.len(), 1);
+        assert!(!interner.is_empty());
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! * [`rng`] — deterministic, seedable random streams plus the handful of distributions the
 //!   trace generators need (normal, log-normal, exponential, Pareto-like heavy tails).
 //! * [`events`] — a structured event log used by the cluster simulator to record thermal
-//!   and power capping events.
+//!   and power capping events, with interned entity labels for hot recording paths.
+//! * [`queue`] — a deterministic binary-heap [`queue::EventQueue`] over integer
+//!   timestamps with FIFO tie-breaking, the ordering substrate for event-timestamped
+//!   streams such as the request fabric.
 //!
 //! # Example
 //!
@@ -44,6 +47,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod events;
+pub mod queue;
 pub mod regression;
 pub mod rng;
 pub mod series;
@@ -51,7 +55,8 @@ pub mod stats;
 pub mod time;
 pub mod units;
 
-pub use events::{Event, EventKind, EventLog};
+pub use events::{EntityLabel, Event, EventKind, EventLog, LabelInterner};
+pub use queue::EventQueue;
 pub use regression::{LinearModel, PiecewisePolynomial, Polynomial};
 pub use rng::SimRng;
 pub use series::TimeSeries;

@@ -14,6 +14,8 @@
 //! * [`iaas`] — opaque IaaS GPU-load traces (the provider only sees power, not what runs).
 //! * [`prediction`] — template-based power prediction (P50/P90/P99 of the previous week,
 //!   Fig. 14) used by the TAPAS allocator and router.
+//! * [`trace`] — Azure-LLM-inference-style CSV/JSONL trace ingestion with typed errors,
+//!   feeding the request fabric (per-request replay) and `with_arrivals` (VM replay).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -23,6 +25,7 @@ pub mod diurnal;
 pub mod endpoints;
 pub mod iaas;
 pub mod prediction;
+pub mod trace;
 pub mod vm;
 
 pub use arrivals::{ArrivalConfig, VmArrivalGenerator};
@@ -30,4 +33,5 @@ pub use diurnal::DiurnalPattern;
 pub use endpoints::{Endpoint, EndpointCatalog, EndpointId};
 pub use iaas::IaasLoadModel;
 pub use prediction::{PowerTemplate, TemplateKind};
+pub use trace::{parse_csv, parse_jsonl, vm_arrivals_from_trace, TraceError, TraceRecord};
 pub use vm::{Vm, VmId, VmKind};

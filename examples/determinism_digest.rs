@@ -106,6 +106,25 @@ fn main() {
         "generated-fleet-capped-minutes: {}",
         generated_fleet.power_capped_minutes().round()
     );
+
+    // The same 3-site fleet with the request fabric enabled: covers the fleet-wide
+    // event-timestamped request stream, per-request geo routing before the cells step,
+    // KV-bounded continuous batching in every cell, and the per-request TTFT/TBT metric
+    // blocks — all of which must also be bit-identical across feature builds.
+    let fabric_base = ExperimentConfig::real_cluster_hour(Policy::Tapas)
+        .with_duration(SimTime::from_hours(3))
+        .with_step(SimDuration::from_minutes(5))
+        .with_request_fabric(RequestFabricConfig { rate_scale: 0.01, slo_multiplier: 5.0 });
+    let fabric_fleet = FleetSimulator::new(FleetConfig::evaluation(fabric_base, 3)).run();
+    let fabric_json =
+        serde_json::to_string(&fabric_fleet).expect("serializable fleet report");
+    println!("fabric-fleet-digest: {:#018x}", fnv1a(fabric_json.as_bytes()));
+    let fabric_metrics = fabric_fleet.request_fabric().expect("fabric ran on every site");
+    println!("fabric-requests-completed: {}", fabric_metrics.completed);
+    println!(
+        "fabric-slo-attainment-5x-milli: {}",
+        (fabric_metrics.attainment_at(5.0) * 1000.0).round()
+    );
 }
 
 fn serde_json_digest(report: &RunReport) -> u64 {

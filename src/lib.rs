@@ -31,9 +31,12 @@ pub use workload;
 
 /// Commonly used items, re-exported for examples and quick experiments.
 pub mod prelude {
-    pub use cluster_sim::experiment::{ExperimentConfig, FleetConfig, GeoPolicy, SiteConfig};
+    pub use cluster_sim::experiment::{
+        ExperimentConfig, FleetConfig, GeoPolicy, RequestFabricConfig, SiteConfig,
+    };
+    pub use cluster_sim::fabric::{FabricGenerator, FabricRequest, RequestFabric};
     pub use cluster_sim::fleet::FleetSimulator;
-    pub use cluster_sim::metrics::{FleetReport, RunReport};
+    pub use cluster_sim::metrics::{FleetReport, LatencyHistogram, RequestMetrics, RunReport};
     pub use cluster_sim::scenario::generator::{generate, GeneratorConfig, IntensityTier};
     pub use cluster_sim::scenario::{
         energy_cost_usd, fleet_energy_cost_usd, ResolvedTimeline, Scenario, ScenarioBuilder,
@@ -47,10 +50,15 @@ pub mod prelude {
     pub use llm_sim::config::InstanceConfig;
     pub use llm_sim::hardware::GpuHardware;
     pub use llm_sim::profile::ConfigProfile;
+    pub use llm_sim::batch::{BatchCompletion, BatchScheduler};
+    pub use simkit::queue::EventQueue;
     pub use simkit::time::{SimDuration, SimTime};
     pub use simkit::units::{Celsius, Kilowatts, Watts};
     pub use tapas::policy::Policy;
     pub use tapas::profiles::ProfileStore;
+    pub use workload::trace::{
+        parse_csv, parse_jsonl, vm_arrivals_from_trace, TraceError, TraceRecord,
+    };
 }
 
 #[cfg(test)]

@@ -1,0 +1,251 @@
+//! Request-fabric integration tests: event-queue ordering against a reference model,
+//! KV-cache admission invariants, fabric-enabled fleet determinism, trace replay through
+//! both encodings, and a pinned golden metrics artifact.
+//!
+//! Regenerate the golden file after an intentional format change with:
+//! `UPDATE_GOLDEN=1 cargo test --test request_fabric`.
+
+use tapas_repro::prelude::*;
+use tapas_repro::simkit::rng::SimRng;
+
+const SAMPLE_CSV: &str = include_str!("data/sample_requests.csv");
+const SAMPLE_JSONL: &str = include_str!("data/sample_requests.jsonl");
+const GOLDEN_METRICS: &str = include_str!("golden/request_fabric_metrics.json");
+
+fn fabric_smoke() -> ExperimentConfig {
+    ExperimentConfig::small_smoke_test()
+        .with_request_fabric(RequestFabricConfig::default())
+}
+
+// --- EventQueue ordering -----------------------------------------------------------
+
+/// Reference model: a stable sort by timestamp preserves push order among equal
+/// timestamps — exactly the `(time, seq)` contract the binary heap must honour.
+#[test]
+fn event_queue_matches_a_stable_sorted_reference_under_random_workloads() {
+    let mut rng = SimRng::seed_from(2025).derive("queue-property");
+    for round in 0..50 {
+        let mut queue = EventQueue::new();
+        let mut reference: Vec<(u64, usize)> = Vec::new();
+        let pushes = 1 + rng.uniform_usize(0, 400);
+        for payload in 0..pushes {
+            // Narrow time range on odd rounds forces heavy timestamp collisions.
+            let span = if round % 2 == 0 { 10_000 } else { 7 };
+            let time = rng.uniform_usize(0, span) as u64;
+            queue.push(time, payload);
+            reference.push((time, payload));
+        }
+        reference.sort_by_key(|&(time, _)| time); // stable: ties keep push order
+        let mut drained = Vec::new();
+        while let Some((time, payload)) = queue.pop() {
+            drained.push((time, payload));
+        }
+        assert_eq!(drained, reference, "round {round} diverged from the reference");
+    }
+}
+
+#[test]
+fn event_queue_drain_until_is_inclusive_and_leaves_the_rest() {
+    let mut queue = EventQueue::new();
+    for time in [5u64, 1, 9, 5, 3] {
+        queue.push(time, time);
+    }
+    let mut drained = Vec::new();
+    queue.drain_until(5, |time, _| drained.push(time));
+    assert_eq!(drained, vec![1, 3, 5, 5]);
+    assert_eq!(queue.len(), 1);
+    assert_eq!(queue.peek_time(), Some(9));
+}
+
+// --- KV-cache admission invariants -------------------------------------------------
+
+/// Under sustained overload the scheduler's KV accounting must hold three invariants at
+/// every step boundary: occupancy ≤ committed ≤ capacity, and all three non-negative.
+/// Committed-peak admission means admitted sequences can always grow to completion.
+#[test]
+fn kv_occupancy_never_exceeds_committed_nor_capacity() {
+    let gpu = GpuHardware::a100();
+    let config = InstanceConfig::default_70b();
+    let mut scheduler = BatchScheduler::new(config, &gpu, 1);
+    let capacity = scheduler.kv_capacity();
+    assert!(capacity > 0);
+
+    let mut rng = SimRng::seed_from(7).derive("kv-invariants");
+    let mut offered = 0u64;
+    let mut completions = Vec::new();
+    let mut completed = 0u64;
+    let mut arrival = 0u64;
+    for window in 0..240u64 {
+        // A bursty arrival process that keeps the queue deep.
+        for _ in 0..rng.uniform_usize(0, 6) {
+            arrival += rng.uniform_usize(0, 450) as u64;
+            let prompt = 1 + rng.uniform_usize(0, capacity / 6);
+            let output = 1 + rng.uniform_usize(0, 300);
+            scheduler.offer(offered, prompt, output, arrival);
+            offered += 1;
+        }
+        let deadline = (window + 1) * 500 + arrival.saturating_sub(arrival % 500);
+        completions.clear();
+        scheduler.advance_to(deadline, &mut completions);
+        completed += completions.len() as u64;
+        assert!(
+            scheduler.kv_in_use() <= scheduler.kv_committed(),
+            "window {window}: occupancy {} exceeds committed {}",
+            scheduler.kv_in_use(),
+            scheduler.kv_committed()
+        );
+        assert!(
+            scheduler.kv_committed() <= capacity,
+            "window {window}: committed {} exceeds capacity {capacity}",
+            scheduler.kv_committed()
+        );
+        for done in &completions {
+            assert!(done.first_token_ms >= done.arrival_ms);
+            assert!(done.finish_ms >= done.first_token_ms);
+        }
+    }
+    assert!(completed > 0, "the overloaded scheduler still makes progress");
+    assert!(offered > completed, "overload keeps a backlog (offered {offered})");
+}
+
+// --- Fleet determinism -------------------------------------------------------------
+
+#[test]
+fn fabric_enabled_three_site_fleet_is_byte_identical_across_same_seed_runs() {
+    let fleet = || {
+        let mut base = fabric_smoke();
+        base.policy = Policy::Tapas;
+        FleetSimulator::new(FleetConfig::evaluation(base, 3)).run()
+    };
+    let a = fleet();
+    let b = fleet();
+    let json_a = serde_json::to_string(&a).expect("serialize");
+    let json_b = serde_json::to_string(&b).expect("serialize");
+    assert_eq!(json_a, json_b, "same-seed fabric fleets must serialize identically");
+    // Every site ran the fabric and the fleet-wide merge sees their requests.
+    let merged = a.request_fabric().expect("fabric enabled on every site");
+    assert!(merged.completed > 0);
+    for site in &a.sites {
+        assert!(site.request_fabric.is_some());
+    }
+    // The per-request stream was actually spread by the geo stage.
+    let active_sites = a
+        .sites
+        .iter()
+        .filter(|s| s.request_fabric.as_ref().is_some_and(|m| m.completed > 0))
+        .count();
+    assert!(active_sites >= 2, "requests must spread beyond one site");
+    // Attainment curves are cumulative in the multiplier.
+    let curve = merged.attainment_curve();
+    assert!(curve.windows(2).all(|p| p[0] <= p[1]), "curve must be monotone");
+}
+
+#[test]
+fn single_site_fabric_fleet_wraps_the_plain_simulator() {
+    let base = fabric_smoke();
+    let fleet = FleetSimulator::new(FleetConfig::single_site(base.clone())).run();
+    let single = ClusterSimulator::new(base).run();
+    assert_eq!(
+        serde_json::to_string(&fleet.sites[0]).expect("serialize"),
+        serde_json::to_string(&single).expect("serialize"),
+        "a 1-site fabric fleet must reproduce the single-datacenter run bit for bit"
+    );
+}
+
+#[test]
+fn disabling_the_fabric_leaves_reports_free_of_request_metrics() {
+    let report = ClusterSimulator::new(ExperimentConfig::small_smoke_test()).run();
+    assert!(report.request_fabric.is_none());
+    let json = serde_json::to_string(&report).expect("serialize");
+    assert!(!json.contains("request_fabric"));
+}
+
+// --- Trace replay ------------------------------------------------------------------
+
+#[test]
+fn csv_and_jsonl_replays_are_byte_identical_and_complete_every_request() {
+    let csv = parse_csv(SAMPLE_CSV).expect("sample CSV parses");
+    let jsonl = parse_jsonl(SAMPLE_JSONL).expect("sample JSONL parses");
+    assert_eq!(csv, jsonl, "the two sample encodings carry the same records");
+
+    let from_csv = ClusterSimulator::with_request_trace(ExperimentConfig::small_smoke_test(), &csv)
+        .expect("trace endpoints are in the smoke catalog")
+        .run();
+    let from_jsonl =
+        ClusterSimulator::with_request_trace(ExperimentConfig::small_smoke_test(), &jsonl)
+            .expect("trace endpoints are in the smoke catalog")
+            .run();
+    assert_eq!(
+        serde_json::to_string(&from_csv).expect("serialize"),
+        serde_json::to_string(&from_jsonl).expect("serialize"),
+        "replaying either encoding must produce identical runs"
+    );
+    let metrics = from_csv.request_fabric.as_ref().expect("replay enables the fabric");
+    assert_eq!(
+        metrics.completed,
+        csv.len() as u64,
+        "every trace request finishes inside the two-hour horizon"
+    );
+    // TTFT and TBT were measured for every request.
+    assert_eq!(metrics.ttft.total(), metrics.completed);
+    assert_eq!(metrics.tbt.total(), metrics.completed);
+}
+
+#[test]
+fn trace_replay_rejects_unknown_endpoints_with_a_typed_error() {
+    let mut records = parse_csv(SAMPLE_CSV).expect("sample CSV parses");
+    records[0].endpoint = 99;
+    records.sort_by_key(|r| r.timestamp_ms);
+    let err = ClusterSimulator::with_request_trace(ExperimentConfig::small_smoke_test(), &records)
+        .expect_err("endpoint 99 is not in the smoke catalog");
+    assert_eq!(err, TraceError::UnknownEndpoint { endpoint: 99 });
+    let fleet_err = FleetSimulator::with_request_trace(
+        FleetConfig::single_site(ExperimentConfig::small_smoke_test()),
+        &records,
+    )
+    .map(|_| ())
+    .expect_err("the fleet entry validates against the base catalog");
+    assert_eq!(fleet_err, TraceError::UnknownEndpoint { endpoint: 99 });
+}
+
+#[test]
+fn fleet_trace_replay_routes_records_across_sites() {
+    let records = parse_csv(SAMPLE_CSV).expect("sample CSV parses");
+    let mut base = ExperimentConfig::small_smoke_test();
+    base.policy = Policy::Tapas;
+    let report = FleetSimulator::with_request_trace(FleetConfig::evaluation(base, 3), &records)
+        .expect("trace endpoints are in the base catalog")
+        .run();
+    let merged = report.request_fabric().expect("fabric enabled by the replay entry");
+    assert_eq!(merged.completed, records.len() as u64);
+}
+
+// --- Golden artifact ---------------------------------------------------------------
+
+/// Pins the serialized per-request metrics block of a seeded fabric run: histogram
+/// bucket layout, curve layout and every count. Catches both behavioural drift in the
+/// fabric (different completions) and serialization drift in the metrics block.
+#[test]
+fn fabric_metrics_golden_artifact_is_stable() {
+    let report = ClusterSimulator::new(fabric_smoke()).run();
+    let metrics = report.request_fabric.as_ref().expect("fabric enabled");
+    let json = serde_json::to_string(metrics).expect("serialize");
+
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(
+            concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/request_fabric_metrics.json"),
+            &json,
+        )
+        .expect("write golden file");
+        return;
+    }
+
+    assert_eq!(
+        json,
+        GOLDEN_METRICS.trim_end(),
+        "fabric metrics drifted from the golden file; if intentional, regenerate with \
+         UPDATE_GOLDEN=1 cargo test --test request_fabric"
+    );
+    let back: RequestMetrics = serde_json::from_str(GOLDEN_METRICS).expect("deserialize");
+    assert_eq!(serde_json::to_string(&back).expect("serialize"), json);
+}
