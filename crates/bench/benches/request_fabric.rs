@@ -16,7 +16,11 @@ use tapas::policy::Policy;
 fn fabric_base(rate_scale: f64) -> ExperimentConfig {
     let mut base = ExperimentConfig::real_cluster_hour(Policy::Tapas);
     base.duration = SimTime::from_hours(12);
-    base.with_request_fabric(RequestFabricConfig { rate_scale, slo_multiplier: 5.0 })
+    base.with_request_fabric(RequestFabricConfig {
+        rate_scale,
+        slo_multiplier: 5.0,
+        ..RequestFabricConfig::default()
+    })
 }
 
 fn bench_request_fabric(c: &mut Criterion) {

@@ -15,7 +15,9 @@
 //! Flags: `--smoke` (CI-sized: 2 seeds, adversarial tier only, tiny cluster),
 //! `--full` (8 seeds, 1-day horizon); the default is 3 seeds × 3 tiers at 12 hours.
 
-use cluster_sim::experiment::{ExperimentConfig, FleetConfig, GeoPolicy};
+use cluster_sim::experiment::{
+    ExperimentConfig, FleetConfig, GeoPolicy, RequestFabricConfig,
+};
 use cluster_sim::fleet::FleetSimulator;
 use cluster_sim::scenario::generator::{generate, GeneratorConfig, IntensityTier};
 use cluster_sim::scenario::{energy_cost_usd, fleet_energy_cost_usd, Scenario};
@@ -46,6 +48,14 @@ struct SweepRecord {
     slo_attainment: f64,
     energy_cost_usd: f64,
     requests_served: u64,
+    /// Request-fabric lifecycle columns (all zero for the non-fabric worlds): fraction
+    /// of arrived requests shed at their deadline, decode preemptions, prefill tokens
+    /// whose work was evicted and redone, and per-request SLO attainment at the paper's
+    /// 5x multiplier.
+    shed_rate: f64,
+    preemptions: u64,
+    wasted_prefill_tokens: u64,
+    slo_5x_attainment: f64,
 }
 
 impl SweepRecord {
@@ -69,6 +79,10 @@ impl SweepRecord {
             slo_attainment: 0.0,
             energy_cost_usd: 0.0,
             requests_served: 0,
+            shed_rate: 0.0,
+            preemptions: 0,
+            wasted_prefill_tokens: 0,
+            slo_5x_attainment: 0.0,
         }
     }
 
@@ -77,6 +91,18 @@ impl SweepRecord {
             return format!(
                 "  seed {:>3}  {:<12} {:>30}",
                 self.seed, self.policy, "*** PANIC ***"
+            );
+        }
+        if self.world == "fabric" {
+            return format!(
+                "  seed {:>3}  {:<12} shed={:>6.3} preempt={:>5} wasted_prefill={:>9} slo5x={:>6.3} served={:>8}",
+                self.seed,
+                self.policy,
+                self.shed_rate,
+                self.preemptions,
+                self.wasted_prefill_tokens,
+                self.slo_5x_attainment,
+                self.requests_served,
             );
         }
         format!(
@@ -131,6 +157,10 @@ fn run_single(
         slo_attainment: report.slo_attainment(),
         energy_cost_usd: energy_cost_usd(&report, &timeline),
         requests_served: report.requests_served,
+        shed_rate: 0.0,
+        preemptions: 0,
+        wasted_prefill_tokens: 0,
+        slo_5x_attainment: 0.0,
     }
 }
 
@@ -171,6 +201,78 @@ fn run_fleet(
         slo_attainment: report.slo_attainment(),
         energy_cost_usd: fleet_energy_cost_usd(&report, &cost_config),
         requests_served: report.total_requests_served(),
+        shed_rate: 0.0,
+        preemptions: 0,
+        wasted_prefill_tokens: 0,
+        slo_5x_attainment: 0.0,
+    }
+}
+
+/// Demand multiplier for the fabric world. Full calibrated demand (`1.0`) keeps the
+/// fleet near — not past — aggregate capacity, so shedding is *failure-driven*: it
+/// happens where replica-kill windows and placement skew pinch serving capacity, which
+/// is exactly what capacity-aware routing can mitigate and round-robin cannot. A
+/// globally overloaded fleet (say `2.0`) sheds the same overflow under any routing and
+/// washes the comparison out.
+const FABRIC_RATE_SCALE: f64 = 1.0;
+
+/// Runs one end-to-end stack — scheduling policy plus geo routing — of a three-site
+/// fleet with the request fabric (deadline shedding on) through a generated scenario,
+/// panic-safe. This is the request-lifecycle robustness view: the same adversarial
+/// scenario, scored by what happens to individual requests (shedding, preemption,
+/// wasted prefill work, per-request SLO attainment) instead of site thermals.
+fn run_fabric(
+    tier: &'static str,
+    seed: u64,
+    base: &ExperimentConfig,
+    label: &'static str,
+    policy: Policy,
+    geo: GeoPolicy,
+    scenario: &Scenario,
+) -> SweepRecord {
+    let config = FleetConfig::evaluation(
+        base.clone()
+            .with_policy(policy)
+            .with_scenario(scenario.clone())
+            .with_request_fabric(RequestFabricConfig {
+                rate_scale: FABRIC_RATE_SCALE,
+                deadline_shedding: true,
+                ..RequestFabricConfig::default()
+            }),
+        FLEET_SITES,
+    )
+    .with_geo(geo);
+    let outcome = catch_unwind(AssertUnwindSafe(|| FleetSimulator::new(config).run()));
+    let Ok(report) = outcome else {
+        return SweepRecord::panic_row(tier, seed, "fabric", label.to_string());
+    };
+    let metrics = report.request_fabric().expect("fabric world always runs the fabric");
+    let lifecycle = metrics.lifecycle;
+    SweepRecord {
+        tier,
+        seed,
+        world: "fabric",
+        policy: label.to_string(),
+        panicked: false,
+        throttle_events: report.thermal_throttle_events(),
+        cap_events: report.power_cap_events(),
+        capped_minutes: report.power_capped_minutes(),
+        worst_step_slo: report.worst_step_slo_violations(),
+        recovery_minutes: recovery_minutes(report.last_stress_event_minute(), scenario),
+        slo_attainment: report.slo_attainment(),
+        energy_cost_usd: fleet_energy_cost_usd(
+            &report,
+            &FleetConfig::evaluation(base.clone().with_scenario(scenario.clone()), FLEET_SITES),
+        ),
+        requests_served: report.total_requests_served(),
+        shed_rate: if lifecycle.arrived == 0 {
+            0.0
+        } else {
+            lifecycle.shed as f64 / lifecycle.arrived as f64
+        },
+        preemptions: lifecycle.preemptions,
+        wasted_prefill_tokens: lifecycle.wasted_prefill_tokens,
+        slo_5x_attainment: metrics.attainment_at(5.0),
     }
 }
 
@@ -251,6 +353,25 @@ fn main() {
                 println!("{}", record.line());
                 records.push(record);
             }
+            // The request-lifecycle view of the same fleet scenario: the full Baseline
+            // stack (baseline thermals + round-robin routing) against the full TAPAS
+            // stack (thermal-aware policy + headroom routing with saturation diversion).
+            for (label, policy, geo) in [
+                ("Baseline", Policy::Baseline, GeoPolicy::RoundRobin),
+                ("TAPAS", Policy::Tapas, GeoPolicy::Headroom),
+            ] {
+                let record = run_fabric(
+                    tier.label(),
+                    seed,
+                    &base,
+                    label,
+                    policy,
+                    geo,
+                    &fleet_scenario,
+                );
+                println!("{}", record.line());
+                records.push(record);
+            }
         }
     }
 
@@ -290,6 +411,34 @@ fn main() {
         }
     }
 
+    // Request-lifecycle robustness: how many requests each stack sacrificed (shed or
+    // preempted) and what per-request SLO attainment survived, averaged over seeds.
+    println!("\nRequest-fabric per-tier means (over seeds):");
+    println!(
+        "  {:<13} {:<12} {:>9} {:>10} {:>15} {:>8}",
+        "tier", "policy", "shed_rate", "preempt", "wasted_prefill", "slo_5x"
+    );
+    for &tier in tiers {
+        let tier_records: Vec<SweepRecord> = records
+            .iter()
+            .filter(|r| r.tier == tier.label())
+            .cloned()
+            .collect();
+        for policy in ["Baseline", "TAPAS"] {
+            println!(
+                "  {:<13} {:<12} {:>9.4} {:>10.1} {:>15.0} {:>8.3}",
+                tier.label(),
+                policy,
+                mean_of(&tier_records, "fabric", policy, |r| r.shed_rate),
+                mean_of(&tier_records, "fabric", policy, |r| r.preemptions as f64),
+                mean_of(&tier_records, "fabric", policy, |r| {
+                    r.wasted_prefill_tokens as f64
+                }),
+                mean_of(&tier_records, "fabric", policy, |r| r.slo_5x_attainment),
+            );
+        }
+    }
+
     let worst_tier = tiers.last().expect("at least one tier").label();
     let worst: Vec<SweepRecord> =
         records.iter().filter(|r| r.tier == worst_tier).cloned().collect();
@@ -299,6 +448,11 @@ fn main() {
     let tapas_slo = mean_of(&worst, "single", "TAPAS", |r| r.worst_step_slo as f64);
     println!(
         "\n{worst_tier} tier, single-DC: throttle events {baseline_throttle:.1} -> {tapas_throttle:.1}, worst-step SLO {baseline_slo:.1} -> {tapas_slo:.1} (Baseline -> TAPAS)"
+    );
+    let baseline_shed = mean_of(&worst, "fabric", "Baseline", |r| r.shed_rate);
+    let tapas_shed = mean_of(&worst, "fabric", "TAPAS", |r| r.shed_rate);
+    println!(
+        "{worst_tier} tier, fabric fleet: shed rate {baseline_shed:.4} -> {tapas_shed:.4} (Baseline -> TAPAS)"
     );
 
     write_json("scenario_sweep", &records);

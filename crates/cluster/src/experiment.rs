@@ -22,7 +22,7 @@ use workload::vm::Vm;
 /// Tunables of the per-request serving fabric (see `crate::fabric`). The fabric is
 /// opt-in: [`ExperimentConfig::request_fabric`] is `None` by default and every legacy
 /// code path (RNG draws, report bytes, digests) is untouched until it is enabled.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RequestFabricConfig {
     /// Scales the generated request rate relative to the endpoint catalog's diurnal
     /// per-VM peak rates (`1.0` = the catalog's calibrated demand).
@@ -30,11 +30,72 @@ pub struct RequestFabricConfig {
     /// The headline SLO multiplier for attainment reporting. The paper's SLO is 5× the
     /// unloaded latency; the full attainment curve is recorded regardless.
     pub slo_multiplier: f64,
+    /// Enables deadline shedding: a queued request that cannot start within
+    /// `slo_multiplier ×` its endpoint's unloaded TTFT is shed (counted, never served)
+    /// instead of burning KV budget after its SLO is already blown. Off by default so
+    /// pre-fault-tolerance runs keep their exact request outcomes.
+    pub deadline_shedding: bool,
+    /// Retry budget for preempted requests before they are dropped as timeouts.
+    pub max_retries: u32,
+    /// Base of the deterministic exponential backoff applied to requeued requests
+    /// (`backoff_base_ms << (attempt - 1)` milliseconds, capped).
+    pub backoff_base_ms: u64,
 }
 
 impl Default for RequestFabricConfig {
     fn default() -> Self {
-        Self { rate_scale: 1.0, slo_multiplier: 5.0 }
+        Self {
+            rate_scale: 1.0,
+            slo_multiplier: 5.0,
+            deadline_shedding: false,
+            max_retries: 3,
+            backoff_base_ms: 256,
+        }
+    }
+}
+
+// Hand-written serde: the fault-tolerance knobs are emitted only when they differ from
+// the defaults, so every fabric-enabled artifact pinned before they existed keeps its
+// exact bytes, and old artifacts (which lack the keys) still load.
+impl Serialize for RequestFabricConfig {
+    fn to_value(&self) -> serde::Value {
+        let defaults = Self::default();
+        let mut entries = vec![
+            (String::from("rate_scale"), self.rate_scale.to_value()),
+            (String::from("slo_multiplier"), self.slo_multiplier.to_value()),
+        ];
+        if self.deadline_shedding != defaults.deadline_shedding {
+            entries.push((String::from("deadline_shedding"), self.deadline_shedding.to_value()));
+        }
+        if self.max_retries != defaults.max_retries {
+            entries.push((String::from("max_retries"), self.max_retries.to_value()));
+        }
+        if self.backoff_base_ms != defaults.backoff_base_ms {
+            entries.push((String::from("backoff_base_ms"), self.backoff_base_ms.to_value()));
+        }
+        serde::Value::Map(entries)
+    }
+}
+
+impl Deserialize for RequestFabricConfig {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let defaults = Self::default();
+        Ok(Self {
+            rate_scale: Deserialize::from_value(value.get("rate_scale")?)?,
+            slo_multiplier: Deserialize::from_value(value.get("slo_multiplier")?)?,
+            deadline_shedding: match value.get("deadline_shedding") {
+                Ok(field) => Deserialize::from_value(field)?,
+                Err(_) => defaults.deadline_shedding,
+            },
+            max_retries: match value.get("max_retries") {
+                Ok(field) => Deserialize::from_value(field)?,
+                Err(_) => defaults.max_retries,
+            },
+            backoff_base_ms: match value.get("backoff_base_ms") {
+                Ok(field) => Deserialize::from_value(field)?,
+                Err(_) => defaults.backoff_base_ms,
+            },
+        })
     }
 }
 
@@ -745,10 +806,29 @@ mod tests {
     #[test]
     fn enabled_fabric_round_trips_through_json() {
         let config = ExperimentConfig::small_smoke_test().with_request_fabric(
-            RequestFabricConfig { rate_scale: 2.5, slo_multiplier: 5.0 },
+            RequestFabricConfig { rate_scale: 2.5, ..RequestFabricConfig::default() },
         );
         let json = serde_json::to_string(&config).expect("serialize");
         assert!(json.ends_with("\"request_fabric\":{\"rate_scale\":2.5,\"slo_multiplier\":5}}"));
+        let back: ExperimentConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, config);
+    }
+
+    #[test]
+    fn fault_policy_knobs_serialize_only_when_non_default_and_round_trip() {
+        let config = ExperimentConfig::small_smoke_test().with_request_fabric(
+            RequestFabricConfig {
+                deadline_shedding: true,
+                max_retries: 5,
+                backoff_base_ms: 128,
+                ..RequestFabricConfig::default()
+            },
+        );
+        let json = serde_json::to_string(&config).expect("serialize");
+        assert!(json.ends_with(
+            "\"request_fabric\":{\"rate_scale\":1,\"slo_multiplier\":5,\
+             \"deadline_shedding\":true,\"max_retries\":5,\"backoff_base_ms\":128}}"
+        ));
         let back: ExperimentConfig = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(back, config);
     }

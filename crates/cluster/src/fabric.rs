@@ -34,7 +34,7 @@
 use crate::experiment::RequestFabricConfig;
 use crate::metrics::RequestMetrics;
 use crate::scenario::ResolvedTimeline;
-use llm_sim::batch::{BatchCompletion, BatchScheduler};
+use llm_sim::batch::{BatchCompletion, BatchScheduler, SchedulerFaults};
 use llm_sim::hardware::GpuHardware;
 use llm_sim::perf::PerfModel;
 use llm_sim::request::RequestShape;
@@ -199,6 +199,9 @@ pub struct RequestFabric {
     slo_multiplier: f64,
     /// Scratch for completions drained per endpoint per step.
     completions: Vec<BatchCompletion>,
+    /// Scratch: each scheduler's fault counters at the start of the current step, to
+    /// convert lifetime counters into this-window deltas for the pressure signal.
+    fault_marks: Vec<SchedulerFaults>,
 }
 
 impl RequestFabric {
@@ -214,12 +217,7 @@ impl RequestFabric {
     ) -> Self {
         let gpu = GpuHardware::a100();
         let perf = PerfModel::new(gpu);
-        let schedulers: Vec<BatchScheduler> = catalog
-            .endpoints()
-            .iter()
-            .map(|endpoint| BatchScheduler::new(endpoint.default_config, &gpu, 1))
-            .collect();
-        let targets = catalog
+        let targets: Vec<(f64, f64)> = catalog
             .endpoints()
             .iter()
             .map(|endpoint| {
@@ -227,6 +225,29 @@ impl RequestFabric {
                     perf.ttft_unloaded_s(&endpoint.default_config),
                     perf.tbt_unloaded_s(&endpoint.default_config),
                 )
+            })
+            .collect();
+        let schedulers: Vec<BatchScheduler> = catalog
+            .endpoints()
+            .iter()
+            .zip(&targets)
+            .map(|(endpoint, &(ttft_target_s, _))| {
+                let mut scheduler = BatchScheduler::new(endpoint.default_config, &gpu, 1);
+                // Deadline shedding is opt-in: the per-endpoint admission deadline is
+                // the headline SLO on the unloaded TTFT — a request that cannot start
+                // inside it has already blown its TTFT SLO, so serving it only burns
+                // KV budget the on-time queue needs.
+                let shed_deadline_ms = if config.deadline_shedding {
+                    ((config.slo_multiplier * ttft_target_s * 1000.0).ceil() as u64).max(1)
+                } else {
+                    0
+                };
+                scheduler.set_fault_policy(
+                    shed_deadline_ms,
+                    config.max_retries,
+                    config.backoff_base_ms,
+                );
+                scheduler
             })
             .collect();
         Self {
@@ -238,6 +259,7 @@ impl RequestFabric {
             metrics: RequestMetrics::new(),
             slo_multiplier: config.slo_multiplier,
             completions: Vec::new(),
+            fault_marks: Vec::new(),
         }
     }
 
@@ -292,13 +314,20 @@ impl RequestFabric {
     /// unplaced endpoint queues instead of vanishing).
     pub fn serve_step(&mut self, now: SimTime, step: SimDuration, replicas: &[u32]) {
         let end_ms = (now.as_minutes() + step.as_minutes()) * MS_PER_MINUTE;
+        self.fault_marks.clear();
         for (ordinal, scheduler) in self.schedulers.iter_mut().enumerate() {
             let count = replicas.get(ordinal).copied().unwrap_or(0);
+            // Mark fault counters before the resize: a shrink below the KV commitment
+            // or the surviving decode slots preempts immediately, and those preemptions
+            // belong to this window's distress signal.
+            self.fault_marks.push(scheduler.faults());
             scheduler.set_replicas(count.max(1) as usize);
         }
         let schedulers = &mut self.schedulers;
+        let lifecycle = &mut self.metrics.lifecycle;
         self.queue.drain_until(end_ms - 1, |time_ms, request| {
             if let Some(scheduler) = schedulers.get_mut(request.endpoint as usize) {
+                lifecycle.arrived += 1;
                 scheduler.offer(
                     request.id,
                     request.prompt_tokens as usize,
@@ -307,19 +336,37 @@ impl RequestFabric {
                 );
             }
         });
+        let headline = self.slo_multiplier;
         for ordinal in 0..self.schedulers.len() {
             self.completions.clear();
             self.schedulers[ordinal].advance_to(end_ms, &mut self.completions);
             let (ttft_target_s, tbt_target_s) = self.targets[ordinal];
             for done in &self.completions {
-                self.metrics.record(
-                    done.ttft_ms() as f64,
-                    done.mean_tbt_ms(),
-                    ttft_target_s,
-                    tbt_target_s,
-                );
+                let ttft_ms = done.ttft_ms() as f64;
+                let tbt_ms = done.mean_tbt_ms();
+                self.metrics.record(ttft_ms, tbt_ms, ttft_target_s, tbt_target_s);
+                let met_headline = ttft_ms <= headline * ttft_target_s * 1000.0
+                    && (tbt_ms <= 0.0 || tbt_ms <= headline * tbt_target_s * 1000.0);
+                self.metrics.record_tokens(done.output_tokens as u64, met_headline);
             }
-            self.pressures[ordinal] = self.schedulers[ordinal].pressure();
+            self.schedulers[ordinal].note_pressure_window();
+            // KV/backlog pressure alone under-reports saturation once deadline shedding
+            // is active: sheds keep the queue short, so occupancy looks healthy while
+            // requests are being sacrificed. Fold this window's lifecycle distress
+            // (sheds + preemptions, as a fraction of the window's outcomes) into the
+            // signal so saturation stays visible — past 1.0, fleet request routing
+            // diverts new arrivals away from the site. Failure-free windows have zero
+            // distress, leaving the legacy signal untouched.
+            let mark = self.fault_marks[ordinal];
+            let faults = self.schedulers[ordinal].faults();
+            let lost = (faults.shed - mark.shed) + (faults.preemptions - mark.preemptions);
+            let mut pressure = self.schedulers[ordinal].pressure();
+            if lost > 0 {
+                let outcomes = lost + self.completions.len() as u64;
+                let distress = lost as f64 / outcomes as f64;
+                pressure = pressure.max(1.0 + distress.min(0.5));
+            }
+            self.pressures[ordinal] = pressure;
         }
     }
 
@@ -342,10 +389,27 @@ impl RequestFabric {
         self.slo_multiplier
     }
 
-    /// Takes the metrics block out of the fabric (end-of-run report assembly).
-    /// Requests still in flight at the horizon are not counted.
+    /// Takes the metrics block out of the fabric (end-of-run report assembly),
+    /// folding every scheduler's fault counters into the lifecycle block first.
+    /// Requests still queued or mid-decode at the horizon have no latency sample
+    /// but are counted in `lifecycle.in_flight_at_horizon`, so the conservation
+    /// identity `arrived == completed + timeouts + shed + in_flight_at_horizon`
+    /// holds exactly.
     #[must_use]
     pub fn take_metrics(&mut self) -> RequestMetrics {
+        for scheduler in &self.schedulers {
+            let faults = scheduler.faults();
+            let lifecycle = &mut self.metrics.lifecycle;
+            lifecycle.preemptions += faults.preemptions;
+            lifecycle.evicted_tokens += faults.evicted_tokens;
+            lifecycle.wasted_prefill_tokens += faults.wasted_prefill_tokens;
+            lifecycle.wasted_decode_tokens += faults.wasted_decode_tokens;
+            lifecycle.retries += faults.retries;
+            lifecycle.timeouts += faults.timeouts;
+            lifecycle.shed += faults.shed;
+            lifecycle.in_flight_at_horizon +=
+                (scheduler.queue_len() + scheduler.running_len()) as u64;
+        }
         std::mem::take(&mut self.metrics)
     }
 }
@@ -400,7 +464,7 @@ mod tests {
             let mut generator = FabricGenerator::new(
                 42,
                 &catalog(),
-                RequestFabricConfig { rate_scale: scale, slo_multiplier: 5.0 },
+                RequestFabricConfig { rate_scale: scale, ..RequestFabricConfig::default() },
             );
             let mut queue = EventQueue::new();
             let timeline = timeline();

@@ -102,8 +102,10 @@ impl FleetSimulator {
             FabricGenerator::new(config.base.seed, &catalog, fabric_config)
         });
         let base_timeline = config.base.resolved_timeline();
+        let mut geo = GeoPlacement::default();
+        geo.set_request_endpoints(catalog.len());
         Self {
-            geo: GeoPlacement::default(),
+            geo,
             splitter: WeightedSplitter::new(&shares),
             request_splitter: WeightedSplitter::new(&shares),
             stream,
@@ -225,6 +227,11 @@ impl FleetSimulator {
             let end_ms =
                 (now.as_minutes() + self.config.base.step.as_minutes()) * MS_PER_MINUTE;
             let geo_policy = self.config.geo;
+            // Publish each site's effective per-endpoint serving capacity (from the
+            // previous step, like every other routing signal) for the failover spread.
+            for (site, cell) in self.cells.iter().enumerate() {
+                self.geo.set_request_capacity(site, cell.fabric_effective_replicas());
+            }
             let cells = &mut self.cells;
             let signals = &self.signals;
             let geo = &mut self.geo;
@@ -234,7 +241,9 @@ impl FleetSimulator {
                 let site = match geo_policy {
                     GeoPolicy::Pinned(site) => site,
                     GeoPolicy::RoundRobin => request_splitter.next_site(),
-                    GeoPolicy::Headroom => geo.choose_request(signals),
+                    GeoPolicy::Headroom => {
+                        geo.choose_request(signals, request.endpoint as usize)
+                    }
                 };
                 cells[site].deliver_request(time_ms, request);
             });

@@ -100,11 +100,82 @@ impl LatencyHistogram {
     }
 }
 
+/// Request-lifecycle accounting beside the latency histograms: arrivals, preemption and
+/// eviction volume (wasted work), retry/shed/timeout outcomes and the
+/// goodput-vs-throughput token split. Plain counters, merged by addition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LifecycleMetrics {
+    /// Requests offered to the schedulers (trace replay and generated traffic alike).
+    pub arrived: u64,
+    /// Sequences evicted mid-flight (a request preempted twice counts twice).
+    pub preemptions: u64,
+    /// KV tokens resident at eviction time (prompt + generated so far), summed.
+    pub evicted_tokens: u64,
+    /// Prompt tokens re-prefilled after eviction, summed.
+    pub wasted_prefill_tokens: u64,
+    /// Decode tokens generated and then thrown away by eviction, summed.
+    pub wasted_decode_tokens: u64,
+    /// Preempted requests successfully requeued for another attempt.
+    pub retries: u64,
+    /// Requests dropped after exhausting their retry budget (or that could never fit).
+    pub timeouts: u64,
+    /// Requests shed at admission because their deadline had already passed.
+    pub shed: u64,
+    /// Requests still queued or running when the horizon closed.
+    pub in_flight_at_horizon: u64,
+    /// Output tokens of every completed request (raw throughput).
+    pub output_tokens: u64,
+    /// Output tokens of completed requests that met the headline SLO (goodput).
+    pub goodput_tokens: u64,
+}
+
+impl LifecycleMetrics {
+    /// `true` when any fault-tolerance path fired (preemption, eviction, retry, timeout
+    /// or shedding). Failure-free runs stay `false`, which is what gates the
+    /// `lifecycle` key out of their serialized artifacts.
+    #[must_use]
+    pub fn has_faults(&self) -> bool {
+        self.preemptions > 0
+            || self.evicted_tokens > 0
+            || self.wasted_prefill_tokens > 0
+            || self.wasted_decode_tokens > 0
+            || self.retries > 0
+            || self.timeouts > 0
+            || self.shed > 0
+    }
+
+    /// Goodput over throughput: the fraction of produced output tokens that also met
+    /// the headline SLO. `1.0` when nothing completed.
+    #[must_use]
+    pub fn goodput_fraction(&self) -> f64 {
+        if self.output_tokens == 0 {
+            1.0
+        } else {
+            self.goodput_tokens as f64 / self.output_tokens as f64
+        }
+    }
+
+    /// Adds another block's counters into this one.
+    pub fn merge(&mut self, other: &Self) {
+        self.arrived += other.arrived;
+        self.preemptions += other.preemptions;
+        self.evicted_tokens += other.evicted_tokens;
+        self.wasted_prefill_tokens += other.wasted_prefill_tokens;
+        self.wasted_decode_tokens += other.wasted_decode_tokens;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.shed += other.shed;
+        self.in_flight_at_horizon += other.in_flight_at_horizon;
+        self.output_tokens += other.output_tokens;
+        self.goodput_tokens += other.goodput_tokens;
+    }
+}
+
 /// Per-request serving metrics the request fabric records: TTFT and TBT histograms plus
 /// SLO attainment curves sampled at [`SLO_CURVE_MULTIPLIERS`]. Sites merge losslessly
 /// (fixed bucket edges, cumulative curve counters), which is how the fleet-level curves
 /// are produced.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RequestMetrics {
     /// Requests that ran to completion.
     pub completed: u64,
@@ -121,6 +192,47 @@ pub struct RequestMetrics {
     /// `joint_curve[i]` = completed requests meeting *both* targets at multiplier `i` —
     /// the curve SLO attainment is read from.
     pub joint_curve: Vec<u64>,
+    /// Request-lifecycle accounting (arrivals, preemptions, wasted work, shed/timeout
+    /// outcomes, goodput split).
+    pub lifecycle: LifecycleMetrics,
+}
+
+// Hand-written serde: the `lifecycle` key is emitted only when a fault-tolerance path
+// actually fired. Failure-free fabric runs therefore serialize byte-identically to the
+// pre-lifecycle format (the pinned golden artifact), and old artifacts deserialize with
+// a default (all-zero) lifecycle block.
+impl Serialize for RequestMetrics {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            (String::from("completed"), self.completed.to_value()),
+            (String::from("ttft"), self.ttft.to_value()),
+            (String::from("tbt"), self.tbt.to_value()),
+            (String::from("ttft_curve"), self.ttft_curve.to_value()),
+            (String::from("tbt_curve"), self.tbt_curve.to_value()),
+            (String::from("joint_curve"), self.joint_curve.to_value()),
+        ];
+        if self.lifecycle.has_faults() {
+            entries.push((String::from("lifecycle"), self.lifecycle.to_value()));
+        }
+        serde::Value::Map(entries)
+    }
+}
+
+impl Deserialize for RequestMetrics {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            completed: Deserialize::from_value(value.get("completed")?)?,
+            ttft: Deserialize::from_value(value.get("ttft")?)?,
+            tbt: Deserialize::from_value(value.get("tbt")?)?,
+            ttft_curve: Deserialize::from_value(value.get("ttft_curve")?)?,
+            tbt_curve: Deserialize::from_value(value.get("tbt_curve")?)?,
+            joint_curve: Deserialize::from_value(value.get("joint_curve")?)?,
+            lifecycle: match value.get("lifecycle") {
+                Ok(field) => Deserialize::from_value(field)?,
+                Err(_) => LifecycleMetrics::default(),
+            },
+        })
+    }
 }
 
 impl Default for RequestMetrics {
@@ -140,6 +252,16 @@ impl RequestMetrics {
             ttft_curve: vec![0; SLO_CURVE_MULTIPLIERS.len()],
             tbt_curve: vec![0; SLO_CURVE_MULTIPLIERS.len()],
             joint_curve: vec![0; SLO_CURVE_MULTIPLIERS.len()],
+            lifecycle: LifecycleMetrics::default(),
+        }
+    }
+
+    /// Records output tokens of one completed request into the goodput-vs-throughput
+    /// split. `met_headline` is whether the request met the headline SLO multiplier.
+    pub fn record_tokens(&mut self, output_tokens: u64, met_headline: bool) {
+        self.lifecycle.output_tokens += output_tokens;
+        if met_headline {
+            self.lifecycle.goodput_tokens += output_tokens;
         }
     }
 
@@ -215,6 +337,7 @@ impl RequestMetrics {
         for (mine, theirs) in self.joint_curve.iter_mut().zip(&other.joint_curve) {
             *mine += theirs;
         }
+        self.lifecycle.merge(&other.lifecycle);
     }
 
     /// One-line textual summary (used by examples and the fabric smoke output).
@@ -766,6 +889,50 @@ mod tests {
         // Empty metrics default to full attainment.
         assert!((RequestMetrics::new().attainment_at(5.0) - 1.0).abs() < 1e-12);
         assert_eq!(RequestMetrics::new().ttft.quantile_edge_ms(0.99), 0);
+    }
+
+    #[test]
+    fn lifecycle_block_is_gated_on_fault_activity_and_merges_losslessly() {
+        let mut metrics = RequestMetrics::new();
+        metrics.record(80.0, 9.0, 0.1, 0.01);
+        metrics.lifecycle.arrived = 5;
+        metrics.lifecycle.in_flight_at_horizon = 4;
+        metrics.record_tokens(120, true);
+        // Arrivals, in-flight and token counters alone never emit the key: they are
+        // non-zero in failure-free runs, whose artifacts must stay byte-identical.
+        assert!(!metrics.lifecycle.has_faults());
+        let json = serde_json::to_string(&metrics).unwrap();
+        assert!(!json.contains("lifecycle"), "{json}");
+        let back: RequestMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.lifecycle, LifecycleMetrics::default());
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+
+        // Any fault counter flips the gate and the block round-trips losslessly.
+        metrics.lifecycle.preemptions = 2;
+        metrics.lifecycle.evicted_tokens = 900;
+        metrics.lifecycle.wasted_prefill_tokens = 800;
+        metrics.lifecycle.wasted_decode_tokens = 100;
+        metrics.lifecycle.retries = 1;
+        metrics.lifecycle.timeouts = 1;
+        metrics.lifecycle.shed = 3;
+        metrics.record_tokens(40, false);
+        assert!(metrics.lifecycle.has_faults());
+        let json = serde_json::to_string(&metrics).unwrap();
+        assert!(json.contains("\"lifecycle\":{\"arrived\":5,"), "{json}");
+        let back: RequestMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, metrics);
+        assert!((back.lifecycle.goodput_fraction() - 120.0 / 160.0).abs() < 1e-12);
+
+        // Site merge adds every lifecycle counter.
+        let mut merged = metrics.clone();
+        merged.merge(&metrics);
+        assert_eq!(merged.lifecycle.arrived, 10);
+        assert_eq!(merged.lifecycle.preemptions, 4);
+        assert_eq!(merged.lifecycle.shed, 6);
+        assert_eq!(merged.lifecycle.output_tokens, 320);
+        assert_eq!(merged.lifecycle.goodput_tokens, 240);
+        // Empty lifecycle reads as perfect goodput.
+        assert!((LifecycleMetrics::default().goodput_fraction() - 1.0).abs() < 1e-12);
     }
 
     #[test]

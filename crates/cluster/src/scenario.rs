@@ -167,6 +167,24 @@ pub enum ScenarioEvent {
         /// Request-rate multiplier (`> 1` surge, `< 1` trough).
         multiplier: f64,
     },
+    /// Serving-replica outage: `replicas` instances of the targeted endpoint(s) are
+    /// unavailable to the request fabric during the window. Unlike [`Self::Failure`]
+    /// this does not touch the power/cooling hierarchy — it models crashed or drained
+    /// serving processes, so only the request fabric's effective replica count shrinks
+    /// (in-flight sequences on the lost replicas are preempted and requeued).
+    /// Overlapping windows sum their replica counts.
+    ReplicaFailure {
+        /// Affected site(s).
+        site: SiteSelector,
+        /// Start of the outage (inclusive).
+        start: SimTime,
+        /// End of the outage (exclusive).
+        end: SimTime,
+        /// `None` hits every endpoint; `Some(id)` kills replicas of one endpoint only.
+        endpoint: Option<EndpointId>,
+        /// Number of replicas lost for the window (must be `> 0`).
+        replicas: u32,
+    },
 }
 
 impl ScenarioEvent {
@@ -178,7 +196,8 @@ impl ScenarioEvent {
             | ScenarioEvent::GridPrice { site, .. }
             | ScenarioEvent::Failure { site, .. }
             | ScenarioEvent::PowerCap { site, .. }
-            | ScenarioEvent::Surge { site, .. } => site,
+            | ScenarioEvent::Surge { site, .. }
+            | ScenarioEvent::ReplicaFailure { site, .. } => site,
         }
     }
 
@@ -190,7 +209,8 @@ impl ScenarioEvent {
             | ScenarioEvent::GridPrice { start, end, .. }
             | ScenarioEvent::Failure { start, end, .. }
             | ScenarioEvent::PowerCap { start, end, .. }
-            | ScenarioEvent::Surge { start, end, .. } => (start, end),
+            | ScenarioEvent::Surge { start, end, .. }
+            | ScenarioEvent::ReplicaFailure { start, end, .. } => (start, end),
         }
     }
 
@@ -200,7 +220,8 @@ impl ScenarioEvent {
             | ScenarioEvent::GridPrice { site, .. }
             | ScenarioEvent::Failure { site, .. }
             | ScenarioEvent::PowerCap { site, .. }
-            | ScenarioEvent::Surge { site, .. } => *site = selector,
+            | ScenarioEvent::Surge { site, .. }
+            | ScenarioEvent::ReplicaFailure { site, .. } => *site = selector,
         }
         self
     }
@@ -287,6 +308,11 @@ pub enum ScenarioError {
         /// The offending multiplier.
         multiplier: f64,
     },
+    /// A replica-failure event kills zero replicas.
+    NoFailedReplicas {
+        /// Index of the offending event in the timeline.
+        event: usize,
+    },
 }
 
 impl fmt::Display for ScenarioError {
@@ -337,6 +363,9 @@ impl fmt::Display for ScenarioError {
                 f,
                 "event {event} has an invalid demand multiplier {multiplier}"
             ),
+            ScenarioError::NoFailedReplicas { event } => {
+                write!(f, "event {event} is a replica failure that kills zero replicas")
+            }
         }
     }
 }
@@ -478,6 +507,11 @@ impl Scenario {
                         });
                     }
                 }
+                ScenarioEvent::ReplicaFailure { replicas, .. } => {
+                    if replicas == 0 {
+                        return Err(ScenarioError::NoFailedReplicas { event: index });
+                    }
+                }
             }
         }
         Ok(())
@@ -548,6 +582,7 @@ impl Scenario {
             endpoint_scale: Vec::new(),
             endpoint_count,
             failures: legacy_failures.clone(),
+            replica_failures: Vec::new(),
         };
         for event in self.events.iter().filter(|e| e.site().matches(site)) {
             let (start, end) = event.window();
@@ -570,6 +605,14 @@ impl Scenario {
                     for slot in &mut timeline.power_cap[range] {
                         *slot = slot.min(fraction);
                     }
+                }
+                ScenarioEvent::ReplicaFailure { endpoint, replicas, .. } => {
+                    timeline.replica_failures.push(ReplicaFailureWindow {
+                        start,
+                        end,
+                        endpoint,
+                        replicas,
+                    });
                 }
                 ScenarioEvent::Surge { endpoint, multiplier, .. } => match endpoint {
                     None => {
@@ -760,6 +803,28 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Serving-replica outage on selected site(s): `replicas` instances of `endpoint`
+    /// (every endpoint when `None`) are unavailable to the request fabric during
+    /// `[start, end)`. In-flight work on the lost replicas is preempted and requeued.
+    #[must_use]
+    pub fn fail_replicas(
+        mut self,
+        site: impl Into<SiteSelector>,
+        start: SimTime,
+        end: SimTime,
+        endpoint: Option<EndpointId>,
+        replicas: u32,
+    ) -> Self {
+        self.scenario.events.push(ScenarioEvent::ReplicaFailure {
+            site: site.into(),
+            start,
+            end,
+            endpoint,
+            replicas,
+        });
+        self
+    }
+
     /// Operator power-cap directive on selected site(s): row and UPS budgets are
     /// clamped to `fraction` of provisioned capacity during `[start, end)`.
     #[must_use]
@@ -853,6 +918,18 @@ pub struct ResolvedTimeline {
     endpoint_scale: Vec<f64>,
     endpoint_count: usize,
     failures: FailureSchedule,
+    /// Serving-replica outage windows, scanned on demand (scenarios hold a handful of
+    /// events, so a linear scan beats a dense per-step × per-endpoint matrix).
+    replica_failures: Vec<ReplicaFailureWindow>,
+}
+
+/// One resolved [`ScenarioEvent::ReplicaFailure`] window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ReplicaFailureWindow {
+    start: SimTime,
+    end: SimTime,
+    endpoint: Option<EndpointId>,
+    replicas: u32,
 }
 
 impl ResolvedTimeline {
@@ -924,6 +1001,25 @@ impl ResolvedTimeline {
     #[must_use]
     pub fn failures(&self) -> &FailureSchedule {
         &self.failures
+    }
+
+    /// Serving replicas of `endpoint` lost to [`ScenarioEvent::ReplicaFailure`] windows
+    /// active at `now` (overlapping windows sum). Zero outside every window.
+    #[must_use]
+    pub fn failed_replicas_at(&self, now: SimTime, endpoint: EndpointId) -> u32 {
+        self.replica_failures
+            .iter()
+            .filter(|w| {
+                now >= w.start && now < w.end && w.endpoint.is_none_or(|id| id == endpoint)
+            })
+            .map(|w| w.replicas)
+            .sum()
+    }
+
+    /// `true` when the scenario contains any serving-replica outage window.
+    #[must_use]
+    pub fn has_replica_failures(&self) -> bool {
+        !self.replica_failures.is_empty()
     }
 }
 
@@ -1087,6 +1183,43 @@ mod tests {
     }
 
     #[test]
+    fn replica_failures_resolve_to_scannable_windows() {
+        let scenario = Scenario::builder()
+            .fail_replicas(SiteSelector::All, t(10), t(40), None, 2)
+            .fail_replicas(0, t(20), t(40), Some(EndpointId(1)), 1)
+            .fail_replicas(1, t(0), t(60), None, 4)
+            .build()
+            .expect("valid");
+        let timeline = resolve(&scenario, 0);
+        assert!(timeline.has_replica_failures());
+        assert_eq!(timeline.failed_replicas_at(t(0), EndpointId(0)), 0);
+        assert_eq!(timeline.failed_replicas_at(t(10), EndpointId(0)), 2);
+        assert_eq!(timeline.failed_replicas_at(t(25), EndpointId(0)), 2);
+        assert_eq!(
+            timeline.failed_replicas_at(t(25), EndpointId(1)),
+            3,
+            "overlapping windows sum and endpoint targeting filters"
+        );
+        assert_eq!(timeline.failed_replicas_at(t(40), EndpointId(1)), 0, "half-open window");
+        // Site 1 sees its own window but not site 0's endpoint-targeted one.
+        let other = resolve(&scenario, 1);
+        assert_eq!(other.failed_replicas_at(t(25), EndpointId(1)), 6);
+        // Replica failures are not power/cooling emergencies: no failure windows, no
+        // contribution to the recovery-time anchor.
+        assert!(timeline.failures().windows().is_empty());
+        assert_eq!(scenario.last_emergency_end(), None);
+        // A fabric-free timeline scans to zero everywhere.
+        assert!(!resolve(&Scenario::default(), 0).has_replica_failures());
+
+        let zero = Scenario::builder()
+            .fail_replicas(SiteSelector::All, t(0), t(30), None, 0)
+            .build();
+        assert_eq!(zero.unwrap_err(), ScenarioError::NoFailedReplicas { event: 0 });
+        let message = ScenarioError::NoFailedReplicas { event: 3 }.to_string();
+        assert!(message.contains("zero replicas"), "{message}");
+    }
+
+    #[test]
     fn power_cap_fractions_are_validated() {
         for bad in [0.0, -0.5, 1.5, f64::NAN] {
             let result =
@@ -1194,6 +1327,8 @@ mod tests {
             .power_cap(1, t(70), t(120), 0.7)
             .surge(t(0), t(30), 1.8)
             .endpoint_ramp(EndpointId(2), t(10), t(40), 2.5)
+            .fail_replicas(1, t(20), t(50), Some(EndpointId(0)), 2)
+            .fail_replicas(SiteSelector::All, t(30), t(60), None, 1)
             .build()
             .expect("valid");
         let json = serde_json::to_string(&scenario).expect("serialize");

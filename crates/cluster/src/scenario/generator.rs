@@ -92,6 +92,9 @@ struct TierParams {
     surge_events: (usize, usize),
     surge_multiplier: (f64, f64),
     ramp_chance: f64,
+    replica_failure_events: (usize, usize),
+    replica_failure_count: (usize, usize),
+    replica_endpoint_chance: f64,
     window_frac: (f64, f64),
 }
 
@@ -111,6 +114,9 @@ fn params(tier: IntensityTier) -> TierParams {
             surge_events: (1, 2),
             surge_multiplier: (1.1, 1.5),
             ramp_chance: 0.25,
+            replica_failure_events: (0, 0),
+            replica_failure_count: (1, 1),
+            replica_endpoint_chance: 0.5,
             window_frac: (0.05, 0.15),
         },
         IntensityTier::Severe => TierParams {
@@ -127,6 +133,9 @@ fn params(tier: IntensityTier) -> TierParams {
             surge_events: (2, 4),
             surge_multiplier: (1.4, 2.2),
             ramp_chance: 0.5,
+            replica_failure_events: (0, 1),
+            replica_failure_count: (2, 6),
+            replica_endpoint_chance: 0.5,
             window_frac: (0.1, 0.3),
         },
         IntensityTier::Adversarial => TierParams {
@@ -143,6 +152,13 @@ fn params(tier: IntensityTier) -> TierParams {
             surge_events: (3, 6),
             surge_multiplier: (1.8, 3.5),
             ramp_chance: 0.6,
+            replica_failure_events: (1, 3),
+            // Kill counts are sized against realistic pool depths (tens of replicas):
+            // the worst draws wipe out an endpoint's entire pool, which the fabric
+            // clamps to one virtual replica — the KV commitment then exceeds capacity
+            // and the scheduler's preempt/evict/requeue path runs under real load.
+            replica_failure_count: (6, 24),
+            replica_endpoint_chance: 0.5,
             window_frac: (0.15, 0.5),
         },
     }
@@ -251,6 +267,24 @@ pub fn generate(seed: u64, config: &GeneratorConfig) -> Scenario {
         events.push(ScenarioEvent::Surge { site: selector(&mut rng, config.sites), start, end, endpoint, multiplier });
     }
 
+    // Serving-replica outages feeding the request fabric's preemption path. The family
+    // has its own derived stream, appended after every pre-existing family, so scenarios
+    // from earlier revisions keep their exact event prefix and RNG draws.
+    let mut rng = root.derive("generator.replica-failures");
+    for _ in 0..count(&mut rng, p.replica_failure_events) {
+        let (start, end) = window(&mut rng, duration_minutes, p.window_frac);
+        let replicas = count(&mut rng, p.replica_failure_count).max(1) as u32;
+        let endpoint = (config.endpoints > 0 && rng.chance(p.replica_endpoint_chance))
+            .then(|| EndpointId(rng.uniform_usize(0, config.endpoints) as u64));
+        events.push(ScenarioEvent::ReplicaFailure {
+            site: selector(&mut rng, config.sites),
+            start,
+            end,
+            endpoint,
+            replicas,
+        });
+    }
+
     let mut rng = root.derive("generator.price.base");
     let scenario =
         Scenario { base_grid_price_per_mwh: rng.uniform(30.0, 60.0), events };
@@ -329,6 +363,40 @@ mod tests {
             assert!(caps >= 2, "seed {seed} produced {caps} caps");
             assert!(failures >= 2, "seed {seed} produced {failures} failures");
             assert!(scenario.events.len() >= 13);
+        }
+    }
+
+    #[test]
+    fn adversarial_scenarios_always_include_replica_failures() {
+        for seed in 0..20 {
+            let scenario = generate(seed, &config(IntensityTier::Adversarial, 3));
+            let replica_failures = scenario
+                .events
+                .iter()
+                .filter(|e| matches!(e, ScenarioEvent::ReplicaFailure { .. }))
+                .count();
+            assert!(
+                (1..=3).contains(&replica_failures),
+                "seed {seed} produced {replica_failures} replica failures"
+            );
+            // The family is appended last: the event prefix matches what older
+            // generator revisions produced, keeping their digests bit-identical.
+            let first = scenario
+                .events
+                .iter()
+                .position(|e| matches!(e, ScenarioEvent::ReplicaFailure { .. }))
+                .expect("at least one replica failure");
+            assert!(scenario.events[first..]
+                .iter()
+                .all(|e| matches!(e, ScenarioEvent::ReplicaFailure { .. })));
+        }
+        // The mild tier never sheds replicas.
+        for seed in 0..20 {
+            let scenario = generate(seed, &config(IntensityTier::Mild, 3));
+            assert!(!scenario
+                .events
+                .iter()
+                .any(|e| matches!(e, ScenarioEvent::ReplicaFailure { .. })));
         }
     }
 

@@ -312,6 +312,11 @@ pub struct ClusterSimulator {
     fabric: Option<RequestFabric>,
     /// Scratch: per-endpoint placed-instance counts handed to the fabric each step.
     fabric_replicas: Vec<u32>,
+    /// Worst fabric pressure across endpoints after the last served step (clamped to
+    /// the pools' 1.5 saturation ceiling; `0.0` with the fabric off). Feeds
+    /// [`SiteSignals::request_pressure`] so fleet request routing diverts away from
+    /// sites whose schedulers are saturated (e.g. under replica failures).
+    fabric_pressure: f64,
     report: RunReport,
 }
 
@@ -477,6 +482,7 @@ impl ClusterSimulator {
             gpus_per_server,
             fabric,
             fabric_replicas: Vec::new(),
+            fabric_pressure: 0.0,
             report,
             dc,
             config,
@@ -555,7 +561,17 @@ impl ClusterSimulator {
             capped_servers: outcome.power.capping.len() as u32,
             // Grid price is exogenous (scenario-resolved); the fleet injects it.
             grid_price_per_mwh: 0.0,
+            request_pressure: self.fabric_pressure,
         }
+    }
+
+    /// The per-endpoint effective serving-instance counts of the last fabric step
+    /// (placed replicas minus currently failed ones; empty before the first step or
+    /// with the fabric off). The fleet publishes these to the request router so its
+    /// failover spread can deal each endpoint's stream to where that endpoint's
+    /// capacity actually lives.
+    pub(crate) fn fabric_effective_replicas(&self) -> &[u32] {
+        &self.fabric_replicas
     }
 
     /// Consumes the cell and returns its report (the fleet's end-of-run collection),
@@ -832,16 +848,25 @@ impl ClusterSimulator {
         self.fabric_replicas.clear();
         for ordinal in 0..self.catalog.len() {
             let placed = self.registry.pools.get(ordinal).map_or(0, |pool| pool.len() as u32);
-            self.fabric_replicas.push(placed);
+            // Replica-failure windows kill serving processes without touching VM
+            // placement: the placed instances survive on the books, but the fabric
+            // serves on whatever capacity is actually up. Shrinking below the KV
+            // commitment triggers the scheduler's preempt-and-requeue path.
+            let failed = self
+                .timeline
+                .failed_replicas_at(now, EndpointId(ordinal as u64));
+            self.fabric_replicas.push(placed.saturating_sub(failed));
         }
         let fabric = self.fabric.as_mut().expect("checked above");
         fabric.generate_step(now, self.config.step, &self.timeline);
         fabric.serve_step(now, self.config.step, &self.fabric_replicas);
+        self.fabric_pressure = 0.0;
         for (ordinal, pool) in self.registry.pools.iter_mut().enumerate() {
             // The fabric's pressure can exceed the legacy saturation point (deep KV
             // backlogs); clamp to the pool's own 1.5 ceiling so the configurator sees
             // one consistent scale.
             let request_pressure = fabric.pressure(ordinal).min(1.5);
+            self.fabric_pressure = self.fabric_pressure.max(request_pressure);
             if request_pressure <= 0.0 {
                 continue;
             }

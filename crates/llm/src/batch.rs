@@ -80,6 +80,11 @@ struct Pending {
     prompt_tokens: usize,
     output_tokens: usize,
     arrival_ms: u64,
+    /// Earliest admission time: equals `arrival_ms` for fresh requests, or the
+    /// deterministic backoff re-delivery time for preempted requeues.
+    ready_ms: u64,
+    /// Admission attempts consumed so far (0 = never admitted).
+    attempts: u32,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -90,7 +95,41 @@ struct Active {
     generated: usize,
     arrival_ms: u64,
     first_token_ms: Option<u64>,
+    /// Monotone admission ordinal; preemption evicts the highest (LIFO), which
+    /// `Vec::swap_remove` order cannot provide.
+    seq: u64,
+    attempts: u32,
 }
+
+/// Fault-tolerance counters a scheduler accumulates over its lifetime: preemption and
+/// eviction volume (wasted work), retry/timeout outcomes and shed requests. All zero in
+/// a failure-free run, which keeps failure-free artifacts byte-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerFaults {
+    /// Sequences evicted mid-flight (a request preempted twice counts twice).
+    pub preemptions: u64,
+    /// KV tokens resident at eviction time (prompt + generated so far), summed.
+    pub evicted_tokens: u64,
+    /// Prompt tokens that must re-prefill after eviction, summed.
+    pub wasted_prefill_tokens: u64,
+    /// Decode tokens generated then thrown away by eviction, summed.
+    pub wasted_decode_tokens: u64,
+    /// Preempted requests successfully requeued for another attempt.
+    pub retries: u64,
+    /// Requests dropped after exhausting the retry budget (or that can never fit the
+    /// current capacity) — counted, never silent.
+    pub timeouts: u64,
+    /// Requests shed at admission because their deadline had already passed.
+    pub shed: u64,
+}
+
+/// Degradation levels above this are clamped; each level tightens the admission budget
+/// by 5 %, so the floor is 80 % of capacity.
+const MAX_DEGRADE_LEVEL: u32 = 4;
+
+/// Cap on the exponential backoff shift so the delay cannot overflow or exceed
+/// `backoff_base_ms << 8`.
+const MAX_BACKOFF_SHIFT: u32 = 8;
 
 /// Aggregate continuous-batching scheduler for the replicas of one endpoint at one site.
 ///
@@ -111,6 +150,20 @@ pub struct BatchScheduler {
     running: Vec<Active>,
     now_ms: u64,
     completed_total: u64,
+    admission_seq: u64,
+    faults: SchedulerFaults,
+    /// Deadline shedding: a request whose age at admission exceeds this is shed.
+    /// 0 disables shedding (and graceful degradation) entirely — the default, so
+    /// fabric runs without an explicit fault policy behave exactly as before.
+    shed_deadline_ms: u64,
+    /// Preemption retry budget: a request evicted more than this many times is dropped
+    /// (counted as a timeout).
+    max_retries: u32,
+    /// Base of the exponential requeue backoff (doubles per attempt).
+    backoff_base_ms: u64,
+    /// Current graceful-degradation level (0 = none); raised under sustained pressure,
+    /// lowered when pressure clears. Only consulted when shedding is enabled.
+    degrade_level: u32,
 }
 
 impl BatchScheduler {
@@ -129,6 +182,12 @@ impl BatchScheduler {
             running: Vec::new(),
             now_ms: 0,
             completed_total: 0,
+            admission_seq: 0,
+            faults: SchedulerFaults::default(),
+            shed_deadline_ms: 0,
+            max_retries: 3,
+            backoff_base_ms: 256,
+            degrade_level: 0,
         }
     }
 
@@ -197,13 +256,118 @@ impl BatchScheduler {
         (demand / self.kv_capacity() as f64).min(4.0)
     }
 
-    /// Rescales the scheduler to a new replica count (pool grew or shrank).
+    /// Rescales the scheduler to a new replica count (pool grew, shrank, or replicas
+    /// failed).
     ///
-    /// Only admission is affected: in-flight sequences always run to completion, so a
-    /// downsize below the current committed peak simply pauses admission until enough
-    /// sequences finish.
+    /// A downsize that strands the committed KV peak above the new capacity — or the
+    /// running batch above the surviving replicas' decode slots (`max_batch_size ×
+    /// replicas`; a killed replica's slots die with it) — preempts running sequences
+    /// newest-first (LIFO by admission ordinal) until both invariants hold again: each
+    /// victim's footprint is evicted, its generated tokens are counted as wasted work,
+    /// and the request is requeued with its **original** `arrival_ms` plus a
+    /// deterministic backoff — it will re-prefill from scratch on re-admission. Victims
+    /// over the retry budget are dropped and counted as timeouts, never silently.
     pub fn set_replicas(&mut self, replicas: usize) {
         self.replicas = replicas.max(1);
+        self.preempt_to_fit();
+    }
+
+    /// Configures the fault-tolerance policy. `shed_deadline_ms` is the per-request
+    /// admission deadline (0 disables deadline shedding and graceful degradation);
+    /// `max_retries` bounds how often a preempted request is requeued before it is
+    /// dropped as a timeout; `backoff_base_ms` seeds the exponential requeue backoff.
+    pub fn set_fault_policy(
+        &mut self,
+        shed_deadline_ms: u64,
+        max_retries: u32,
+        backoff_base_ms: u64,
+    ) {
+        self.shed_deadline_ms = shed_deadline_ms;
+        self.max_retries = max_retries;
+        self.backoff_base_ms = backoff_base_ms.max(1);
+    }
+
+    /// Lifetime fault-tolerance counters (all zero in a failure-free run).
+    #[must_use]
+    pub fn faults(&self) -> SchedulerFaults {
+        self.faults
+    }
+
+    /// Current graceful-degradation level (0 when shedding is disabled or pressure is
+    /// low; each level tightens the admission budget by 5 %, floor 80 %).
+    #[must_use]
+    pub fn degrade_level(&self) -> u32 {
+        self.degrade_level
+    }
+
+    /// One graceful-degradation tick, called once per serve window by the fabric:
+    /// sustained KV pressure above 1.0 tightens the admission budget one notch (5 % per
+    /// level, floor 80 %), and a clear window relaxes it one notch. A no-op unless
+    /// deadline shedding is enabled — degradation exists to shed *less* by admitting
+    /// more conservatively first.
+    pub fn note_pressure_window(&mut self) {
+        if self.shed_deadline_ms == 0 {
+            return;
+        }
+        if self.pressure() > 1.0 {
+            self.degrade_level = (self.degrade_level + 1).min(MAX_DEGRADE_LEVEL);
+        } else {
+            self.degrade_level = self.degrade_level.saturating_sub(1);
+        }
+    }
+
+    /// The admission budget after graceful degradation. The full capacity when shedding
+    /// is disabled or the batch is idle (tightening an empty scheduler would only stall
+    /// the queue without protecting any in-flight work).
+    fn admission_capacity(&self) -> usize {
+        if self.shed_deadline_ms == 0 || self.degrade_level == 0 || self.running.is_empty() {
+            self.kv_capacity()
+        } else {
+            self.kv_capacity() * (20 - self.degrade_level as usize) / 20
+        }
+    }
+
+    /// Preempts running sequences newest-first until `kv_committed <= kv_capacity` and
+    /// `running_len <= max_batch` both hold. KV overflow binds when footprints are large
+    /// (long contexts); the slot bound binds when replica failures wipe out most of a
+    /// deep pool — the survivors cannot decode the dead replicas' sequences.
+    fn preempt_to_fit(&mut self) {
+        while (self.kv_committed > self.kv_capacity() || self.running.len() > self.max_batch())
+            && !self.running.is_empty()
+        {
+            let victim_index = self
+                .running
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, seq)| seq.seq)
+                .map(|(index, _)| index)
+                .expect("running is non-empty");
+            let victim = self.running.swap_remove(victim_index);
+            self.kv_in_use -= victim.prompt_tokens + victim.generated;
+            self.kv_committed -= victim.prompt_tokens + victim.output_tokens;
+            self.faults.preemptions += 1;
+            self.faults.evicted_tokens += (victim.prompt_tokens + victim.generated) as u64;
+            self.faults.wasted_prefill_tokens += victim.prompt_tokens as u64;
+            self.faults.wasted_decode_tokens += victim.generated as u64;
+            let attempts = victim.attempts + 1;
+            if attempts > self.max_retries {
+                self.faults.timeouts += 1;
+                continue;
+            }
+            self.faults.retries += 1;
+            let backoff = self.backoff_base_ms << (attempts - 1).min(MAX_BACKOFF_SHIFT);
+            self.queued_tokens += victim.prompt_tokens + victim.output_tokens;
+            // Victims are evicted newest-first and each goes to the queue front, so the
+            // requeued block ends up oldest-first — the queue stays arrival-ordered.
+            self.queue.push_front(Pending {
+                tag: victim.tag,
+                prompt_tokens: victim.prompt_tokens,
+                output_tokens: victim.output_tokens,
+                arrival_ms: victim.arrival_ms,
+                ready_ms: self.now_ms + backoff,
+                attempts,
+            });
+        }
     }
 
     /// Enqueues a request. `arrival_ms` must be non-decreasing across calls — the fabric
@@ -220,6 +384,8 @@ impl BatchScheduler {
             prompt_tokens,
             output_tokens,
             arrival_ms,
+            ready_ms: arrival_ms,
+            attempts: 0,
         });
     }
 
@@ -233,32 +399,55 @@ impl BatchScheduler {
     }
 
     /// Admits queued requests while batch slots and committed KV headroom allow; returns
-    /// the admitted prompt tokens (they prefill in the current iteration).
+    /// the admitted prompt tokens (they prefill in the current iteration). Requests
+    /// whose deadline has already passed are shed here (when shedding is enabled), and
+    /// requests that can never fit the current capacity are dropped as timeouts rather
+    /// than blocking the queue forever.
     fn admit(&mut self) -> usize {
         let mut admitted_prompt_tokens = 0;
         while self.running.len() < self.max_batch() {
-            let Some(front) = self.queue.front() else { break };
-            if front.arrival_ms > self.now_ms {
+            let Some(front) = self.queue.front().copied() else { break };
+            if front.ready_ms > self.now_ms {
                 break;
             }
             let footprint = front.prompt_tokens + front.output_tokens;
-            if self.kv_committed + footprint > self.kv_capacity() {
+            if self.shed_deadline_ms > 0
+                && self.now_ms > front.arrival_ms + self.shed_deadline_ms
+            {
+                self.queue.pop_front();
+                self.queued_tokens -= footprint;
+                self.faults.shed += 1;
+                continue;
+            }
+            if self.kv_committed + footprint > self.admission_capacity() {
+                if self.running.is_empty() && footprint > self.kv_capacity() {
+                    // Larger than the whole (possibly downsized) cache: it can never be
+                    // admitted, so drop it as a timeout instead of stalling the queue.
+                    self.queue.pop_front();
+                    self.queued_tokens -= footprint;
+                    self.faults.timeouts += 1;
+                    continue;
+                }
                 break;
             }
-            let pending = self.queue.pop_front().expect("checked front");
+            self.queue.pop_front();
             self.queued_tokens -= footprint;
             self.kv_committed += footprint;
             // Incremental accounting: the prompt is pinned now, decode tokens as they
-            // are produced.
-            self.kv_in_use += pending.prompt_tokens;
-            admitted_prompt_tokens += pending.prompt_tokens;
+            // are produced. A requeued victim re-prefills from scratch here.
+            self.kv_in_use += front.prompt_tokens;
+            admitted_prompt_tokens += front.prompt_tokens;
+            let seq = self.admission_seq;
+            self.admission_seq += 1;
             self.running.push(Active {
-                tag: pending.tag,
-                prompt_tokens: pending.prompt_tokens,
-                output_tokens: pending.output_tokens,
+                tag: front.tag,
+                prompt_tokens: front.prompt_tokens,
+                output_tokens: front.output_tokens,
                 generated: 0,
-                arrival_ms: pending.arrival_ms,
+                arrival_ms: front.arrival_ms,
                 first_token_ms: None,
+                seq,
+                attempts: front.attempts,
             });
         }
         admitted_prompt_tokens
@@ -275,11 +464,13 @@ impl BatchScheduler {
             let admitted_prompt_tokens = self.admit();
 
             if self.running.is_empty() {
-                // Idle: jump to the next arrival (the queue is arrival-ordered) or the
-                // deadline, whichever is earlier.
+                // Idle: jump to the next ready time (arrival, or backoff re-delivery
+                // for a requeued victim) or the deadline, whichever is earlier. A ready
+                // front is always consumed by `admit` (admitted, shed or dropped), so
+                // the jump target is strictly in the future — no livelock.
                 match self.queue.front() {
-                    Some(front) if front.arrival_ms <= deadline_ms => {
-                        self.now_ms = front.arrival_ms;
+                    Some(front) if front.ready_ms <= deadline_ms => {
+                        self.now_ms = front.ready_ms;
                         continue;
                     }
                     _ => {
@@ -500,19 +691,167 @@ mod tests {
     }
 
     #[test]
-    fn downsize_pauses_admission_but_finishes_in_flight_work() {
+    fn downsize_under_load_preempts_to_fit_and_still_finishes_everything() {
         let mut s = scheduler(4);
         for i in 0..64 {
             s.offer(i, 4_000, 100, 0);
         }
         let mut out = Vec::new();
         s.advance_to(2_000, &mut out);
-        let running_before = s.running_len();
-        assert!(running_before > 0);
+        assert!(s.running_len() > 0);
         s.set_replicas(1);
-        s.advance_to(1_200_000, &mut out);
+        // Satellite fix: the shrink may no longer strand `kv_committed` above the new
+        // capacity — preemption restores the invariant immediately.
+        assert!(
+            s.kv_committed() <= s.kv_capacity(),
+            "downsize left committed {} above capacity {}",
+            s.kv_committed(),
+            s.kv_capacity()
+        );
+        assert!(s.kv_in_use() <= s.kv_committed());
+        let faults = s.faults();
+        assert_eq!(faults.preemptions, faults.retries + faults.timeouts);
+        assert_eq!(faults.wasted_prefill_tokens, faults.preemptions * 4_000);
+        s.advance_to(3_600_000, &mut out);
+        // A single shrink preempts each victim at most once, well inside the retry
+        // budget: nothing times out and every request still completes.
+        assert_eq!(s.faults().timeouts, 0);
         assert_eq!(out.len(), 64, "all sequences still complete after the downsize");
         assert_eq!(s.kv_in_use(), 0);
+        assert_eq!(s.kv_committed(), 0);
+    }
+
+    #[test]
+    fn preemption_is_lifo_and_preserves_original_arrival() {
+        // Force a shrink that strands committed KV above the downsized capacity.
+        let mut s = scheduler(4);
+        let capacity_one = s.kv_capacity() / 4;
+        let prompt = capacity_one / 3;
+        let output = 50;
+        for i in 0..8 {
+            s.offer(i, prompt, output, 0);
+        }
+        let mut out = Vec::new();
+        // One iteration admits the whole burst (8 footprints fit 4 replicas).
+        s.advance_to(1, &mut out);
+        let running_before = s.running_len();
+        assert!(running_before >= 4, "expected a loaded batch, got {running_before}");
+        s.set_replicas(1);
+        let faults = s.faults();
+        assert!(faults.preemptions > 0, "the shrink must preempt");
+        assert!(faults.evicted_tokens >= faults.preemptions * prompt as u64);
+        assert_eq!(
+            s.running_len() + s.queue_len() + out.len(),
+            8 - faults.timeouts as usize,
+            "no request vanishes"
+        );
+        s.advance_to(10_000_000, &mut out);
+        assert_eq!(out.len() as u64 + s.faults().timeouts, 8);
+        for done in &out {
+            // Requeue never resets `arrival_ms`: every request arrived at 0, so a
+            // reset to the (much later) preemption time would show up here, and TTFT
+            // keeps measuring from the original arrival.
+            assert_eq!(done.arrival_ms, 0);
+            assert!(done.first_token_ms >= done.arrival_ms);
+        }
+        // LIFO: the earliest-admitted survivors were never evicted, so the requests
+        // admitted first complete with the fewest attempts.
+        assert_eq!(s.kv_in_use(), 0);
+        assert_eq!(s.kv_committed(), 0);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_times_out_instead_of_looping() {
+        let mut s = scheduler(2);
+        s.set_fault_policy(0, 1, 100);
+        let prompt = s.kv_capacity() / 3;
+        for i in 0..2 {
+            s.offer(i, prompt, 400, 0);
+        }
+        let mut out = Vec::new();
+        s.advance_to(500, &mut out);
+        assert_eq!(s.running_len(), 2);
+        // Two shrinks in a row preempt the newer sequence twice; the second eviction
+        // exceeds max_retries = 1 and drops it as a timeout.
+        s.set_replicas(1);
+        assert_eq!(s.faults().preemptions, 1);
+        assert_eq!(s.faults().retries, 1);
+        s.advance_to(s.now_ms() + 200, &mut out);
+        s.set_replicas(2);
+        s.advance_to(s.now_ms() + 2_000, &mut out);
+        assert!(s.running_len() >= 1);
+        s.set_replicas(1);
+        let faults = s.faults();
+        if faults.preemptions >= 2 {
+            assert_eq!(faults.timeouts, 1, "second eviction exhausts the budget");
+        }
+        s.advance_to(10_000_000, &mut out);
+        assert_eq!(
+            out.len() as u64 + s.faults().timeouts,
+            2,
+            "every request either completes or is counted"
+        );
+    }
+
+    #[test]
+    fn deadline_shedding_counts_late_requests_instead_of_serving_them() {
+        let mut s = scheduler(1);
+        s.set_fault_policy(5_000, 3, 256);
+        // Saturate the batch slots so later arrivals age out in the queue.
+        for i in 0..300 {
+            s.offer(i, 2_000, 300, 0);
+        }
+        let mut out = Vec::new();
+        s.advance_to(3_600_000, &mut out);
+        let faults = s.faults();
+        assert!(faults.shed > 0, "the overload must shed late requests");
+        assert_eq!(
+            out.len() as u64 + faults.shed + faults.timeouts,
+            300,
+            "served + shed + timed out covers every offer"
+        );
+        assert!(!out.is_empty(), "early arrivals beat the deadline");
+        assert_eq!(s.queue_len(), 0);
+        assert_eq!(s.kv_in_use(), 0);
+    }
+
+    #[test]
+    fn degradation_tightens_admission_under_pressure_and_relaxes_after() {
+        let mut s = scheduler(1);
+        // Disabled shedding: pressure never degrades (the legacy behaviour).
+        for i in 0..10_000 {
+            s.offer(i, 4_000, 400, 0);
+        }
+        s.note_pressure_window();
+        assert_eq!(s.degrade_level(), 0);
+        // Enabled: sustained pressure ratchets the level up to the floor, then a
+        // clear queue lets it recover one notch per window.
+        s.set_fault_policy(3_600_000, 3, 256);
+        for _ in 0..6 {
+            s.note_pressure_window();
+        }
+        assert_eq!(s.degrade_level(), 4, "level clamps at the 80 % floor");
+        let mut drained = Vec::new();
+        let mut window = 0u64;
+        while s.queue_len() > 0 || s.running_len() > 0 {
+            window += 1;
+            assert!(window < 100_000, "drain stalled");
+            s.advance_to(window * 60_000, &mut drained);
+        }
+        s.note_pressure_window();
+        assert_eq!(s.degrade_level(), 3, "pressure cleared, one notch back");
+    }
+
+    #[test]
+    fn fault_free_runs_leave_every_fault_counter_at_zero() {
+        let mut s = scheduler(2);
+        for i in 0..40 {
+            s.offer(i, 256, 32, i * 50);
+        }
+        let mut out = Vec::new();
+        s.advance_to(600_000, &mut out);
+        assert_eq!(out.len(), 40);
+        assert_eq!(s.faults(), SchedulerFaults::default());
     }
 
     #[test]

@@ -114,7 +114,10 @@ fn main() {
     let fabric_base = ExperimentConfig::real_cluster_hour(Policy::Tapas)
         .with_duration(SimTime::from_hours(3))
         .with_step(SimDuration::from_minutes(5))
-        .with_request_fabric(RequestFabricConfig { rate_scale: 0.01, slo_multiplier: 5.0 });
+        .with_request_fabric(RequestFabricConfig {
+            rate_scale: 0.01,
+            ..RequestFabricConfig::default()
+        });
     let fabric_fleet = FleetSimulator::new(FleetConfig::evaluation(fabric_base, 3)).run();
     let fabric_json =
         serde_json::to_string(&fabric_fleet).expect("serializable fleet report");
@@ -125,6 +128,45 @@ fn main() {
         "fabric-slo-attainment-5x-milli: {}",
         (fabric_metrics.attainment_at(5.0) * 1000.0).round()
     );
+
+    // A generated adversarial scenario *with replica failures* over a fabric-enabled
+    // fleet, at full demand with deadline shedding on: covers the request-lifecycle
+    // fault path end to end — replica-kill windows shrinking effective serving
+    // capacity, LIFO preemption and eviction when the KV commitment no longer fits,
+    // deterministic backoff re-delivery, deadline shedding and the lifecycle fault
+    // counters — which must all be bit-identical across feature builds too.
+    let chaos_base = ExperimentConfig::real_cluster_hour(Policy::Tapas)
+        .with_duration(SimTime::from_hours(3))
+        .with_step(SimDuration::from_minutes(5))
+        .with_request_fabric(RequestFabricConfig {
+            rate_scale: 2.0,
+            deadline_shedding: true,
+            ..RequestFabricConfig::default()
+        });
+    let chaos_scenario = generate(
+        4242,
+        &GeneratorConfig {
+            tier: IntensityTier::Adversarial,
+            sites: 3,
+            duration: chaos_base.duration,
+            endpoints: chaos_base.endpoint_count,
+        },
+    );
+    let chaos_fleet = FleetSimulator::new(
+        FleetConfig::evaluation(chaos_base.with_scenario(chaos_scenario), 3),
+    )
+    .run();
+    let chaos_json = serde_json::to_string(&chaos_fleet).expect("serializable fleet report");
+    println!("chaos-fabric-fleet-digest: {:#018x}", fnv1a(chaos_json.as_bytes()));
+    let chaos_metrics = chaos_fleet.request_fabric().expect("fabric ran on every site");
+    let lifecycle = chaos_metrics.lifecycle;
+    println!("chaos-fabric-arrived: {}", lifecycle.arrived);
+    println!(
+        "chaos-fabric-outcomes: completed={} shed={} timeouts={} in-flight={}",
+        chaos_metrics.completed, lifecycle.shed, lifecycle.timeouts,
+        lifecycle.in_flight_at_horizon
+    );
+    println!("chaos-fabric-preemptions: {}", lifecycle.preemptions);
 }
 
 fn serde_json_digest(report: &RunReport) -> u64 {

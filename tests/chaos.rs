@@ -114,6 +114,66 @@ fn same_seed_chaos_runs_are_byte_identical() {
     }
 }
 
+fn fabric_chaos_config(seed: u64) -> FleetConfig {
+    let base = ExperimentConfig::small_smoke_test()
+        .with_policy(Policy::Tapas)
+        .with_request_fabric(RequestFabricConfig {
+            rate_scale: 2.0,
+            deadline_shedding: true,
+            ..RequestFabricConfig::default()
+        });
+    let scenario = generate(
+        seed,
+        &GeneratorConfig {
+            tier: IntensityTier::Adversarial,
+            sites: 3,
+            duration: base.duration,
+            endpoints: base.endpoint_count,
+        },
+    );
+    FleetConfig::evaluation(base.with_scenario(scenario), 3)
+}
+
+/// Request-lifecycle chaos: a fabric-enabled fleet under generated adversarial
+/// scenarios (replica kills included, deadline shedding on) survives with finite
+/// metrics, sheds loudly rather than silently, and conserves every request exactly:
+/// `arrived == completed + shed + timeouts + in_flight_at_horizon`. Same-seed runs are
+/// byte-identical end to end.
+#[test]
+fn fabric_fleet_survives_generated_chaos_and_conserves_requests() {
+    for seed in [11, 12, 13] {
+        let report = FleetSimulator::new(fabric_chaos_config(seed)).run();
+        let label = format!("fabric chaos seed {seed}");
+        for site in &report.sites {
+            assert_finite_run(site, &label);
+        }
+        let metrics = report.request_fabric().expect("every site ran the fabric");
+        let lifecycle = metrics.lifecycle;
+        assert!(lifecycle.arrived > 0, "{label}: no requests arrived");
+        assert_eq!(
+            lifecycle.arrived,
+            metrics.completed
+                + lifecycle.shed
+                + lifecycle.timeouts
+                + lifecycle.in_flight_at_horizon,
+            "{label}: request conservation must hold exactly ({lifecycle:?})"
+        );
+        let attainment = metrics.attainment_at(5.0);
+        assert!(
+            (0.0..=1.0).contains(&attainment),
+            "{label}: 5x SLO attainment {attainment}"
+        );
+    }
+
+    let a = FleetSimulator::new(fabric_chaos_config(11)).run();
+    let b = FleetSimulator::new(fabric_chaos_config(11)).run();
+    assert_eq!(
+        serde_json::to_string(&a).expect("serialize"),
+        serde_json::to_string(&b).expect("serialize"),
+        "fabric chaos fleet diverged for the same seed"
+    );
+}
+
 /// Pinned golden artifact: the generated scenario for a fixed `(seed, config)` pair
 /// serializes to exactly these bytes. Catches accidental drift in the generator's draw
 /// order, tier parameters or the scenario serde format.

@@ -108,6 +108,85 @@ fn kv_occupancy_never_exceeds_committed_nor_capacity() {
     assert!(offered > completed, "overload keeps a backlog (offered {offered})");
 }
 
+/// Randomized replica churn — shrinks standing in for failures, grows for recovery —
+/// under sustained bursty load with the fault policy armed: the KV accounting
+/// invariants `kv_in_use ≤ kv_committed ≤ kv_capacity` hold after every shrink and
+/// every step (capacity itself moves with the replica count), every completion's TTFT
+/// clock starts at the request's *original* arrival (re-admission after preemption
+/// must not reset it), and no request ever vanishes: offered requests are exactly
+/// partitioned into completed, shed, timed out, and still in flight.
+#[test]
+fn kv_invariants_hold_under_randomized_replica_churn() {
+    let gpu = GpuHardware::a100();
+    let config = InstanceConfig::default_70b();
+    let mut scheduler = BatchScheduler::new(config, &gpu, 4);
+    scheduler.set_fault_policy(30_000, 2, 256);
+    let mut rng = SimRng::seed_from(11).derive("churn-invariants");
+    let mut arrivals: Vec<u64> = Vec::new(); // original arrival, indexed by tag
+    let mut completions = Vec::new();
+    let mut completed = 0u64;
+    let mut now = 0u64;
+    let mut arrival = 0u64;
+
+    fn assert_kv_invariants(scheduler: &BatchScheduler, label: &str) {
+        assert!(
+            scheduler.kv_in_use() <= scheduler.kv_committed(),
+            "{label}: occupancy {} exceeds committed {}",
+            scheduler.kv_in_use(),
+            scheduler.kv_committed()
+        );
+        assert!(
+            scheduler.kv_committed() <= scheduler.kv_capacity(),
+            "{label}: committed {} exceeds capacity {}",
+            scheduler.kv_committed(),
+            scheduler.kv_capacity()
+        );
+    }
+
+    for window in 0..300u64 {
+        for _ in 0..rng.uniform_usize(0, 12) {
+            // Arrivals are offered in nondecreasing time order (the stream contract).
+            arrival = arrival.max(now) + rng.uniform_usize(0, 100) as u64;
+            let prompt = 1 + rng.uniform_usize(0, 20_000);
+            let output = 1 + rng.uniform_usize(0, 400);
+            scheduler.offer(arrivals.len() as u64, prompt, output, arrival);
+            arrivals.push(arrival);
+        }
+        // Replica churn: a shrink is a failure wave, a grow is recovery. Both must
+        // leave the accounting consistent immediately, before any time passes.
+        let replicas = 1 + rng.uniform_usize(0, 4);
+        scheduler.set_replicas(replicas);
+        assert_kv_invariants(&scheduler, &format!("window {window} after set_replicas"));
+
+        now += 500;
+        completions.clear();
+        scheduler.advance_to(now, &mut completions);
+        assert_kv_invariants(&scheduler, &format!("window {window} after advance"));
+        for done in &completions {
+            assert_eq!(
+                done.arrival_ms,
+                arrivals[done.tag as usize],
+                "window {window}: TTFT must be measured from the original arrival"
+            );
+            assert!(done.first_token_ms >= done.arrival_ms);
+            assert!(done.finish_ms >= done.first_token_ms);
+        }
+        completed += completions.len() as u64;
+    }
+
+    let faults = scheduler.faults();
+    assert!(completed > 0, "the churned scheduler still completes work");
+    assert!(faults.preemptions > 0, "shrinks must actually exercise preemption");
+    assert_eq!(
+        arrivals.len() as u64,
+        completed
+            + faults.shed
+            + faults.timeouts
+            + (scheduler.queue_len() + scheduler.running_len()) as u64,
+        "request conservation must hold exactly ({faults:?})"
+    );
+}
+
 // --- Fleet determinism -------------------------------------------------------------
 
 #[test]
